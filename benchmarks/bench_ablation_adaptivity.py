@@ -1,0 +1,32 @@
+"""Bench A8 -- fixed vs adaptive probationary sizing (paper §5).
+
+The paper fixes the probationary queue at 10 % and argues adaptive
+sizing (ARC-style) is not obviously better.  This bench runs the
+comparison; the assertion is deliberately symmetric -- both designs
+must beat FIFO and sit within a few points of each other -- because
+the honest finding (here as in the paper's discussion) is that the
+adaptation buys little either way.
+"""
+
+from conftest import run_once, shape_checks_enabled
+
+from repro.experiments import ablations
+
+
+def test_adaptivity_study(benchmark, corpus_config):
+    result = run_once(benchmark, ablations.run_adaptivity_study,
+                      corpus_config)
+    print()
+    print(result.render())
+
+    outcomes = result.outcomes
+    for label, (mean, wins) in outcomes.items():
+        benchmark.extra_info[f"{label}"] = round(mean, 4)
+    if not shape_checks_enabled(corpus_config):
+        return
+    fixed = outcomes["fixed-10%"][0]
+    adaptive = outcomes["adaptive"][0]
+    assert fixed > 0 and adaptive > 0, "both must beat FIFO"
+    assert abs(fixed - adaptive) < 0.05, (
+        "adaptation should neither win nor lose big -- the paper's "
+        "point that the tiny fixed queue is already near-optimal")

@@ -1,0 +1,38 @@
+"""Bench A3 -- CLOCK bit-width ablation (paper §3).
+
+The paper: one visited bit already beats LRU on most traces, but on
+the high-reuse social-network datasets one bit cannot separate warm
+from hot, and 2-bit CLOCK is needed.  The first sweep runs the whole
+corpus; the second isolates the socialnet family where the extra bit
+matters most.
+"""
+
+from conftest import run_once, shape_checks_enabled
+
+from repro.experiments import ablations
+
+
+def test_clock_bits_corpus(benchmark, corpus_config):
+    result = run_once(benchmark, ablations.run_clock_bits_sweep,
+                      corpus_config)
+    print()
+    print(result.render())
+    outcomes = result.outcomes
+    for bits, (mean, wins) in outcomes.items():
+        benchmark.extra_info[f"bits_{bits}"] = round(mean, 4)
+    if shape_checks_enabled(corpus_config):
+        # The second bit never hurts on aggregate.
+        assert outcomes[2][0] >= outcomes[1][0] - 0.01
+
+
+def test_clock_bits_socialnet(benchmark, corpus_config):
+    config = corpus_config.scaled(families=("socialnet",))
+    result = run_once(benchmark, ablations.run_clock_bits_sweep, config)
+    print()
+    print(result.render())
+    outcomes = result.outcomes
+    benchmark.extra_info["socialnet_1bit"] = round(outcomes[1][0], 4)
+    benchmark.extra_info["socialnet_2bit"] = round(outcomes[2][0], 4)
+    if shape_checks_enabled(corpus_config):
+        # High-reuse traces: 2 bits strictly better than 1 (paper §3).
+        assert outcomes[2][0] >= outcomes[1][0]

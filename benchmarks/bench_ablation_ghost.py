@@ -1,0 +1,25 @@
+"""Bench A2 -- ghost-queue size ablation (paper §4/§5).
+
+The ghost FIFO ("as many entries as the main cache") is QD's safety
+net: objects demoted too eagerly get a second chance directly into the
+main cache.  The sweep disables it (factor 0) and oversizes it
+(factor 2) around the paper's 1.0.
+"""
+
+from conftest import run_once, shape_checks_enabled
+
+from repro.experiments import ablations
+
+
+def test_ghost_sweep(benchmark, corpus_config):
+    result = run_once(benchmark, ablations.run_ghost_sweep, corpus_config)
+    print()
+    print(result.render())
+
+    outcomes = result.outcomes
+    for factor, (mean, wins) in outcomes.items():
+        benchmark.extra_info[f"ghost_{factor}"] = round(mean, 4)
+    if not shape_checks_enabled(corpus_config):
+        return
+    # History must help: the paper's ghost (1.0x) beats no ghost at all.
+    assert outcomes[1.0][0] > outcomes[0.0][0]

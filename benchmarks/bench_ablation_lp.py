@@ -1,0 +1,31 @@
+"""Bench A4 -- Lazy Promotion techniques (paper §3/§5).
+
+Strict LP (reinsertion) vs the production relaxations (periodic
+promotion, promote-old-only) vs eager LRU.  Shape asserted: the strict
+LP policies beat LRU on a clear majority of traces (the paper's §3
+headline), and the relaxations stay within a few points of LRU.
+"""
+
+from conftest import run_once, shape_checks_enabled
+
+from repro.experiments import ablations
+
+
+def test_lp_techniques(benchmark, corpus_config):
+    result = run_once(benchmark, ablations.run_lp_technique_study,
+                      corpus_config)
+    print()
+    print(result.render())
+
+    outcomes = result.outcomes
+    for label, (mean, wins) in outcomes.items():
+        benchmark.extra_info[label] = round(mean, 4)
+    if not shape_checks_enabled(corpus_config):
+        return
+    # §3: reinsertion-style LP beats LRU on most traces.
+    assert outcomes["FIFO-Reinsertion"][1] > 0.5
+    assert outcomes["2-bit-CLOCK"][1] > 0.5
+    # The relaxations must not collapse: within 5 points of LRU.
+    lru = outcomes["LRU (eager)"][0]
+    for label in ("PeriodicPromotion-LRU", "PromoteOldOnly-LRU"):
+        assert outcomes[label][0] > lru - 0.05

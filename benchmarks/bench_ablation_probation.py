@@ -1,0 +1,31 @@
+"""Bench A1 -- probationary-queue size ablation (paper §5).
+
+The paper argues for a *tiny fixed* probationary queue (10 %) against
+the much larger admission queues of 2Q-style designs (25-50 %).  The
+sweep regenerates that comparison: mean miss-ratio reduction from FIFO
+for QD-LP-FIFO as the probationary share grows.
+"""
+
+from conftest import run_once, shape_checks_enabled
+
+from repro.experiments import ablations
+
+
+def test_probation_sweep(benchmark, corpus_config):
+    result = run_once(benchmark, ablations.run_probation_sweep,
+                      corpus_config)
+    print()
+    print(result.render())
+
+    outcomes = result.outcomes
+    for fraction, (mean, wins) in outcomes.items():
+        benchmark.extra_info[f"probation_{fraction}"] = round(mean, 4)
+    if not shape_checks_enabled(corpus_config):
+        return
+    # The paper's argument against 2Q-style half-cache admission
+    # queues: 50% probation must not be the sweet spot.
+    best = max(mean for mean, _ in outcomes.values())
+    assert outcomes[0.5][0] < best, (
+        "a half-cache probationary queue should not be optimal")
+    # And the paper's 10% must itself be clearly useful vs FIFO.
+    assert outcomes[0.1][0] > 0

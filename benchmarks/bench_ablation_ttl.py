@@ -1,0 +1,32 @@
+"""Bench A7 -- TTL churn ablation (paper §2/§4).
+
+TTL expiry is the paper's user-driven *removal* operation, and short
+TTLs are one source of the short-lived web data quick demotion feeds
+on.  Shape asserted: QD-LP-FIFO's reduction from FIFO is essentially
+unchanged under a moderate TTL, and collapses only when the TTL
+shrinks toward the reuse window (where compulsory misses make every
+eviction algorithm look like FIFO).
+"""
+
+from conftest import run_once, shape_checks_enabled
+
+from repro.experiments import ablations
+
+
+def test_ttl_sweep(benchmark, corpus_config):
+    result = run_once(benchmark, ablations.run_ttl_sweep, corpus_config)
+    print()
+    print(result.render())
+
+    outcomes = result.outcomes
+    for ttl, (mean, wins) in outcomes.items():
+        benchmark.extra_info[f"ttl_{ttl}"] = round(mean, 4)
+    if not shape_checks_enabled(corpus_config):
+        return
+    no_ttl = outcomes[0][0]
+    moderate = outcomes[20_000][0]
+    extreme = outcomes[1_000][0]
+    assert moderate > no_ttl - 0.05, (
+        "a moderate TTL should barely dent QD's advantage")
+    assert extreme < no_ttl, (
+        "extreme TTL churn should erode the advantage toward FIFO")

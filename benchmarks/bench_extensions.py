@@ -1,0 +1,27 @@
+"""Bench X2 -- the algorithms this paper spawned (S3-FIFO, SIEVE).
+
+The paper's closing vision -- LEGO eviction algorithms built from lazy
+promotion and quick demotion -- became S3-FIFO (SOSP'23) and SIEVE
+(NSDI'24).  This bench compares them with QD-LP-FIFO and the
+baselines; all three FIFO-family designs should comfortably beat FIFO
+and be competitive with ARC.
+"""
+
+from conftest import run_once, shape_checks_enabled
+
+from repro.experiments import extensions
+from repro.sim.runner import LARGE_FRACTION
+
+
+def test_extensions(benchmark, corpus_config):
+    result = run_once(benchmark, extensions.run, corpus_config)
+    print()
+    print(result.render())
+
+    for policy in ("QD-LP-FIFO", "S3-FIFO", "SIEVE"):
+        for group in ("block", "web"):
+            mean = result.mean(group, LARGE_FRACTION, policy)
+            benchmark.extra_info[f"{policy}_{group}_large"] = round(mean, 4)
+            if shape_checks_enabled(corpus_config):
+                assert mean > 0, f"{policy} lost to FIFO on {group}/large"
+

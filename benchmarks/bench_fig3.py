@@ -1,0 +1,28 @@
+"""Bench F3 -- regenerate Fig. 3: cache resources by object popularity.
+
+Paper shape: LRU spends the largest share of cache space-time on
+unpopular objects; ARC spends less; Belady the least.  (LHD sits
+between LRU and ARC on the MSR-like trace, matching its weaker Table 2
+result there.)
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark):
+    result = run_once(benchmark, fig3.run, scale=1.0)
+    print()
+    print(result.render())
+
+    for trace_name in ("MSR", "Twitter"):
+        lru = result.unpopular_share(trace_name, "LRU")
+        arc = result.unpopular_share(trace_name, "ARC")
+        belady = result.unpopular_share(trace_name, "Belady")
+        assert arc < lru, f"{trace_name}: ARC should spend less than LRU"
+        assert belady < lru, f"{trace_name}: Belady should spend least"
+        benchmark.extra_info[f"{trace_name}_unpopular_lru"] = round(lru, 4)
+        benchmark.extra_info[f"{trace_name}_unpopular_arc"] = round(arc, 4)
+        benchmark.extra_info[f"{trace_name}_unpopular_belady"] = (
+            round(belady, 4))

@@ -1,0 +1,59 @@
+"""Bench F5 -- regenerate Fig. 5: QD-enhanced algorithms & QD-LP-FIFO.
+
+Paper shape to reproduce:
+
+* every algorithm beats FIFO on average (that is the normalisation);
+* QD-X improves on X on average across the corpus (paper: ARC +1.5 %,
+  LIRS +2.2 %, LeCaR +4.5 %), with the gap largest on web workloads at
+  the large cache size;
+* QD-LP-FIFO achieves reductions comparable to or better than the
+  state of the art (paper: beats LIRS by 1.6 % and LeCaR by 4.3 % on
+  average).
+
+At this repository's miniature scale the small-cache points are a few
+dozen objects (the paper's smallest caches are thousands), so QD's
+probationary queue degenerates there; the assertions below therefore
+target the large-size and aggregate behaviour -- see EXPERIMENTS.md.
+"""
+
+import numpy as np
+from conftest import run_once, shape_checks_enabled
+
+from repro.experiments import fig5
+from repro.sim.runner import LARGE_FRACTION
+
+
+def test_fig5(benchmark, corpus_config):
+    result = run_once(benchmark, fig5.run, corpus_config)
+    print()
+    print(result.render())
+
+    if not shape_checks_enabled(corpus_config):
+        return
+
+    # Every algorithm beats FIFO on average at the large size.
+    for group in fig5.GROUPS:
+        for policy in ("LRU", "ARC", "LeCaR", "QD-LP-FIFO"):
+            mean = result.summary(group, LARGE_FRACTION, policy).mean
+            assert mean > 0, f"{policy} lost to FIFO on {group}/large"
+
+    # QD helps the state of the art on web workloads at the large size
+    # (the paper's strongest regime) for a majority of the algorithms.
+    web_wins = sum(
+        result.summary("web", LARGE_FRACTION, f"QD-{name}").mean
+        >= result.summary("web", LARGE_FRACTION, name).mean
+        for name in ("ARC", "LIRS", "CACHEUS", "LeCaR", "LHD"))
+    assert web_wins >= 3, f"QD helped only {web_wins}/5 on web/large"
+
+    # QD-LP-FIFO is competitive with the best state of the art.
+    qdlp = result.summary("web", LARGE_FRACTION, "QD-LP-FIFO").mean
+    lirs = result.summary("web", LARGE_FRACTION, "LIRS").mean
+    assert qdlp > lirs, "QD-LP-FIFO should beat LIRS on web/large"
+
+    # ARC's edge over LRU exists (paper: 6.2% mean over 5307 traces).
+    assert result.arc_vs_lru_mean > 0
+    benchmark.extra_info["arc_vs_lru_mean"] = round(
+        result.arc_vs_lru_mean, 4)
+    for name, (mean_gain, max_gain) in result.qd_gains.items():
+        benchmark.extra_info[f"qd_gain_{name}"] = round(mean_gain, 4)
+        benchmark.extra_info[f"qd_max_{name}"] = round(max_gain, 4)

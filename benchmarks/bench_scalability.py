@@ -1,0 +1,32 @@
+"""Bench X3 -- thread scalability under lock contention (paper §1-2).
+
+Shape asserted: at 32 modelled threads, the FIFO-family policies
+achieve several times LRU's speedup, because LRU's per-hit locked
+promotion saturates the global lock while lazy promotion leaves the
+hit path lock-free.
+"""
+
+from conftest import run_once
+
+from repro.experiments import scalability
+
+
+def test_scalability(benchmark):
+    result = run_once(benchmark, scalability.run)
+    print()
+    print(result.render())
+
+    lru_speedup = result.speedup("LRU", 32)
+    for name in ("FIFO", "FIFO-Reinsertion", "2-bit-CLOCK", "SIEVE"):
+        speedup = result.speedup(name, 32)
+        assert speedup > 2 * lru_speedup, (
+            f"{name} should out-scale LRU by a wide margin "
+            f"({speedup:.1f}x vs {lru_speedup:.1f}x)")
+        benchmark.extra_info[f"speedup32_{name}"] = round(speedup, 2)
+    benchmark.extra_info["speedup32_LRU"] = round(lru_speedup, 2)
+
+    # LRU saturates its lock; FIFO does not.
+    lru_final = {p.threads: p for p in result.curves["LRU"]}[32]
+    fifo_final = {p.threads: p for p in result.curves["FIFO"]}[32]
+    assert lru_final.lock_utilisation > 0.95
+    assert fifo_final.lock_utilisation < 0.9

@@ -1,0 +1,29 @@
+"""Bench A5 -- the paper's "(not shown)" size-sweep claim (§4).
+
+"When the cache size is too large ... adding QD may increase the miss
+ratio (not shown)."  Shape asserted: QD-LP-FIFO's gain over its own LP
+base (2-bit CLOCK) is positive at the small end of the sweep and
+strictly smaller (typically negative) at the 80% end.
+"""
+
+from conftest import run_once, shape_checks_enabled
+
+from repro.experiments import size_sweep
+
+
+def test_size_sweep(benchmark, corpus_config):
+    result = run_once(benchmark, size_sweep.run, corpus_config)
+    print()
+    print(result.render())
+
+    smallest = result.fractions[0]
+    largest = result.fractions[-1]
+    benchmark.extra_info["qd_gain_small"] = round(result.qd_gain(smallest), 4)
+    benchmark.extra_info["qd_gain_large"] = round(result.qd_gain(largest), 4)
+    if not shape_checks_enabled(corpus_config):
+        return
+    assert result.qd_gain(smallest) > 0, (
+        "QD should help at small cache sizes")
+    assert result.qd_gain(largest) < result.qd_gain(smallest), (
+        "QD's advantage should shrink as the cache approaches the "
+        "working set")

@@ -1,0 +1,31 @@
+"""Bench A6 -- size-aware LP/QD (paper §5 future work).
+
+Shape asserted: size-aware Lazy Promotion (sized 2-bit CLOCK) beats
+sized LRU on both metrics, and adding size-aware Quick Demotion
+improves the byte miss ratio further.
+"""
+
+from conftest import run_once, shape_checks_enabled
+
+from repro.experiments import sized_study
+
+
+def test_sized_study(benchmark, corpus_config):
+    result = run_once(benchmark, sized_study.run, corpus_config)
+    print()
+    print(result.render())
+
+    for name in result.object_miss_ratio:
+        benchmark.extra_info[f"omr_{name}"] = round(
+            result.object_miss_ratio[name], 4)
+        benchmark.extra_info[f"bmr_{name}"] = round(
+            result.byte_miss_ratio[name], 4)
+    if not shape_checks_enabled(corpus_config):
+        return
+    omr, bmr = result.object_miss_ratio, result.byte_miss_ratio
+    assert omr["Sized-2-bit-CLOCK"] < omr["Sized-LRU"], (
+        "size-aware LP should beat LRU (object miss ratio)")
+    assert bmr["Sized-QD-LP-FIFO"] < bmr["Sized-LRU"], (
+        "size-aware LP+QD should beat LRU (byte miss ratio)")
+    assert bmr["Sized-QD-LP-FIFO"] <= bmr["Sized-2-bit-CLOCK"] + 0.005, (
+        "size-aware QD should not hurt LP's byte miss ratio")

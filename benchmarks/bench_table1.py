@@ -1,0 +1,21 @@
+"""Bench T1 -- regenerate Table 1 (dataset inventory).
+
+Paper rows: 10 collections, trace counts, cache types, request/object
+totals.  Ours reports the synthetic corpus plus the reuse statistics
+that calibrate it.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, corpus_config):
+    result = run_once(benchmark, table1.run, corpus_config)
+    print()
+    print(result.render())
+    # Structural check: all ten of the paper's collections are present.
+    assert len(result.rows) == 10
+    benchmark.extra_info["families"] = len(result.rows)
+    benchmark.extra_info["total_requests"] = sum(
+        r.total_requests for r in result.rows)

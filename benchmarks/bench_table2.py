@@ -1,0 +1,27 @@
+"""Bench T2 -- regenerate Table 2: miss ratios of LRU/ARC/LHD/Belady.
+
+Paper numbers (their MSR and Twitter traces):
+    MSR     LRU 0.5263  ARC 0.4899  LHD 0.5131  Belady 0.4438
+    Twitter LRU 0.2005  ARC 0.1841  LHD 0.1756  Belady 0.1309
+
+Shape to reproduce: Belady < ARC < LRU everywhere, LHD between ARC and
+LRU on the MSR-like trace (LHD trails ARC there in the paper too).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig3
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, fig3.run, scale=1.0)
+    print()
+    print(result.render().split("Table 2")[-1])
+
+    for trace_name in ("MSR", "Twitter"):
+        ratios = {policy: result.miss_ratios[(trace_name, policy)]
+                  for policy in fig3.POLICIES}
+        assert ratios["Belady"] < ratios["ARC"] < ratios["LRU"]
+        assert ratios["Belady"] < ratios["LHD"] < ratios["LRU"]
+        for policy, value in ratios.items():
+            benchmark.extra_info[f"{trace_name}_{policy}"] = round(value, 4)

@@ -1,0 +1,50 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md's experiment index).  The corpus tier is selectable:
+
+    REPRO_BENCH_TIER=tiny | quick | full   (default: quick)
+
+``quick`` keeps full-length traces but two per family (~1 minute for
+the heaviest figure); ``full`` uses the complete corpus and is what
+EXPERIMENTS.md quotes.  Rendered tables are printed *and* written to
+``results/`` so captured stdout is never lost.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import FULL, QUICK, TINY, CorpusConfig
+
+
+def _tier() -> CorpusConfig:
+    tier = os.environ.get("REPRO_BENCH_TIER", "quick").lower()
+    return {"tiny": TINY, "quick": QUICK, "full": FULL}[tier]
+
+
+@pytest.fixture(scope="session")
+def corpus_config() -> CorpusConfig:
+    """The corpus tier all experiment benchmarks run at."""
+    return _tier()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    Experiments take seconds to minutes; benchmark calibration reruns
+    would multiply that pointlessly, so every bench uses one round.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def shape_checks_enabled(config: CorpusConfig) -> bool:
+    """Whether the paper-shape assertions should run.
+
+    The TINY tier exists to smoke-test the pipelines in seconds; its
+    traces are too short (and its caches too small, a few dozen
+    objects) for the paper's statistical claims to hold, so benches
+    only assert shapes at quick/full tiers.
+    """
+    return config.scale >= 0.5

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Miss-ratio curves: where each algorithm wins across cache sizes.
+
+Builds a web-like trace and plots (as an ASCII table) the miss-ratio
+curve of LRU (computed exactly in one pass via reuse distances), its
+SHARDS-sampled approximation, and the simulated curves of 2-bit CLOCK
+and QD-LP-FIFO.  The right-hand columns show the paper's §4 "(not
+shown)" effect: QD's edge shrinks as the cache approaches the working
+set.
+
+Run:  python examples/mrc_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.mrc import lru_mrc, shards_mrc, simulated_mrc
+from repro.analysis.tables import render_table
+from repro.core.clock import two_bit_clock
+from repro.core.qdlpfifo import QDLPFIFO
+from repro.traces.synthetic import one_hit_wonder_trace
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    keys = one_hit_wonder_trace(
+        core_objects=4000, num_requests=80_000, alpha=1.0,
+        ohw_fraction=0.3, rng=rng).tolist()
+    uniques = len(set(keys))
+    sizes = sorted({max(10, round(uniques * f))
+                    for f in (0.001, 0.01, 0.05, 0.1, 0.3, 0.5, 0.8)})
+
+    exact = lru_mrc(keys, sizes=sizes)
+    sampled = shards_mrc(keys, sizes=sizes, sample_rate=0.1)
+    clock = simulated_mrc(two_bit_clock, keys, sizes=sizes)
+    qdlp = simulated_mrc(QDLPFIFO, keys, sizes=sizes)
+
+    rows = []
+    for i, size in enumerate(sizes):
+        rows.append([
+            size,
+            f"{100 * size / uniques:.1f}%",
+            exact.miss_ratios[i],
+            sampled.miss_ratios[i],
+            clock.miss_ratios[i],
+            qdlp.miss_ratios[i],
+        ])
+    print(render_table(
+        ["cache size", "% of objects", "LRU (exact)", "LRU (SHARDS 10%)",
+         "2-bit CLOCK", "QD-LP-FIFO"],
+        rows,
+        title=f"Miss-ratio curves ({uniques} objects, 80k requests)"))
+    print()
+    print("The exact LRU curve comes from a single reuse-distance pass;")
+    print("SHARDS reproduces it from a 10% sample. QD-LP-FIFO leads at")
+    print("small-to-mid sizes and converges (or concedes) near the")
+    print("working-set size -- the paper's size-dependence, end to end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Throughput comparison: why systems people reach for FIFO (paper §2).
+
+LRU pays six pointer updates under a lock on *every cache hit*;
+FIFO-family algorithms touch at most one flag.  This example measures
+simulated request throughput per policy on a hot Zipf workload, where
+the hit path dominates.  Absolute numbers are Python-simulator
+numbers; the *relative* ordering is the paper's point.
+
+Run:  python examples/throughput_comparison.py
+"""
+
+from repro.experiments import throughput
+
+
+def main() -> None:
+    result = throughput.run(num_objects=5000, num_requests=100_000)
+    print(result.render())
+    relative = result.relative_to("LRU")
+    fastest_fifo = max(
+        ("FIFO", "FIFO-Reinsertion", "2-bit-CLOCK", "SIEVE"),
+        key=lambda name: relative.get(name, 0.0))
+    print()
+    print(f"Fastest FIFO-family policy: {fastest_fifo} at "
+          f"{relative[fastest_fifo]:.2f}x LRU's throughput.")
+    print("In real systems the gap is larger still: FIFO needs no lock")
+    print("on the hit path, so it scales with thread count while LRU's")
+    print("list head becomes a contention point.")
+
+
+if __name__ == "__main__":
+    main()

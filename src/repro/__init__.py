@@ -1,0 +1,106 @@
+"""repro: a reproduction of "FIFO can be Better than LRU: the Power of
+Lazy Promotion and Quick Demotion" (Yang et al., HotOS 2023).
+
+Quickstart::
+
+    from repro import QDLPFIFO, simulate, build_corpus
+
+    trace = build_corpus(traces_per_family=1)[0]
+    cache = QDLPFIFO(capacity=trace.cache_size(0.1))
+    print(simulate(cache, trace).miss_ratio)
+
+Package map:
+
+* :mod:`repro.core` -- Lazy Promotion (FIFO-Reinsertion, k-bit CLOCK),
+  Quick Demotion (the probationary-FIFO + ghost wrapper), QD-LP-FIFO,
+  and the S3-FIFO/SIEVE extensions.
+* :mod:`repro.policies` -- LRU, ARC, LIRS, CACHEUS, LeCaR, LHD, Belady
+  and more, behind one registry.
+* :mod:`repro.sim` -- trace-driven simulator, sweep runner, resource
+  profiler.
+* :mod:`repro.traces` -- synthetic workload generators and the Table 1
+  corpus.
+* :mod:`repro.analysis` -- miss-ratio reductions, win fractions, tables.
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from repro.core import (
+    CacheListener,
+    CacheStats,
+    EvictionPolicy,
+    FIFOReinsertion,
+    GhostQueue,
+    KBitClock,
+    OfflinePolicy,
+    QDCache,
+    QDLPFIFO,
+    S3FIFO,
+    Sieve,
+    two_bit_clock,
+    wrap_with_qd,
+)
+from repro.policies import (
+    ARC,
+    Belady,
+    CACHEUS,
+    FIFO,
+    LeCaR,
+    LFU,
+    LHD,
+    LIRS,
+    LRU,
+    SOTA_NAMES,
+    make,
+)
+from repro.sim import (
+    LARGE_FRACTION,
+    SMALL_FRACTION,
+    RunRecord,
+    SimResult,
+    miss_ratio,
+    profile,
+    run_matrix,
+    simulate,
+)
+from repro.traces import Trace, build_corpus, from_keys
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheListener",
+    "CacheStats",
+    "EvictionPolicy",
+    "FIFOReinsertion",
+    "GhostQueue",
+    "KBitClock",
+    "OfflinePolicy",
+    "QDCache",
+    "QDLPFIFO",
+    "S3FIFO",
+    "Sieve",
+    "two_bit_clock",
+    "wrap_with_qd",
+    "ARC",
+    "Belady",
+    "CACHEUS",
+    "FIFO",
+    "LeCaR",
+    "LFU",
+    "LHD",
+    "LIRS",
+    "LRU",
+    "SOTA_NAMES",
+    "make",
+    "LARGE_FRACTION",
+    "SMALL_FRACTION",
+    "RunRecord",
+    "SimResult",
+    "miss_ratio",
+    "profile",
+    "run_matrix",
+    "simulate",
+    "Trace",
+    "build_corpus",
+    "from_keys",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Analysis layer: metrics, pairwise comparisons, table rendering."""
+
+from repro.analysis.comparison import WinFraction, datasets_won, win_fractions
+from repro.analysis.mrc import MissRatioCurve, lru_mrc, reuse_distances, simulated_mrc
+from repro.analysis.metrics import (
+    PERCENTILES,
+    PercentileSummary,
+    mean_reduction,
+    miss_ratio_reduction,
+    pairwise_reduction,
+    reductions_from_baseline,
+    summarize,
+)
+from repro.analysis.tables import render_kv_block, render_percent, render_table
+
+__all__ = [
+    "WinFraction",
+    "datasets_won",
+    "win_fractions",
+    "PERCENTILES",
+    "PercentileSummary",
+    "mean_reduction",
+    "miss_ratio_reduction",
+    "pairwise_reduction",
+    "reductions_from_baseline",
+    "summarize",
+    "render_kv_block",
+    "render_percent",
+    "render_table",
+    "MissRatioCurve",
+    "lru_mrc",
+    "reuse_distances",
+    "simulated_mrc",
+]

@@ -1,0 +1,115 @@
+"""Pairwise algorithm comparison: the Fig. 2 win-fraction analysis.
+
+Fig. 2(a-d) asks, per dataset and cache size: *on what fraction of
+traces does algorithm A have a lower miss ratio than algorithm B?*
+This module computes those fractions from sweep records, with ties
+split evenly (a tie is evidence for neither side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.sim.runner import RunRecord
+
+
+@dataclass(frozen=True)
+class WinFraction:
+    """Win statistics of challenger vs reference on one slice."""
+
+    slice_name: str          # dataset family or group
+    size_fraction: float
+    challenger: str
+    reference: str
+    wins: int                # challenger strictly better (lower mr)
+    losses: int
+    ties: int
+
+    @property
+    def total(self) -> int:
+        """Number of traces compared."""
+        return self.wins + self.losses + self.ties
+
+    @property
+    def win_fraction(self) -> float:
+        """Fraction of traces favouring the challenger, ties split."""
+        if self.total == 0:
+            return float("nan")
+        return (self.wins + 0.5 * self.ties) / self.total
+
+
+def _index(records: Iterable[RunRecord]
+           ) -> Dict[Tuple[str, str, float], RunRecord]:
+    return {(r.policy, r.trace, r.size_fraction): r for r in records}
+
+
+def win_fractions(
+    records: Iterable[RunRecord],
+    challenger: str,
+    reference: str,
+    by: str = "family",
+    tie_epsilon: float = 1e-9,
+) -> List[WinFraction]:
+    """Win fractions of *challenger* over *reference*, sliced.
+
+    ``by`` is ``"family"`` (Fig. 2's per-dataset bars), ``"group"``
+    (block vs web rollups) or ``"all"``.  Miss ratios closer than
+    ``tie_epsilon`` count as ties.
+    """
+    if by not in ("family", "group", "all"):
+        raise ValueError(f"by must be 'family', 'group' or 'all', got {by!r}")
+    records = list(records)
+    indexed = _index(records)
+
+    tallies: Dict[Tuple[str, float], List[int]] = {}
+    seen: set = set()
+    for record in records:
+        if record.policy != challenger:
+            continue
+        cell = (record.trace, record.size_fraction)
+        if cell in seen:
+            continue
+        seen.add(cell)
+        other = indexed.get((reference, record.trace, record.size_fraction))
+        if other is None:
+            continue
+        if by == "family":
+            slice_name = record.family
+        elif by == "group":
+            slice_name = record.group
+        else:
+            slice_name = "all"
+        tally = tallies.setdefault((slice_name, record.size_fraction),
+                                   [0, 0, 0])
+        delta = other.miss_ratio - record.miss_ratio
+        if delta > tie_epsilon:
+            tally[0] += 1
+        elif delta < -tie_epsilon:
+            tally[1] += 1
+        else:
+            tally[2] += 1
+
+    return [
+        WinFraction(
+            slice_name=slice_name,
+            size_fraction=size_fraction,
+            challenger=challenger,
+            reference=reference,
+            wins=wins,
+            losses=losses,
+            ties=ties,
+        )
+        for (slice_name, size_fraction), (wins, losses, ties)
+        in sorted(tallies.items(), key=lambda kv: (kv[0][1], kv[0][0]))
+    ]
+
+
+def datasets_won(fractions: Iterable[WinFraction],
+                 threshold: float = 0.5) -> int:
+    """How many slices the challenger wins (win fraction > threshold) --
+    the paper's "better on 9 of the 10 datasets" style statistic."""
+    return sum(1 for f in fractions if f.win_fraction > threshold)
+
+
+__all__ = ["WinFraction", "win_fractions", "datasets_won"]

@@ -1,0 +1,150 @@
+"""Efficiency metrics.
+
+The paper reports efficiency as the **miss-ratio reduction from FIFO**
+
+    reduction = (mr_FIFO - mr_algo) / mr_FIFO
+
+because raw miss ratios vary wildly across 5307 traces; the Fig. 5
+box-style plots then show percentiles of that reduction across the
+corpus.  This module implements the metric and the percentile
+summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.runner import RunRecord
+
+#: The percentiles the summaries report (matching a box plot's whiskers,
+#: quartiles and median).
+PERCENTILES = (10, 25, 50, 75, 90)
+
+
+def miss_ratio_reduction(mr_algo: float, mr_base: float) -> float:
+    """Relative miss-ratio reduction of an algorithm vs a baseline.
+
+    Positive values mean the algorithm beats the baseline.  When the
+    baseline's miss ratio is zero, both algorithms are perfect (any
+    online algorithm's miss ratio is bounded below by compulsory
+    misses, which FIFO shares), so the reduction is defined as 0.
+    """
+    if mr_base <= 0.0:
+        return 0.0
+    return (mr_base - mr_algo) / mr_base
+
+
+@dataclass(frozen=True)
+class PercentileSummary:
+    """Percentiles + mean of a metric across traces."""
+
+    label: str
+    count: int
+    mean: float
+    percentiles: Tuple[Tuple[int, float], ...]
+
+    def percentile(self, p: int) -> float:
+        """The value at percentile *p*; ``KeyError`` if not computed."""
+        for percentile, value in self.percentiles:
+            if percentile == p:
+                return value
+        raise KeyError(f"percentile {p} not computed")
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.percentile(50)
+
+
+def summarize(values: Sequence[float], label: str = "") -> PercentileSummary:
+    """Percentile summary of a sequence of per-trace metric values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return PercentileSummary(
+        label=label,
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        percentiles=tuple(
+            (p, float(np.percentile(arr, p))) for p in PERCENTILES),
+    )
+
+
+def reductions_from_baseline(
+    records: Iterable[RunRecord],
+    baseline: str = "FIFO",
+) -> Dict[str, Dict[Tuple[str, float], float]]:
+    """Per-policy, per-(trace, size) miss-ratio reductions from *baseline*.
+
+    Every (trace, size) pair must have a baseline record; pairs without
+    one raise ``KeyError`` (a sweep bug, better loud than silent).
+    """
+    records = list(records)
+    base: Dict[Tuple[str, float], float] = {}
+    for record in records:
+        if record.policy == baseline:
+            base[(record.trace, record.size_fraction)] = record.miss_ratio
+
+    out: Dict[str, Dict[Tuple[str, float], float]] = {}
+    for record in records:
+        if record.policy == baseline:
+            continue
+        cell = (record.trace, record.size_fraction)
+        if cell not in base:
+            raise KeyError(
+                f"no {baseline} run for trace {record.trace!r} at size "
+                f"{record.size_fraction}")
+        out.setdefault(record.policy, {})[cell] = miss_ratio_reduction(
+            record.miss_ratio, base[cell])
+    return out
+
+
+def mean_reduction(
+    records: Iterable[RunRecord],
+    policy: str,
+    baseline: str = "FIFO",
+) -> float:
+    """Mean miss-ratio reduction of *policy* from *baseline* over all
+    (trace, size) cells -- the paper's "X reduces Y's miss ratio by
+    N % on average" statistic."""
+    table = reductions_from_baseline(records, baseline=baseline)
+    cells = table.get(policy)
+    if not cells:
+        raise KeyError(f"no runs recorded for policy {policy!r}")
+    return float(np.mean(list(cells.values())))
+
+
+def pairwise_reduction(
+    records: Iterable[RunRecord],
+    policy: str,
+    reference: str,
+) -> List[float]:
+    """Per-cell reduction of *policy* relative to *reference* (both
+    must appear for each shared (trace, size) cell)."""
+    records = list(records)
+    ref: Dict[Tuple[str, float], float] = {
+        (r.trace, r.size_fraction): r.miss_ratio
+        for r in records if r.policy == reference
+    }
+    out = []
+    for record in records:
+        if record.policy != policy:
+            continue
+        cell = (record.trace, record.size_fraction)
+        if cell in ref:
+            out.append(miss_ratio_reduction(record.miss_ratio, ref[cell]))
+    return out
+
+
+__all__ = [
+    "PERCENTILES",
+    "miss_ratio_reduction",
+    "PercentileSummary",
+    "summarize",
+    "reductions_from_baseline",
+    "mean_reduction",
+    "pairwise_reduction",
+]

@@ -1,0 +1,75 @@
+"""ASCII rendering of experiment tables and series.
+
+Every experiment module renders its result through these helpers so
+benchmark output, example scripts, and EXPERIMENTS.md all show the same
+rows the paper's tables/figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(cell: Cell, precision: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are fixed to ``precision`` decimals; ``None`` renders as
+    ``-``.  Column widths adapt to content.
+    """
+    formatted = [[_format_cell(cell, precision) for cell in row]
+                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in formatted:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_percent(value: float, precision: int = 1) -> str:
+    """Format a ratio as a percentage string."""
+    return f"{100.0 * value:.{precision}f}%"
+
+
+def render_kv_block(title: str, pairs: Iterable[Sequence[Cell]],
+                    precision: int = 4) -> str:
+    """Render a simple key/value block under a title."""
+    lines = [title, "-" * len(title)]
+    for key, value in pairs:
+        lines.append(f"{key}: {_format_cell(value, precision)}")
+    return "\n".join(lines)
+
+
+__all__ = ["render_table", "render_percent", "render_kv_block"]

@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    repro list                      # the policy zoo, by category
+    repro simulate ...              # one policy x one trace
+    repro corpus ...                # materialise the synthetic corpus
+    repro experiment <id> ...       # regenerate a paper table/figure
+
+Examples::
+
+    repro simulate --policy QD-LP-FIFO --family cdn --size 0.1
+    repro simulate --policy LRU --trace mytrace.csv --size 0.01
+    repro corpus --out traces/ --format binary --traces-per-family 2
+    repro experiment fig5 --tier quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.common import FULL, QUICK, TINY, CorpusConfig
+
+_TIERS = {"tiny": TINY, "quick": QUICK, "full": FULL}
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.policies.registry import _SPECS
+
+    by_category: dict = {}
+    for spec in _SPECS:
+        by_category.setdefault(spec.category, []).append(spec.name)
+    for category in ("baseline", "lp-fifo", "sota", "qd", "offline",
+                     "extension"):
+        print(f"{category}:")
+        for name in by_category.get(category, []):
+            print(f"  {name}")
+    return 0
+
+
+def _load_trace(args: argparse.Namespace):
+    from repro.traces.corpus import FAMILY_BY_NAME, build_trace
+    from repro.traces.io import read_binary, read_csv
+
+    if args.trace:
+        path = Path(args.trace)
+        if not path.exists():
+            print(f"error: trace file {path} not found", file=sys.stderr)
+            return None
+        if path.suffix in (".bin", ".rptr"):
+            return read_binary(path)
+        return read_csv(path)
+    family = FAMILY_BY_NAME.get(args.family)
+    if family is None:
+        known = ", ".join(sorted(FAMILY_BY_NAME))
+        print(f"error: unknown family {args.family!r}; known: {known}",
+              file=sys.stderr)
+        return None
+    return build_trace(family, args.index, args.scale, args.seed)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.policies.registry import REGISTRY, make
+    from repro.sim.simulator import simulate
+
+    trace = _load_trace(args)
+    if trace is None:
+        return 1
+    if args.policy not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY))
+        print(f"error: unknown policy {args.policy!r}; known: {known}",
+              file=sys.stderr)
+        return 1
+    capacity = trace.cache_size(args.size)
+    capacity = max(capacity, REGISTRY[args.policy].min_capacity)
+    policy = make(args.policy, capacity)
+    result = simulate(policy, trace)
+    print(f"trace       : {trace.name} ({trace.num_requests} requests, "
+          f"{trace.num_unique} objects)")
+    print(f"policy      : {args.policy}")
+    print(f"capacity    : {capacity} objects "
+          f"({args.size:.3%} of unique objects)")
+    print(f"miss ratio  : {result.miss_ratio:.4f}")
+    print(f"hits/misses : {result.hits}/{result.misses}")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.traces.corpus import build_corpus
+    from repro.traces.io import write_binary, write_csv
+    from repro.traces.stats import compute_stats
+
+    corpus = build_corpus(scale=args.scale,
+                          traces_per_family=args.traces_per_family,
+                          seed=args.seed)
+    out = Path(args.out) if args.out else None
+    if out:
+        out.mkdir(parents=True, exist_ok=True)
+    for trace in corpus:
+        stats = compute_stats(trace)
+        print(f"{trace.name:22s} {trace.group:5s} "
+              f"req={stats.num_requests:8d} obj={stats.num_objects:8d} "
+              f"one-hit={stats.one_hit_wonder_ratio:5.1%} "
+              f"meanfreq={stats.mean_frequency:6.1f}")
+        if out:
+            if args.format == "binary":
+                write_binary(trace, out / f"{trace.name}.bin")
+            else:
+                write_csv(trace, out / f"{trace.name}.csv")
+    if out:
+        print(f"\nwrote {len(corpus)} traces to {out}/")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ablations, extensions, fig2, fig3, fig5, table1, throughput)
+
+    config = _TIERS[args.tier]
+    runners = {
+        "table1": lambda: table1.run(config),
+        "fig2": lambda: fig2.run(config),
+        "fig3": lambda: fig3.run(scale=config.scale),
+        "table2": lambda: fig3.run(scale=config.scale),
+        "fig5": lambda: fig5.run(config),
+        "throughput": lambda: throughput.run(),
+        "ablation-probation": lambda: ablations.run_probation_sweep(config),
+        "ablation-ghost": lambda: ablations.run_ghost_sweep(config),
+        "ablation-clockbits": lambda: ablations.run_clock_bits_sweep(config),
+        "extensions": lambda: extensions.run(config),
+    }
+    result = runners[args.id]()
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'FIFO can be Better than LRU' "
+                    "(HotOS'23)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered policies")
+
+    sim = sub.add_parser("simulate", help="run one policy over one trace")
+    sim.add_argument("--policy", required=True)
+    sim.add_argument("--trace", help="CSV or .bin trace file")
+    sim.add_argument("--family", default="msr",
+                     help="synthetic family when no --trace (default msr)")
+    sim.add_argument("--index", type=int, default=0)
+    sim.add_argument("--scale", type=float, default=1.0)
+    sim.add_argument("--seed", type=int, default=42)
+    sim.add_argument("--size", type=float, default=0.1,
+                     help="cache size as a fraction of unique objects")
+
+    corpus = sub.add_parser("corpus", help="build / export the corpus")
+    corpus.add_argument("--scale", type=float, default=1.0)
+    corpus.add_argument("--traces-per-family", type=int, default=None)
+    corpus.add_argument("--seed", type=int, default=42)
+    corpus.add_argument("--out", help="directory to write trace files to")
+    corpus.add_argument("--format", choices=("csv", "binary"),
+                        default="binary")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument("id", choices=(
+        "table1", "fig2", "fig3", "table2", "fig5", "throughput",
+        "ablation-probation", "ablation-ghost", "ablation-clockbits",
+        "extensions"))
+    exp.add_argument("--tier", choices=tuple(_TIERS), default="quick")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "simulate": _cmd_simulate,
+        "corpus": _cmd_corpus,
+        "experiment": _cmd_experiment,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

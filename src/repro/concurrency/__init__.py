@@ -1,0 +1,17 @@
+"""Multi-threaded scalability modelling (the paper's §1-2 argument)."""
+
+from repro.concurrency.model import (
+    PolicyProfile,
+    ScalingPoint,
+    profile_policy,
+    scaling_table,
+    simulate_scaling,
+)
+
+__all__ = [
+    "PolicyProfile",
+    "ScalingPoint",
+    "profile_policy",
+    "scaling_table",
+    "simulate_scaling",
+]

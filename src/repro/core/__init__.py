@@ -1,0 +1,48 @@
+"""The paper's primary contribution: Lazy Promotion and Quick Demotion.
+
+* :mod:`repro.core.base` -- the Fig. 1 cache abstraction.
+* :mod:`repro.core.clock` -- LP-FIFO family (FIFO-Reinsertion, k-bit CLOCK).
+* :mod:`repro.core.ghost` -- bounded metadata-only ghost queue.
+* :mod:`repro.core.qd` -- the Quick Demotion wrapper (Fig. 4).
+* :mod:`repro.core.qdlpfifo` -- QD-LP-FIFO, the paper's simple algorithm.
+* :mod:`repro.core.s3fifo`, :mod:`repro.core.sieve` -- the follow-up
+  algorithms this paper spawned, as future-work extensions.
+"""
+
+from repro.core.base import (
+    CacheListener,
+    CacheStats,
+    EvictionEvent,
+    EvictionPolicy,
+    Key,
+    OfflinePolicy,
+)
+from repro.core.adaptive_qd import AdaptiveQDLPFIFO
+from repro.core.clock import FIFOReinsertion, KBitClock, two_bit_clock
+from repro.core.ghost import GhostQueue
+from repro.core.lp_variants import PeriodicPromotionLRU, PromoteOldOnlyLRU
+from repro.core.qd import QDCache, wrap_with_qd
+from repro.core.qdlpfifo import QDLPFIFO
+from repro.core.s3fifo import S3FIFO
+from repro.core.sieve import Sieve
+
+__all__ = [
+    "AdaptiveQDLPFIFO",
+    "CacheListener",
+    "CacheStats",
+    "EvictionEvent",
+    "EvictionPolicy",
+    "Key",
+    "OfflinePolicy",
+    "FIFOReinsertion",
+    "KBitClock",
+    "two_bit_clock",
+    "GhostQueue",
+    "PeriodicPromotionLRU",
+    "PromoteOldOnlyLRU",
+    "QDCache",
+    "wrap_with_qd",
+    "QDLPFIFO",
+    "S3FIFO",
+    "Sieve",
+]

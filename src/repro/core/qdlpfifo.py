@@ -1,0 +1,42 @@
+"""QD-LP-FIFO: the paper's headline simple-yet-efficient algorithm (§4).
+
+QD-LP-FIFO composes the two techniques this paper introduces on top of
+plain FIFO:
+
+* **Quick Demotion** -- a small (10 %) probationary FIFO plus a ghost
+  FIFO with as many entries as the main cache (Fig. 4), and
+* **Lazy Promotion** -- a 2-bit CLOCK main cache (§3), which promotes
+  only at eviction time.
+
+It uses only FIFO queues, needs at most one metadata update per cache
+hit, takes no locks on any operation, and -- per the paper's evaluation
+on 5307 traces -- achieves lower miss ratios than ARC, LIRS, CACHEUS,
+LeCaR and LHD on average (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from repro.core.clock import KBitClock
+from repro.core.qd import QDCache
+
+
+class QDLPFIFO(QDCache):
+    """Probationary FIFO + ghost FIFO + 2-bit-CLOCK main cache."""
+
+    def __init__(
+        self,
+        capacity: int,
+        probation_fraction: float = 0.1,
+        ghost_factor: float = 1.0,
+        clock_bits: int = 2,
+    ) -> None:
+        super().__init__(
+            capacity,
+            main_factory=lambda c: KBitClock(c, bits=clock_bits),
+            probation_fraction=probation_fraction,
+            ghost_factor=ghost_factor,
+        )
+        self.name = "QD-LP-FIFO"
+
+
+__all__ = ["QDLPFIFO"]

@@ -1,0 +1,41 @@
+"""One module per paper table/figure (see DESIGN.md's experiment index).
+
+* :mod:`repro.experiments.table1` -- T1, the dataset inventory.
+* :mod:`repro.experiments.fig2` -- F2/F2e, LP-FIFO vs LRU win fractions.
+* :mod:`repro.experiments.fig3` -- F3 + T2, resource consumption study.
+* :mod:`repro.experiments.fig5` -- F5, QD-enhanced algorithms.
+* :mod:`repro.experiments.ablations` -- A1-A3 design-choice sweeps.
+* :mod:`repro.experiments.extensions` -- X2, S3-FIFO and SIEVE.
+* :mod:`repro.experiments.throughput` -- X1, the throughput argument.
+"""
+
+from repro.experiments import (
+    ablations,
+    size_sweep,
+    sized_study,
+    scalability,
+    extensions,
+    fig2,
+    fig3,
+    fig5,
+    table1,
+    throughput,
+)
+from repro.experiments.common import FULL, QUICK, TINY, CorpusConfig
+
+__all__ = [
+    "ablations",
+    "size_sweep",
+    "sized_study",
+    "scalability",
+    "extensions",
+    "fig2",
+    "fig3",
+    "fig5",
+    "table1",
+    "throughput",
+    "FULL",
+    "QUICK",
+    "TINY",
+    "CorpusConfig",
+]

@@ -1,0 +1,286 @@
+"""Experiments A1-A3 -- ablations of the design choices (paper §5).
+
+The paper's discussion section singles out three design parameters:
+
+* **A1 Probationary-queue size.**  QD uses a *tiny fixed* 10 % FIFO,
+  in contrast to 2Q-style designs that use 25-50 %.  The paper argues
+  bigger is not better; the sweep checks where the sweet spot lies.
+* **A2 Ghost-queue size.**  The ghost stores "as many entries as the
+  main cache".  Disabling it (factor 0) removes QD's safety net for
+  wrongly-demoted objects; oversizing it admits stale history.
+* **A3 CLOCK bit width.**  One visited bit is enough for most traces,
+  but the social-network-like high-reuse workloads need two (§3); a
+  third adds little.
+
+Each ablation reports the mean miss-ratio reduction from FIFO across a
+corpus slice, per parameter value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import miss_ratio_reduction
+from repro.analysis.tables import render_table
+from repro.core.clock import KBitClock
+from repro.core.qdlpfifo import QDLPFIFO
+from repro.experiments.common import QUICK, CorpusConfig, write_result
+from repro.policies.fifo import FIFO
+from repro.policies.lru import LRU
+from repro.sim.simulator import simulate
+from repro.sim.runner import LARGE_FRACTION
+from repro.traces.trace import Trace
+
+Factory = Callable[[int], object]
+
+
+@dataclass
+class AblationResult:
+    """Mean reduction-from-FIFO per swept parameter value."""
+
+    title: str
+    parameter: str
+    #: parameter value -> (mean reduction from FIFO, win rate vs reference)
+    outcomes: Dict[object, Tuple[float, float]]
+    reference: str
+
+    def best(self):
+        """The parameter value with the highest mean reduction."""
+        return max(self.outcomes, key=lambda v: self.outcomes[v][0])
+
+    def render(self) -> str:
+        body = [[str(value), 100.0 * mean, 100.0 * wins]
+                for value, (mean, wins) in self.outcomes.items()]
+        return render_table(
+            [self.parameter, "mean reduction from FIFO (%)",
+             f"% traces beating {self.reference}"],
+            body, title=self.title, precision=1)
+
+
+def _sweep(
+    variants: Dict[object, Factory],
+    traces: Sequence[Trace],
+    reference_factory: Factory,
+    size_fraction: float,
+) -> Dict[object, Tuple[float, float]]:
+    """Mean reduction from FIFO and win rate vs a reference policy."""
+    outcomes: Dict[object, Tuple[float, float]] = {}
+    fifo_mr: List[float] = []
+    ref_mr: List[float] = []
+    for trace in traces:
+        capacity = trace.cache_size(size_fraction)
+        fifo_mr.append(simulate(FIFO(capacity), trace).miss_ratio)
+        ref_mr.append(simulate(reference_factory(capacity), trace).miss_ratio)
+
+    for value, factory in variants.items():
+        reductions = []
+        wins = 0
+        for i, trace in enumerate(traces):
+            capacity = trace.cache_size(size_fraction)
+            mr = simulate(factory(capacity), trace).miss_ratio
+            reductions.append(miss_ratio_reduction(mr, fifo_mr[i]))
+            if mr < ref_mr[i]:
+                wins += 1
+        outcomes[value] = (float(np.mean(reductions)), wins / len(traces))
+    return outcomes
+
+
+def run_probation_sweep(
+    config: CorpusConfig = QUICK,
+    fractions: Sequence[float] = (0.025, 0.05, 0.1, 0.2, 0.5),
+    size_fraction: float = LARGE_FRACTION,
+) -> AblationResult:
+    """A1: sweep the probationary FIFO's share of the cache."""
+    traces = config.build()
+    variants = {
+        f: (lambda capacity, f=f: QDLPFIFO(capacity, probation_fraction=f))
+        for f in fractions
+    }
+    outcomes = _sweep(variants, traces, LRU, size_fraction)
+    result = AblationResult(
+        title="A1: QD-LP-FIFO probationary-queue size sweep "
+              f"(large cache size, {len(traces)} traces)",
+        parameter="probation fraction",
+        outcomes=outcomes,
+        reference="LRU",
+    )
+    write_result("ablation_probation", result.render())
+    return result
+
+
+def run_ghost_sweep(
+    config: CorpusConfig = QUICK,
+    factors: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
+    size_fraction: float = LARGE_FRACTION,
+) -> AblationResult:
+    """A2: sweep the ghost queue's size (x main-cache entries)."""
+    traces = config.build()
+    variants = {
+        g: (lambda capacity, g=g: QDLPFIFO(capacity, ghost_factor=g))
+        for g in factors
+    }
+    outcomes = _sweep(variants, traces, LRU, size_fraction)
+    result = AblationResult(
+        title="A2: QD-LP-FIFO ghost-queue size sweep "
+              f"(large cache size, {len(traces)} traces)",
+        parameter="ghost factor",
+        outcomes=outcomes,
+        reference="LRU",
+    )
+    write_result("ablation_ghost", result.render())
+    return result
+
+
+def run_clock_bits_sweep(
+    config: CorpusConfig = QUICK,
+    bits: Sequence[int] = (1, 2, 3),
+    size_fraction: float = LARGE_FRACTION,
+) -> AblationResult:
+    """A3: sweep the CLOCK counter width (vs LRU win rate).
+
+    Run it with ``config.scaled(families=("socialnet",))`` to see the
+    paper's §3 observation that high-reuse workloads need >= 2 bits.
+    """
+    traces = config.build()
+    variants = {
+        b: (lambda capacity, b=b: KBitClock(capacity, bits=b))
+        for b in bits
+    }
+    outcomes = _sweep(variants, traces, LRU, size_fraction)
+    slice_label = ("+".join(config.families) if config.families
+                   else "full corpus")
+    result = AblationResult(
+        title="A3: CLOCK bit-width sweep "
+              f"(large cache size, {len(traces)} traces, {slice_label})",
+        parameter="bits",
+        outcomes=outcomes,
+        reference="LRU",
+    )
+    artifact = "ablation_clockbits"
+    if config.families:
+        artifact += "_" + "_".join(config.families)
+    write_result(artifact, result.render())
+    return result
+
+
+def run_lp_technique_study(
+    config: CorpusConfig = QUICK,
+    size_fraction: float = LARGE_FRACTION,
+) -> AblationResult:
+    """A4: compare the §5 Lazy Promotion techniques.
+
+    Strict LP (reinsertion at eviction: FIFO-Reinsertion, 2-bit CLOCK)
+    against the production relaxations the paper lists -- periodic
+    promotion (FrozenHot) and promote-old-only (CacheLib) -- with LRU
+    as the eager-promotion reference.  All of them should land within
+    a few points of LRU on miss ratio while doing a fraction of its
+    promotion work (see the X1 throughput bench for that half).
+    """
+    from repro.core.clock import FIFOReinsertion
+    from repro.core.lp_variants import PeriodicPromotionLRU, PromoteOldOnlyLRU
+
+    traces = config.build()
+    variants = {
+        "FIFO-Reinsertion": FIFOReinsertion,
+        "2-bit-CLOCK": (lambda c: KBitClock(c, bits=2)),
+        "PeriodicPromotion-LRU": PeriodicPromotionLRU,
+        "PromoteOldOnly-LRU": PromoteOldOnlyLRU,
+        "LRU (eager)": LRU,
+    }
+    outcomes = _sweep(variants, traces, LRU, size_fraction)
+    result = AblationResult(
+        title="A4: Lazy Promotion techniques "
+              f"(large cache size, {len(traces)} traces)",
+        parameter="technique",
+        outcomes=outcomes,
+        reference="LRU",
+    )
+    write_result("ablation_lp_techniques", result.render())
+    return result
+
+
+def run_ttl_sweep(
+    config: CorpusConfig = QUICK,
+    ttls: Sequence[int] = (0, 20_000, 5_000, 1_000),
+    size_fraction: float = LARGE_FRACTION,
+) -> AblationResult:
+    """A7: sweep TTLs (paper §4: short TTLs make data short-lived).
+
+    Each trace's key space is rewritten under lazy TTL expiry
+    (``repro.traces.ttl.apply_ttl``; TTL 0 = no expiry) and QD-LP-FIFO
+    is compared against FIFO/LRU.  Moderate TTLs barely dent QD's
+    advantage; *extreme* TTLs (comparable to the reuse window) flood
+    every policy with compulsory misses and surface the QD filter's
+    double-miss cost, converging everything toward FIFO -- the regime
+    where eviction stops mattering and admission/expiry dominates.
+    """
+    from repro.traces.ttl import apply_ttl
+    from repro.traces.trace import Trace
+
+    base_traces = config.build()
+    outcomes: Dict[object, Tuple[float, float]] = {}
+    for ttl in ttls:
+        traces = [
+            Trace(name=f"{t.name}-ttl{ttl}",
+                  keys=apply_ttl(t, ttl, jitter=0.3, seed=1),
+                  family=t.family, group=t.group)
+            for t in base_traces
+        ]
+        sweep = _sweep({ttl: (lambda c: QDLPFIFO(c))}, traces, LRU,
+                       size_fraction)
+        outcomes[ttl] = sweep[ttl]
+    result = AblationResult(
+        title="A7: QD-LP-FIFO under TTL-induced churn "
+              f"(large cache size, {len(base_traces)} traces; "
+              "TTL 0 = no expiry)",
+        parameter="ttl (requests)",
+        outcomes=outcomes,
+        reference="LRU",
+    )
+    write_result("ablation_ttl", result.render())
+    return result
+
+
+def run_adaptivity_study(
+    config: CorpusConfig = QUICK,
+    size_fraction: float = LARGE_FRACTION,
+) -> AblationResult:
+    """A8: fixed 10% probation vs hill-climbing adaptation (paper §5).
+
+    The paper argues adaptive queue sizing (ARC-style) is "not
+    optimal" and deliberately fixes the probationary queue at 10%.
+    This study pits that fixed design against an adaptive controller
+    over the same structure; reproducing the paper's judgement means
+    the adaptive variant buys little or nothing on average.
+    """
+    from repro.core.adaptive_qd import AdaptiveQDLPFIFO
+
+    traces = config.build()
+    variants = {
+        "fixed-10%": (lambda c: QDLPFIFO(c)),
+        "adaptive": (lambda c: AdaptiveQDLPFIFO(c)),
+    }
+    outcomes = _sweep(variants, traces, LRU, size_fraction)
+    result = AblationResult(
+        title="A8: fixed vs adaptive probationary sizing "
+              f"(large cache size, {len(traces)} traces)",
+        parameter="controller",
+        outcomes=outcomes,
+        reference="LRU",
+    )
+    write_result("ablation_adaptivity", result.render())
+    return result
+
+
+__all__ = [
+    "AblationResult",
+    "run_probation_sweep",
+    "run_ghost_sweep",
+    "run_clock_bits_sweep",
+    "run_lp_technique_study",
+    "run_ttl_sweep",
+    "run_adaptivity_study",
+]

@@ -1,0 +1,144 @@
+"""Experiments F3 + T2 -- Fig. 3 and Table 2: where cache resources go.
+
+Fig. 3 plots, for two representative traces (an MSR block trace and a
+Twitter KV trace), how much cache space-time each algorithm (LRU, ARC,
+LHD, Belady) spends on objects of different popularity.  Table 2 gives
+the corresponding miss ratios.  The paper's reading: efficient
+algorithms spend fewer resources on unpopular objects, and Belady --
+the optimum -- spends the fewest, i.e. quick demotion is what
+optimality looks like.
+
+We aggregate each object's total residency (space-time) into
+popularity deciles (decile 1 = the most-requested 10 % of objects) and
+report each decile's share of the policy's total space-time, plus the
+paper's headline: the share spent on the unpopular half of objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import render_percent, render_table
+from repro.experiments.common import write_result
+from repro.policies.registry import make
+from repro.sim.profiler import ProfileResult, profile
+from repro.traces.corpus import build_trace, FAMILY_BY_NAME
+from repro.traces.trace import Trace
+
+POLICIES = ["LRU", "ARC", "LHD", "Belady"]
+NUM_DECILES = 10
+
+
+def resource_shares_by_popularity(
+    result: ProfileResult,
+    trace: Trace,
+    num_groups: int = NUM_DECILES,
+) -> List[float]:
+    """Share of total space-time per popularity decile.
+
+    Objects are ranked by their total request count in the trace;
+    group 0 holds the most popular tenth, group ``num_groups - 1`` the
+    least popular.  Returns shares summing to 1 (all zeros if the
+    policy recorded no residency, which cannot happen for a non-empty
+    trace).
+    """
+    keys, counts = np.unique(trace.keys, return_counts=True)
+    # Rank objects most-popular-first; ties broken by key for determinism.
+    order = np.lexsort((keys, -counts))
+    group_of: Dict[int, int] = {}
+    per_group = max(1, int(np.ceil(len(keys) / num_groups)))
+    for rank, idx in enumerate(order):
+        group_of[int(keys[idx])] = min(rank // per_group, num_groups - 1)
+
+    totals = [0.0] * num_groups
+    for key, residency in result.residency_by_key().items():
+        totals[group_of[key]] += residency
+    grand = sum(totals)
+    if grand <= 0:
+        return [0.0] * num_groups
+    return [t / grand for t in totals]
+
+
+@dataclass
+class Fig3Result:
+    """Decile shares and miss ratios for the representative traces."""
+
+    traces: Dict[str, Trace]
+    shares: Dict[Tuple[str, str], List[float]]   # (trace, policy) -> deciles
+    miss_ratios: Dict[Tuple[str, str], float]    # (trace, policy) -> mr
+
+    def unpopular_share(self, trace_name: str, policy: str) -> float:
+        """Space-time share spent on the unpopular half of objects."""
+        deciles = self.shares[(trace_name, policy)]
+        return sum(deciles[NUM_DECILES // 2:])
+
+    def render(self) -> str:
+        sections = []
+        for trace_name in self.traces:
+            headers = (["policy"]
+                       + [f"d{i + 1}" for i in range(NUM_DECILES)]
+                       + ["unpopular half"])
+            body = []
+            for policy in POLICIES:
+                deciles = self.shares[(trace_name, policy)]
+                body.append([policy]
+                            + [100.0 * share for share in deciles]
+                            + [render_percent(
+                                self.unpopular_share(trace_name, policy))])
+            sections.append(render_table(
+                headers, body,
+                title=f"Fig. 3 ({trace_name}): % of cache space-time spent "
+                      "per popularity decile (d1 = most popular)",
+                precision=1))
+
+        headers = ["workload"] + POLICIES
+        body = []
+        for trace_name in self.traces:
+            body.append([trace_name] + [
+                self.miss_ratios[(trace_name, policy)] for policy in POLICIES
+            ])
+        sections.append(render_table(
+            headers, body,
+            title="Table 2: miss ratios of the Fig. 3 algorithms"))
+        return "\n\n".join(sections)
+
+
+def representative_traces(scale: float = 1.0, seed: int = 42
+                          ) -> Dict[str, Trace]:
+    """The MSR-like and Twitter-like traces Fig. 3 profiles."""
+    return {
+        "MSR": build_trace(FAMILY_BY_NAME["msr"], 0, scale, seed),
+        "Twitter": build_trace(FAMILY_BY_NAME["twitter"], 0, scale, seed),
+    }
+
+
+def run(scale: float = 1.0, size_fraction: float = 0.1,
+        seed: int = 42) -> Fig3Result:
+    """Profile the four algorithms on the two representative traces."""
+    traces = representative_traces(scale, seed)
+    shares: Dict[Tuple[str, str], List[float]] = {}
+    miss_ratios: Dict[Tuple[str, str], float] = {}
+    for trace_name, trace in traces.items():
+        capacity = trace.cache_size(size_fraction)
+        for policy_name in POLICIES:
+            policy = make(policy_name, capacity)
+            outcome = profile(policy, trace)
+            shares[(trace_name, policy_name)] = resource_shares_by_popularity(
+                outcome, trace)
+            miss_ratios[(trace_name, policy_name)] = outcome.miss_ratio
+    result = Fig3Result(traces=traces, shares=shares, miss_ratios=miss_ratios)
+    write_result("fig3_table2", result.render())
+    return result
+
+
+__all__ = [
+    "Fig3Result",
+    "POLICIES",
+    "NUM_DECILES",
+    "resource_shares_by_popularity",
+    "representative_traces",
+    "run",
+]

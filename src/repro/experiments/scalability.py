@@ -1,0 +1,95 @@
+"""Experiment X3 -- thread scalability under lock contention (§1-2).
+
+The paper: LRU's per-hit locked promotion makes the list head a
+contention point, while FIFO-family policies need no lock on the hit
+path and scale with thread count.  This experiment measures each
+policy's locked-work rate on a real workload (single-threaded
+simulation), then runs the discrete-event contention model of
+``repro.concurrency`` to produce throughput-vs-threads curves.
+
+Expected shape: FIFO/CLOCK/SIEVE throughput grows with threads while
+LRU/ARC saturate early at the lock's service rate; the speedup gap at
+high thread counts is the paper's scalability argument, quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.concurrency.model import (
+    PolicyProfile,
+    ScalingPoint,
+    profile_policy,
+    scaling_table,
+)
+from repro.experiments.common import write_result
+from repro.policies.registry import make
+from repro.traces.synthetic import zipf_trace
+
+POLICIES = ["FIFO", "FIFO-Reinsertion", "2-bit-CLOCK", "SIEVE",
+            "QD-LP-FIFO", "LRU", "ARC"]
+THREADS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class ScalabilityResult:
+    """Throughput-vs-threads curves per policy."""
+
+    curves: Dict[str, List[ScalingPoint]]
+    profiles: Dict[str, PolicyProfile]
+    thread_counts: Sequence[int] = THREADS
+
+    def speedup(self, policy: str, threads: int) -> float:
+        """Throughput at *threads* relative to the policy's own T=1."""
+        points = {p.threads: p for p in self.curves[policy]}
+        return points[threads].throughput / points[1].throughput
+
+    def render(self) -> str:
+        top = self.thread_counts[-1]
+        headers = (["policy"]
+                   + [f"T={t}" for t in self.thread_counts]
+                   + [f"speedup@{top}", f"lock util@{top}",
+                      "promotions/req"])
+        body = []
+        for name, points in self.curves.items():
+            row = [name]
+            row += [p.throughput for p in points]
+            row.append(self.speedup(name, top))
+            row.append(points[-1].lock_utilisation)
+            row.append(self.profiles[name].promotions_per_request)
+            body.append(row)
+        return render_table(
+            headers, body,
+            title="X3: modelled throughput (requests/time-unit) vs "
+                  "thread count under a global cache lock",
+            precision=2)
+
+
+def run(
+    num_objects: int = 4000,
+    num_requests: int = 60_000,
+    alpha: float = 1.1,
+    seed: int = 5,
+    thread_counts: Sequence[int] = THREADS,
+) -> ScalabilityResult:
+    """Profile the policies on a hot workload and model their scaling."""
+    rng = np.random.default_rng(seed)
+    keys = zipf_trace(num_objects, num_requests, alpha, rng).tolist()
+    capacity = num_objects // 2
+
+    profiles = {}
+    for name in POLICIES:
+        profiles[name] = profile_policy(make(name, capacity), keys)
+    curves = scaling_table(list(profiles.values()),
+                           thread_counts=thread_counts)
+    result = ScalabilityResult(curves=curves, profiles=profiles,
+                               thread_counts=tuple(thread_counts))
+    write_result("scalability", result.render())
+    return result
+
+
+__all__ = ["ScalabilityResult", "POLICIES", "THREADS", "run"]

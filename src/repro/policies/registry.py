@@ -1,0 +1,127 @@
+"""Policy registry: names -> factories.
+
+A single place mapping algorithm names (as used in the paper's figures)
+to constructors, so experiments, benchmarks, tests and the command-line
+examples all agree on spelling and configuration.  QD-enhanced variants
+of the five state-of-the-art algorithms are registered with a ``QD-``
+prefix, mirroring the paper's QD-ARC / QD-LIRS / ... naming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.base import EvictionPolicy
+from repro.core.adaptive_qd import AdaptiveQDLPFIFO
+from repro.core.clock import FIFOReinsertion, KBitClock
+from repro.core.lp_variants import PeriodicPromotionLRU, PromoteOldOnlyLRU
+from repro.core.qd import QDCache
+from repro.core.qdlpfifo import QDLPFIFO
+from repro.core.s3fifo import S3FIFO
+from repro.core.sieve import Sieve
+from repro.policies.arc import ARC
+from repro.policies.belady import Belady
+from repro.policies.cacheus import CACHEUS
+from repro.policies.fifo import FIFO
+from repro.policies.hyperbolic import Hyperbolic
+from repro.policies.lecar import LeCaR
+from repro.policies.lfu import LFU
+from repro.policies.lhd import LHD
+from repro.policies.lirs import LIRS
+from repro.policies.lrfu import LRFU
+from repro.policies.lru import LRU
+from repro.policies.mq import MQ
+from repro.policies.random_policy import RandomCache
+from repro.policies.slru import SLRU
+from repro.policies.twoq import TwoQ
+from repro.policies.wtinylfu import WTinyLFU
+
+Factory = Callable[[int], EvictionPolicy]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Registry entry for one algorithm."""
+
+    name: str
+    factory: Factory
+    category: str  # baseline | lp-fifo | sota | qd | offline | extension
+    min_capacity: int = 1
+
+
+def _qd(factory: Factory) -> Factory:
+    """Wrap a main-cache factory in the paper's QD configuration."""
+    return lambda capacity: QDCache(capacity, factory)
+
+
+_SPECS: List[PolicySpec] = [
+    # Baselines
+    PolicySpec("FIFO", FIFO, "baseline"),
+    PolicySpec("LRU", LRU, "baseline"),
+    PolicySpec("LFU", LFU, "baseline"),
+    PolicySpec("Random", RandomCache, "baseline"),
+    PolicySpec("SLRU", SLRU, "baseline", min_capacity=2),
+    PolicySpec("2Q", TwoQ, "baseline", min_capacity=2),
+    PolicySpec("MQ", MQ, "baseline"),
+    PolicySpec("LRFU", LRFU, "baseline"),
+    PolicySpec("Hyperbolic", Hyperbolic, "baseline"),
+    # Lazy-Promotion FIFO family (the paper's §3)
+    PolicySpec("FIFO-Reinsertion", FIFOReinsertion, "lp-fifo"),
+    PolicySpec("2-bit-CLOCK", lambda c: KBitClock(c, bits=2), "lp-fifo"),
+    PolicySpec("3-bit-CLOCK", lambda c: KBitClock(c, bits=3), "lp-fifo"),
+    PolicySpec("PeriodicPromotion-LRU", PeriodicPromotionLRU, "lp-fifo"),
+    PolicySpec("PromoteOldOnly-LRU", PromoteOldOnlyLRU, "lp-fifo"),
+    # State of the art (the five algorithms QD-enhanced in Fig. 5)
+    PolicySpec("ARC", ARC, "sota"),
+    PolicySpec("LIRS", LIRS, "sota", min_capacity=2),
+    PolicySpec("CACHEUS", CACHEUS, "sota"),
+    PolicySpec("LeCaR", LeCaR, "sota"),
+    PolicySpec("LHD", LHD, "sota"),
+    # QD-enhanced variants (paper §4, Fig. 4/5)
+    PolicySpec("QD-ARC", _qd(ARC), "qd", min_capacity=2),
+    PolicySpec("QD-LIRS", _qd(LIRS), "qd", min_capacity=3),
+    PolicySpec("QD-CACHEUS", _qd(CACHEUS), "qd", min_capacity=2),
+    PolicySpec("QD-LeCaR", _qd(LeCaR), "qd", min_capacity=2),
+    PolicySpec("QD-LHD", _qd(LHD), "qd", min_capacity=2),
+    PolicySpec("QD-LP-FIFO", QDLPFIFO, "qd", min_capacity=2),
+    # Offline optimal
+    PolicySpec("Belady", Belady, "offline"),
+    # Extensions this paper spawned
+    PolicySpec("S3-FIFO", S3FIFO, "extension", min_capacity=2),
+    PolicySpec("W-TinyLFU", WTinyLFU, "extension", min_capacity=2),
+    PolicySpec("Adaptive-QD-LP-FIFO", AdaptiveQDLPFIFO, "extension",
+               min_capacity=3),
+    PolicySpec("SIEVE", Sieve, "extension"),
+]
+
+REGISTRY: Dict[str, PolicySpec] = {spec.name: spec for spec in _SPECS}
+
+#: The five state-of-the-art algorithms of the paper's Fig. 5.
+SOTA_NAMES = ["ARC", "LIRS", "CACHEUS", "LeCaR", "LHD"]
+
+
+def make(name: str, capacity: int) -> EvictionPolicy:
+    """Instantiate the policy registered under *name*.
+
+    Raises ``KeyError`` with the list of known names on a typo, and
+    ``ValueError`` when *capacity* is below the policy's minimum.
+    """
+    spec = REGISTRY.get(name)
+    if spec is None:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown policy {name!r}; known policies: {known}")
+    if capacity < spec.min_capacity:
+        raise ValueError(
+            f"{name} needs capacity >= {spec.min_capacity}, got {capacity}")
+    return spec.factory(capacity)
+
+
+def names(category: str = None) -> List[str]:
+    """All registered names, optionally filtered by category."""
+    if category is None:
+        return [spec.name for spec in _SPECS]
+    return [spec.name for spec in _SPECS if spec.category == category]
+
+
+__all__ = ["PolicySpec", "REGISTRY", "SOTA_NAMES", "make", "names", "Factory"]

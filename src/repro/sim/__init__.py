@@ -1,0 +1,26 @@
+"""Trace-driven simulation substrate."""
+
+from repro.sim.profiler import ProfileResult, profile
+from repro.sim.request import Request
+from repro.sim.runner import (
+    LARGE_FRACTION,
+    SMALL_FRACTION,
+    RunRecord,
+    run_matrix,
+    run_one,
+)
+from repro.sim.simulator import SimResult, miss_ratio, simulate
+
+__all__ = [
+    "ProfileResult",
+    "profile",
+    "Request",
+    "LARGE_FRACTION",
+    "SMALL_FRACTION",
+    "RunRecord",
+    "run_matrix",
+    "run_one",
+    "SimResult",
+    "miss_ratio",
+    "simulate",
+]

@@ -1,0 +1,36 @@
+"""Request model.
+
+The paper assumes uniform object sizes throughout (its §5 limitations
+note), so the simulator's hot path works on bare keys.  The
+:class:`Request` record exists for trace I/O and for future size-aware
+extensions; readers can produce either representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+Key = Hashable
+
+
+@dataclass(frozen=True)
+class Request:
+    """A single cache request.
+
+    ``time`` is a logical timestamp (the request index for synthetic
+    traces), ``size`` an object size in arbitrary units -- carried, but
+    ignored by the uniform-size policies in this library, matching the
+    paper's setup.
+    """
+
+    key: Key
+    time: int = 0
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"size must be >= 1, got {self.size}")
+
+
+__all__ = ["Request", "Key"]

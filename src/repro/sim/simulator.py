@@ -1,0 +1,106 @@
+"""Trace-driven cache simulation.
+
+The simulator replays a request sequence through an
+:class:`~repro.core.base.EvictionPolicy` and reports hit/miss counts.
+Offline policies (Belady) are transparently supplied with the full
+trace via :meth:`~repro.core.base.OfflinePolicy.prepare` before replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.base import CacheListener, EvictionPolicy, OfflinePolicy
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulation run."""
+
+    policy: str
+    requests: int
+    hits: int
+    misses: int
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of requests that missed."""
+        if self.requests == 0:
+            return 0.0
+        return self.misses / self.requests
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requests that hit."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+def _materialise(trace: Union[Trace, Sequence, Iterable, np.ndarray]) -> List:
+    """Normalise any accepted trace representation to a list of keys."""
+    if isinstance(trace, Trace):
+        return trace.as_list()
+    if isinstance(trace, np.ndarray):
+        return trace.tolist()
+    if isinstance(trace, list):
+        return trace
+    return list(trace)
+
+
+def simulate(
+    policy: EvictionPolicy,
+    trace: Union[Trace, Sequence, Iterable, np.ndarray],
+    warmup: int = 0,
+    listeners: Optional[List[CacheListener]] = None,
+) -> SimResult:
+    """Replay *trace* through *policy* and return the hit/miss outcome.
+
+    ``warmup`` requests are replayed first and excluded from the
+    reported statistics (the cache state they build is kept).
+    Listeners, if given, are attached for the duration of the run and
+    observe *all* requests including warmup.
+    """
+    keys = _materialise(trace)
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    if warmup > len(keys):
+        raise ValueError(
+            f"warmup ({warmup}) exceeds trace length ({len(keys)})")
+
+    if isinstance(policy, OfflinePolicy):
+        policy.prepare(keys)
+
+    attached = listeners or []
+    for listener in attached:
+        policy.add_listener(listener)
+    try:
+        request = policy.request  # bind once: this loop dominates runtime
+        for key in keys[:warmup]:
+            request(key)
+        policy.stats.reset()
+        for key in keys[warmup:]:
+            request(key)
+    finally:
+        for listener in attached:
+            policy.remove_listener(listener)
+
+    stats = policy.stats
+    return SimResult(
+        policy=policy.name,
+        requests=stats.requests,
+        hits=stats.hits,
+        misses=stats.misses,
+    )
+
+
+def miss_ratio(policy: EvictionPolicy, trace) -> float:
+    """Convenience: simulate and return just the miss ratio."""
+    return simulate(policy, trace).miss_ratio
+
+
+__all__ = ["SimResult", "simulate", "miss_ratio"]

@@ -1,0 +1,42 @@
+"""Size-aware caching: the paper's §5 future-work direction, built.
+
+* :mod:`repro.sized.base` -- byte-budgeted policy abstraction with
+  object- and byte-level miss accounting.
+* :mod:`repro.sized.policies` -- Sized-FIFO/LRU/CLOCK and GDSF.
+* :mod:`repro.sized.qd` -- size-aware Quick Demotion and
+  Sized-QD-LP-FIFO.
+* :mod:`repro.sized.workloads` -- deterministic heavy-tailed object
+  sizes for any key trace.
+* :mod:`repro.sized.simulator` -- (keys, sizes) replay.
+"""
+
+from repro.sized.base import SizedEvictionPolicy, SizedStats
+from repro.sized.policies import GDSF, SizedClock, SizedFIFO, SizedLRU
+from repro.sized.qd import SizedGhost, SizedQDCache, SizedQDLPFIFO
+from repro.sized.simulator import SizedSimResult, simulate_sized
+from repro.sized.workloads import (
+    attach_sizes,
+    lognormal_size,
+    pareto_size,
+    total_bytes,
+    unique_bytes,
+)
+
+__all__ = [
+    "SizedEvictionPolicy",
+    "SizedStats",
+    "GDSF",
+    "SizedClock",
+    "SizedFIFO",
+    "SizedLRU",
+    "SizedGhost",
+    "SizedQDCache",
+    "SizedQDLPFIFO",
+    "SizedSimResult",
+    "simulate_sized",
+    "attach_sizes",
+    "lognormal_size",
+    "pareto_size",
+    "total_bytes",
+    "unique_bytes",
+]

@@ -1,0 +1,116 @@
+"""Size-aware cache abstraction (paper §5 future work).
+
+The paper deliberately ignores object sizes "to focus on how access
+patterns affect cache efficiency", and closes §5 with: "designing
+size-aware Lazy Promotion and Quick Demotion techniques are worth
+pursuing in the future."  This subpackage pursues them.
+
+A size-aware cache has a *byte* capacity; each object consumes its own
+size.  Two efficiency metrics coexist (and routinely disagree):
+
+* **object miss ratio** -- fraction of requests that missed;
+* **byte miss ratio** -- fraction of requested bytes that missed,
+  which is what origin bandwidth cares about.
+
+Objects larger than the capacity bypass the cache (counted as misses).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable
+
+Key = Hashable
+
+
+@dataclass
+class SizedStats:
+    """Request- and byte-level hit/miss accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    hit_bytes: int = 0
+    miss_bytes: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total requests observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Object (request-count) miss ratio."""
+        total = self.requests
+        if total == 0:
+            return 0.0
+        return self.misses / total
+
+    @property
+    def byte_miss_ratio(self) -> float:
+        """Byte-weighted miss ratio."""
+        total = self.hit_bytes + self.miss_bytes
+        if total == 0:
+            return 0.0
+        return self.miss_bytes / total
+
+    def record(self, hit: bool, size: int) -> None:
+        """Record one request outcome."""
+        if hit:
+            self.hits += 1
+            self.hit_bytes += size
+        else:
+            self.misses += 1
+            self.miss_bytes += size
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = 0
+        self.hit_bytes = self.miss_bytes = 0
+
+
+class SizedEvictionPolicy(ABC):
+    """Base class for byte-budgeted eviction policies.
+
+    Subclasses implement :meth:`request`, never exceed
+    ``capacity_bytes``, and keep ``used_bytes`` exact.  Re-requesting a
+    key with a different size is treated as an update: the cached copy
+    is resized (eviction runs if the cache overflows as a result).
+    """
+
+    name: str = "sized-abstract"
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 1:
+            raise ValueError(
+                f"capacity_bytes must be >= 1, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.used_bytes = 0
+        self.stats = SizedStats()
+
+    @abstractmethod
+    def request(self, key: Key, size: int) -> bool:
+        """Process one request; returns True on a hit."""
+
+    @abstractmethod
+    def __contains__(self, key: Key) -> bool:
+        """Whether *key* is cached."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of cached objects."""
+
+    def _check_size(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+
+    def admits(self, size: int) -> bool:
+        """Whether an object of *size* can ever fit."""
+        return size <= self.capacity_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<{type(self).__name__} name={self.name!r} "
+                f"bytes={self.used_bytes}/{self.capacity_bytes}>")
+
+
+__all__ = ["Key", "SizedStats", "SizedEvictionPolicy"]

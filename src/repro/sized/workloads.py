@@ -1,0 +1,134 @@
+"""Sized workloads: attach realistic object sizes to key traces.
+
+Web object sizes are famously heavy-tailed; this module assigns each
+object a size drawn from a log-normal (body) or Pareto (tail)
+distribution, deterministically per key, so the same key always has
+the same size regardless of which trace or generator produced it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+#: A sized trace: parallel (keys, sizes) lists.
+SizedTrace = Tuple[List[int], List[int]]
+
+
+def _key_uniform(key: int, seed: int) -> float:
+    """A deterministic uniform(0,1) value derived from the key."""
+    payload = f"{seed}:{key}".encode()
+    return (zlib.crc32(payload) & 0xFFFFFFFF) / 2 ** 32
+
+
+def lognormal_size(key: int, seed: int = 0, median: float = 4096.0,
+                   sigma: float = 1.5, max_size: int = 2 ** 24) -> int:
+    """Log-normal object size for *key* (deterministic)."""
+    u = min(max(_key_uniform(key, seed), 1e-9), 1 - 1e-9)
+    # Inverse-CDF via the probit approximation (Acklam).
+    z = _probit(u)
+    size = median * float(np.exp(sigma * z))
+    return max(1, min(int(size), max_size))
+
+
+def pareto_size(key: int, seed: int = 0, scale: float = 1024.0,
+                alpha: float = 1.5, max_size: int = 2 ** 24) -> int:
+    """Pareto (heavy-tailed) object size for *key* (deterministic)."""
+    u = min(max(_key_uniform(key, seed), 1e-9), 1 - 1e-9)
+    size = scale / (1.0 - u) ** (1.0 / alpha)
+    return max(1, min(int(size), max_size))
+
+
+def _probit(u: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if u < p_low:
+        q = float(np.sqrt(-2 * np.log(u)))
+        return ((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                 * q + c[5])
+                / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+    if u > p_high:
+        q = float(np.sqrt(-2 * np.log(1 - u)))
+        return -((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                  * q + c[5])
+                 / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+    q = u - 0.5
+    r = q * q
+    return ((((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4])
+             * r + a[5]) * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4])
+               * r + 1))
+
+
+def attach_sizes(
+    trace: Union[Trace, Sequence[int], Iterable[int]],
+    distribution: str = "lognormal",
+    seed: int = 0,
+    **params,
+) -> SizedTrace:
+    """Pair a key trace with deterministic per-object sizes.
+
+    ``distribution`` is ``"lognormal"`` (web bodies) or ``"pareto"``
+    (heavier tail); extra keyword arguments are forwarded to the size
+    function.
+    """
+    if isinstance(trace, Trace):
+        keys = trace.as_list()
+    else:
+        keys = list(trace)
+    if distribution == "lognormal":
+        size_fn = lognormal_size
+    elif distribution == "pareto":
+        size_fn = pareto_size
+    else:
+        raise ValueError(
+            f"distribution must be 'lognormal' or 'pareto', got "
+            f"{distribution!r}")
+    cache: dict = {}
+    sizes = []
+    for key in keys:
+        size = cache.get(key)
+        if size is None:
+            size = size_fn(key, seed=seed, **params)
+            cache[key] = size
+        sizes.append(size)
+    return keys, sizes
+
+
+def total_bytes(sized: SizedTrace) -> int:
+    """Total bytes requested by a sized trace."""
+    return sum(sized[1])
+
+
+def unique_bytes(sized: SizedTrace) -> int:
+    """Total footprint (sum of distinct objects' sizes)."""
+    keys, sizes = sized
+    seen = {}
+    for key, size in zip(keys, sizes):
+        seen[key] = size
+    return sum(seen.values())
+
+
+__all__ = [
+    "SizedTrace",
+    "lognormal_size",
+    "pareto_size",
+    "attach_sizes",
+    "total_bytes",
+    "unique_bytes",
+]

@@ -1,0 +1,58 @@
+"""Workloads: synthetic generators, the Table 1 corpus, stats and I/O."""
+
+from repro.traces.corpus import FAMILIES, DatasetFamily, build_corpus, build_trace
+from repro.traces.io import (
+    read_binary,
+    read_csv,
+    read_oracle_general,
+    write_binary,
+    write_csv,
+    write_oracle_general,
+)
+from repro.traces.ttl import apply_ttl, effective_objects
+from repro.traces.stats import (
+    FamilyStats,
+    TraceStats,
+    aggregate_by_family,
+    compute_stats,
+    frequency_histogram,
+)
+from repro.traces.trace import (
+    BLOCK,
+    WEB,
+    Trace,
+    from_keys,
+    head,
+    remap_keys,
+    sample_requests,
+)
+from repro.traces.zipf import ZipfSampler, zipf_ranks
+
+__all__ = [
+    "FAMILIES",
+    "DatasetFamily",
+    "build_corpus",
+    "build_trace",
+    "read_binary",
+    "read_csv",
+    "read_oracle_general",
+    "write_oracle_general",
+    "apply_ttl",
+    "effective_objects",
+    "head",
+    "remap_keys",
+    "sample_requests",
+    "write_binary",
+    "write_csv",
+    "FamilyStats",
+    "TraceStats",
+    "aggregate_by_family",
+    "compute_stats",
+    "frequency_histogram",
+    "BLOCK",
+    "WEB",
+    "Trace",
+    "from_keys",
+    "ZipfSampler",
+    "zipf_ranks",
+]

@@ -1,0 +1,348 @@
+"""The synthetic trace corpus standing in for the paper's Table 1.
+
+The paper evaluates on 5307 production traces from 10 dataset
+collections (MSR, FIU, CloudPhysics, a major CDN, Tencent Photo, Wiki
+CDN, Tencent CBS, Alibaba, Twitter, and a social network).  Those
+traces are proprietary or terabyte-scale, so this module builds a
+deterministic synthetic corpus with one *family* per collection, each
+family's generator recipe calibrated to the paper's qualitative
+description of that workload class:
+
+* **block** families (MSR, FIU, CloudPhysics, TencentCBS, Alibaba):
+  Zipf cores diluted with scans and loops, working-set shifts, and
+  strong temporal locality -- the §4 "scan and loop access patterns in
+  the block cache workloads".
+* **web** families (CDN, TencentPhoto, WikiCDN): popularity decay,
+  short-lived data, and one-hit wonders -- the §4 "dynamic and
+  short-lived data ... versioning in object names".
+* **KV** families (Twitter, SocialNetwork, grouped with web as in the
+  paper): high skew and very high reuse; the social-network family has
+  "most objects accessed more than once" (§3, footnote 3), which is
+  what makes 2-bit CLOCK beat 1-bit there.
+
+Every trace is reproducible from the corpus seed.  ``scale`` shrinks or
+grows all traces proportionally so tests, benches and full runs share
+one code path.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.traces import synthetic as syn
+from repro.traces.trace import BLOCK, WEB, Trace
+
+#: requests in a scale-1.0 trace, before per-trace jitter
+_BASE_REQUESTS = 40_000
+
+Builder = Callable[[np.random.Generator, float], Tuple[np.ndarray, Dict]]
+
+
+def _jitter(rng: np.random.Generator, lo: float = 0.75, hi: float = 1.3) -> float:
+    return float(rng.uniform(lo, hi))
+
+
+# ----------------------------------------------------------------------
+# Family recipes.  Each takes (rng, scale) and returns (keys, params).
+# ----------------------------------------------------------------------
+
+def _msr(rng: np.random.Generator, scale: float) -> Tuple[np.ndarray, Dict]:
+    """MSR Cambridge-like: clustered Zipf core + short-lived blocks +
+    a loop and scans.
+
+    Block traces are recorded *after* the page cache, which strips the
+    shortest-range reuse but leaves correlated bursts, one-shot scans
+    and occasional loops.
+    """
+    n_req = int(_BASE_REQUESTS * scale * _jitter(rng))
+    n_obj = max(400, int(n_req / rng.uniform(9.0, 14.0)))
+    alpha = rng.uniform(0.7, 0.95)
+    repeat = rng.uniform(0.4, 0.55)
+    window = int(rng.uniform(150, 350))
+    loop_len = max(100, int(n_obj * rng.uniform(0.3, 0.6)))
+    core = syn.clustered_zipf_trace(
+        n_obj, int(n_req * 0.55), alpha, rng, repeat, window)
+    dead = syn.short_lived_trace(int(n_req * 0.15), rng,
+                                 mean_accesses=rng.uniform(1.2, 1.6),
+                                 window=int(rng.uniform(40, 80)),
+                                 base=n_obj + n_req)
+    loop = syn.loop_trace(loop_len, max(1, int(n_req * 0.1) // loop_len),
+                          base=n_obj + 3 * n_req)
+    scan = syn.scan_trace(int(n_req * 0.2), base=n_obj + 5 * n_req)
+    keys = syn.blend([core, dead, loop, scan], [0.55, 0.15, 0.1, 0.2], rng)
+    return keys, {"alpha": alpha, "repeat": repeat, "window": window,
+                  "loop_len": loop_len}
+
+
+def _fiu(rng: np.random.Generator, scale: float) -> Tuple[np.ndarray, Dict]:
+    """FIU-like: strong temporal locality plus short-lived writes."""
+    n_req = int(_BASE_REQUESTS * scale * _jitter(rng))
+    n_obj = max(400, int(n_req / rng.uniform(9.0, 14.0)))
+    alpha = rng.uniform(0.8, 1.0)
+    core = syn.temporal_locality_trace(n_obj, int(n_req * 0.45), alpha, rng)
+    clustered = syn.clustered_zipf_trace(
+        max(200, n_obj // 2), int(n_req * 0.25), alpha, rng,
+        repeat_prob=rng.uniform(0.4, 0.55), window=int(rng.uniform(150, 300)),
+        base=n_obj + n_req)
+    dead = syn.short_lived_trace(int(n_req * 0.2), rng,
+                                 mean_accesses=rng.uniform(1.2, 1.6),
+                                 window=int(rng.uniform(40, 80)),
+                                 base=n_obj + 3 * n_req)
+    scan = syn.scan_trace(int(n_req * 0.1), base=n_obj + 5 * n_req)
+    keys = syn.blend([core, clustered, dead, scan],
+                     [0.45, 0.25, 0.2, 0.1], rng)
+    return keys, {"alpha": alpha}
+
+
+def _cloudphysics(rng: np.random.Generator, scale: float
+                  ) -> Tuple[np.ndarray, Dict]:
+    """CloudPhysics-like: widely varying skew, bursty reuse, scans."""
+    n_req = int(_BASE_REQUESTS * scale * _jitter(rng))
+    n_obj = max(400, int(n_req / rng.uniform(8.0, 13.0)))
+    alpha = rng.uniform(0.6, 1.2)
+    core = syn.clustered_zipf_trace(
+        n_obj, int(n_req * 0.6), alpha, rng,
+        repeat_prob=rng.uniform(0.35, 0.55),
+        window=int(rng.uniform(150, 400)))
+    dead = syn.short_lived_trace(int(n_req * 0.2), rng,
+                                 mean_accesses=rng.uniform(1.2, 1.6),
+                                 window=int(rng.uniform(40, 80)),
+                                 base=n_obj + n_req)
+    scan = syn.scan_trace(int(n_req * 0.2), base=n_obj + 3 * n_req)
+    keys = syn.blend([core, dead, scan], [0.6, 0.2, 0.2], rng)
+    return keys, {"alpha": alpha}
+
+
+def _tencent_cbs(rng: np.random.Generator, scale: float
+                 ) -> Tuple[np.ndarray, Dict]:
+    """Tencent CBS-like: low-reuse cloud block storage with loops."""
+    n_req = int(_BASE_REQUESTS * scale * _jitter(rng))
+    n_obj = max(600, int(n_req / rng.uniform(5.0, 8.0)))
+    alpha = rng.uniform(0.6, 0.85)
+    loop_len = max(200, int(n_obj * rng.uniform(0.4, 0.8)))
+    core = syn.clustered_zipf_trace(
+        n_obj, int(n_req * 0.55), alpha, rng,
+        repeat_prob=rng.uniform(0.35, 0.5),
+        window=int(rng.uniform(150, 350)))
+    dead = syn.short_lived_trace(int(n_req * 0.15), rng,
+                                 mean_accesses=rng.uniform(1.2, 1.5),
+                                 window=int(rng.uniform(40, 80)),
+                                 base=n_obj + n_req)
+    loop = syn.loop_trace(loop_len, max(1, int(n_req * 0.1) // loop_len),
+                          base=n_obj + 3 * n_req)
+    scan = syn.scan_trace(int(n_req * 0.2), base=n_obj + 5 * n_req)
+    keys = syn.blend([core, dead, loop, scan], [0.55, 0.15, 0.1, 0.2], rng)
+    return keys, {"alpha": alpha, "loop_len": loop_len}
+
+
+def _alibaba(rng: np.random.Generator, scale: float
+             ) -> Tuple[np.ndarray, Dict]:
+    """Alibaba-like: bursty Zipf core with gentle working-set drift.
+
+    The paper notes Denning-style abrupt phase changes are *not*
+    observed in block/web cache workloads, so shifts are gentle (high
+    overlap) and a minority of the traffic.
+    """
+    n_req = int(_BASE_REQUESTS * scale * _jitter(rng))
+    phases = int(rng.integers(3, 6))
+    alpha = rng.uniform(0.75, 1.0)
+    overlap = rng.uniform(0.7, 0.9)
+    n_obj = max(400, int(n_req / rng.uniform(8.0, 13.0)))
+    core = syn.clustered_zipf_trace(
+        n_obj, int(n_req * 0.55), alpha, rng,
+        repeat_prob=rng.uniform(0.4, 0.55),
+        window=int(rng.uniform(150, 350)))
+    dead = syn.short_lived_trace(int(n_req * 0.15), rng,
+                                 mean_accesses=rng.uniform(1.2, 1.6),
+                                 window=int(rng.uniform(40, 80)),
+                                 base=n_obj + n_req)
+    per_phase_obj = max(300, n_obj // 2)
+    shifts = syn.working_set_shift_trace(
+        per_phase_obj, int(n_req * 0.15) // phases, phases, alpha,
+        overlap, rng, base=n_obj + 3 * n_req)
+    scan = syn.scan_trace(int(n_req * 0.15), base=n_obj + 6 * n_req)
+    keys = syn.blend([core, dead, shifts, scan],
+                     [0.55, 0.15, 0.15, 0.15], rng)
+    return keys, {"alpha": alpha, "phases": phases, "overlap": overlap}
+
+
+def _cdn(rng: np.random.Generator, scale: float) -> Tuple[np.ndarray, Dict]:
+    """Major-CDN-like: decaying core + short-lived/versioned objects +
+    a heavy stream of one-hit wonders."""
+    n_req = int(_BASE_REQUESTS * scale * _jitter(rng))
+    n_obj = max(400, int(n_req / rng.uniform(8.0, 12.0)))
+    alpha = rng.uniform(0.8, 1.1)
+    core = syn.clustered_zipf_trace(
+        n_obj, int(n_req * 0.35), alpha, rng,
+        repeat_prob=rng.uniform(0.35, 0.5),
+        window=int(rng.uniform(200, 400)))
+    decay = syn.popularity_decay_trace(
+        int(n_req * 0.25), rng.uniform(0.03, 0.08), alpha, rng,
+        base=n_obj + n_req)
+    dead = syn.short_lived_trace(int(n_req * 0.25), rng,
+                                 mean_accesses=rng.uniform(1.2, 1.6),
+                                 window=int(rng.uniform(40, 80)),
+                                 base=n_obj + 3 * n_req)
+    onehit = syn.scan_trace(int(n_req * 0.15), base=n_obj + 5 * n_req)
+    keys = syn.blend([core, decay, dead, onehit],
+                     [0.35, 0.25, 0.25, 0.15], rng)
+    return keys, {"alpha": alpha}
+
+
+def _tencent_photo(rng: np.random.Generator, scale: float
+                   ) -> Tuple[np.ndarray, Dict]:
+    """Tencent-Photo-like: decaying popular core + long-tail photos
+    fetched once or twice."""
+    n_req = int(_BASE_REQUESTS * scale * _jitter(rng))
+    alpha = rng.uniform(0.8, 1.0)
+    rate = rng.uniform(0.05, 0.12)
+    decay = syn.popularity_decay_trace(int(n_req * 0.5), rate, alpha, rng)
+    dead = syn.short_lived_trace(int(n_req * 0.25), rng,
+                                 mean_accesses=rng.uniform(1.2, 1.5),
+                                 window=int(rng.uniform(40, 80)),
+                                 base=2 * n_req)
+    onehit = syn.scan_trace(int(n_req * 0.25), base=4 * n_req)
+    keys = syn.blend([decay, dead, onehit], [0.5, 0.25, 0.25], rng)
+    return keys, {"alpha": alpha, "new_object_rate": rate}
+
+
+def _wiki(rng: np.random.Generator, scale: float) -> Tuple[np.ndarray, Dict]:
+    """Wiki-CDN-like: very skewed bursty core with one-hit wonders."""
+    n_req = int(_BASE_REQUESTS * scale * _jitter(rng))
+    n_obj = max(400, int(n_req / rng.uniform(9.0, 14.0)))
+    alpha = rng.uniform(1.0, 1.2)
+    core = syn.clustered_zipf_trace(
+        n_obj, int(n_req * 0.6), alpha, rng,
+        repeat_prob=rng.uniform(0.35, 0.5),
+        window=int(rng.uniform(200, 400)))
+    dead = syn.short_lived_trace(int(n_req * 0.2), rng,
+                                 mean_accesses=rng.uniform(1.2, 1.6),
+                                 window=int(rng.uniform(40, 80)),
+                                 base=n_obj + n_req)
+    onehit = syn.scan_trace(int(n_req * 0.2), base=n_obj + 3 * n_req)
+    keys = syn.blend([core, dead, onehit], [0.6, 0.2, 0.2], rng)
+    return keys, {"alpha": alpha}
+
+
+def _twitter(rng: np.random.Generator, scale: float
+             ) -> Tuple[np.ndarray, Dict]:
+    """Twitter-KV-like: skewed, strong temporal locality, and a tail
+    of short-TTL / versioned keys (paper §4)."""
+    n_req = int(_BASE_REQUESTS * scale * _jitter(rng))
+    n_obj = max(500, int(n_req / rng.uniform(8.0, 14.0)))
+    alpha = rng.uniform(1.0, 1.2)
+    core = syn.temporal_locality_trace(n_obj, int(n_req * 0.5), alpha, rng)
+    clustered = syn.clustered_zipf_trace(
+        max(200, n_obj // 2), int(n_req * 0.2), alpha, rng,
+        repeat_prob=rng.uniform(0.4, 0.55), window=int(rng.uniform(150, 300)),
+        base=n_obj + n_req)
+    dead = syn.short_lived_trace(int(n_req * 0.15), rng,
+                                 mean_accesses=rng.uniform(1.2, 1.6),
+                                 window=int(rng.uniform(40, 80)),
+                                 base=n_obj + 3 * n_req)
+    onehit = syn.scan_trace(int(n_req * 0.15), base=n_obj + 5 * n_req)
+    keys = syn.blend([core, clustered, dead, onehit],
+                     [0.5, 0.2, 0.15, 0.15], rng)
+    return keys, {"alpha": alpha}
+
+
+def _socialnet(rng: np.random.Generator, scale: float
+               ) -> Tuple[np.ndarray, Dict]:
+    """Social-network-KV-like: first-layer cache, nearly every object
+    accessed more than once (paper §3 footnote 3)."""
+    n_req = int(_BASE_REQUESTS * scale * _jitter(rng))
+    n_obj = max(300, int(n_req / rng.uniform(14.0, 22.0)))
+    alpha = rng.uniform(1.15, 1.35)
+    keys = syn.clustered_zipf_trace(
+        n_obj, n_req, alpha, rng,
+        repeat_prob=rng.uniform(0.25, 0.4),
+        window=int(rng.uniform(200, 400)))
+    return keys, {"alpha": alpha}
+
+
+@dataclass(frozen=True)
+class DatasetFamily:
+    """One Table 1 dataset collection."""
+
+    name: str
+    group: str          # block | web, the paper's Fig. 2/5 split
+    cache_type: str     # block | object | KV, the Table 1 column
+    approx_year: int
+    default_traces: int
+    builder: Builder
+
+
+FAMILIES: List[DatasetFamily] = [
+    DatasetFamily("msr", BLOCK, "block", 2007, 8, _msr),
+    DatasetFamily("fiu", BLOCK, "block", 2008, 6, _fiu),
+    DatasetFamily("cloudphysics", BLOCK, "block", 2015, 12, _cloudphysics),
+    DatasetFamily("cdn", WEB, "object", 2018, 14, _cdn),
+    DatasetFamily("tencent_photo", WEB, "object", 2018, 6, _tencent_photo),
+    DatasetFamily("wiki", WEB, "object", 2019, 6, _wiki),
+    DatasetFamily("tencent_cbs", BLOCK, "block", 2020, 16, _tencent_cbs),
+    DatasetFamily("alibaba", BLOCK, "block", 2020, 12, _alibaba),
+    DatasetFamily("twitter", WEB, "KV", 2020, 10, _twitter),
+    DatasetFamily("socialnet", WEB, "KV", 2020, 10, _socialnet),
+]
+
+FAMILY_BY_NAME: Dict[str, DatasetFamily] = {f.name: f for f in FAMILIES}
+
+
+def build_trace(family: DatasetFamily, index: int, scale: float,
+                seed: int) -> Trace:
+    """Build the *index*-th trace of *family* deterministically."""
+    # Independent stream per (seed, family, index): reordering or
+    # subsetting the corpus never changes individual traces.  CRC32 is
+    # a stable string hash (Python's hash() is salted per process).
+    family_tag = zlib.crc32(family.name.encode("utf-8"))
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, family_tag, index]))
+    keys, params = family.builder(rng, scale)
+    return Trace(
+        name=f"{family.name}-{index:03d}",
+        keys=keys,
+        family=family.name,
+        group=family.group,
+        params=params,
+    )
+
+
+def build_corpus(
+    scale: float = 1.0,
+    traces_per_family: Optional[int] = None,
+    seed: int = 42,
+    families: Optional[List[str]] = None,
+) -> List[Trace]:
+    """Build the full synthetic corpus.
+
+    ``traces_per_family`` overrides each family's default count (the
+    benches use small counts; the full study uses the defaults).
+    ``families`` restricts to a subset by name.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    selected = FAMILIES
+    if families is not None:
+        unknown = [name for name in families if name not in FAMILY_BY_NAME]
+        if unknown:
+            raise KeyError(f"unknown families: {unknown}")
+        selected = [FAMILY_BY_NAME[name] for name in families]
+    corpus = []
+    for family in selected:
+        count = traces_per_family or family.default_traces
+        for index in range(count):
+            corpus.append(build_trace(family, index, scale, seed))
+    return corpus
+
+
+__all__ = [
+    "DatasetFamily",
+    "FAMILIES",
+    "FAMILY_BY_NAME",
+    "build_trace",
+    "build_corpus",
+]

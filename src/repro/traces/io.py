@@ -1,0 +1,185 @@
+"""Trace file I/O.
+
+Two interchange formats:
+
+* **CSV** -- one request per line: ``key[,time[,size]]`` with an
+  optional header.  Human-readable, compatible with the common
+  "oracleGeneral-ish" text exports of public trace repositories.
+* **Packed binary** -- a tiny header (magic, version, count) followed
+  by little-endian int64 keys.  ~10x smaller and ~50x faster to load
+  than CSV for the million-request traces the full study uses.
+
+Both round-trip through :class:`~repro.traces.trace.Trace` including
+the family/group metadata (stored in the CSV header comment / binary
+header).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.traces.trace import BLOCK, Trace
+
+_MAGIC = b"RPTR"
+_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+
+def write_csv(trace: Trace, path: PathLike) -> None:
+    """Write *trace* as CSV with a ``# meta:`` JSON header comment."""
+    path = Path(path)
+    meta = {"name": trace.name, "family": trace.family, "group": trace.group}
+    with path.open("w", newline="") as handle:
+        handle.write(f"# meta: {json.dumps(meta)}\n")
+        writer = csv.writer(handle)
+        writer.writerow(["key"])
+        for key in trace.as_list():
+            writer.writerow([key])
+
+
+def read_csv(path: PathLike, name: str = None) -> Trace:
+    """Read a trace from CSV.
+
+    Accepts files with or without the ``# meta:`` comment and header
+    row, and with 1-3 columns (key[,time[,size]]); only the key column
+    is used, matching the paper's uniform-size setting.
+    """
+    path = Path(path)
+    meta = {"name": name or path.stem, "family": "imported", "group": BLOCK}
+    keys = []
+    with path.open(newline="") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# meta:"):
+                    meta.update(json.loads(line[len("# meta:"):]))
+                continue
+            first = line.split(",", 1)[0].strip()
+            if not first.lstrip("-").isdigit():
+                continue  # header row
+            keys.append(int(first))
+    if not keys:
+        raise ValueError(f"no requests found in {path}")
+    if name is not None:
+        meta["name"] = name
+    return Trace(name=meta["name"], keys=np.asarray(keys, dtype=np.int64),
+                 family=meta["family"], group=meta["group"])
+
+
+# ----------------------------------------------------------------------
+# Packed binary
+# ----------------------------------------------------------------------
+
+def write_binary(trace: Trace, path: PathLike) -> None:
+    """Write *trace* in the packed binary format."""
+    path = Path(path)
+    meta = json.dumps({
+        "name": trace.name, "family": trace.family, "group": trace.group,
+    }).encode("utf-8")
+    with path.open("wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<HI", _VERSION, len(meta)))
+        handle.write(meta)
+        handle.write(struct.pack("<Q", trace.num_requests))
+        handle.write(trace.keys.astype("<i8").tobytes())
+
+
+def read_binary(path: PathLike) -> Trace:
+    """Read a trace written by :func:`write_binary`."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(4)
+        if magic != _MAGIC:
+            raise ValueError(f"{path} is not a packed trace file "
+                             f"(bad magic {magic!r})")
+        version, meta_len = struct.unpack("<HI", handle.read(6))
+        if version != _VERSION:
+            raise ValueError(f"unsupported trace version {version}")
+        meta = json.loads(handle.read(meta_len).decode("utf-8"))
+        (count,) = struct.unpack("<Q", handle.read(8))
+        payload = handle.read(count * 8)
+        if len(payload) != count * 8:
+            raise ValueError(f"{path} is truncated: expected {count} keys")
+        keys = np.frombuffer(payload, dtype="<i8").astype(np.int64)
+    return Trace(name=meta["name"], keys=keys,
+                 family=meta["family"], group=meta["group"])
+
+
+# ----------------------------------------------------------------------
+# oracleGeneral (libCacheSim interop)
+# ----------------------------------------------------------------------
+#
+# The paper's own tooling (libCacheSim) stores traces in the
+# "oracleGeneral" format: little-endian records of
+#   uint32 timestamp, uint64 object id, uint32 size, int64 next_access
+# This reader/writer lets users replay their real traces through this
+# library, and export our synthetic corpus for cross-checking against
+# libCacheSim itself.
+
+_ORACLE_RECORD = struct.Struct("<IQIq")
+
+
+def write_oracle_general(trace: Trace, path: PathLike,
+                         size: int = 1) -> None:
+    """Write *trace* in libCacheSim's oracleGeneral binary format.
+
+    ``next_access`` is filled with the true next-access position (or
+    -1), making the file directly usable by oracle-based algorithms.
+    """
+    path = Path(path)
+    keys = trace.as_list()
+    n = len(keys)
+    next_access = [-1] * n
+    last_seen: dict = {}
+    for i in range(n - 1, -1, -1):
+        key = keys[i]
+        next_access[i] = last_seen.get(key, -1)
+        last_seen[key] = i
+    with path.open("wb") as handle:
+        for i, key in enumerate(keys):
+            handle.write(_ORACLE_RECORD.pack(i, key, size, next_access[i]))
+
+
+def read_oracle_general(path: PathLike, name: str = None) -> Trace:
+    """Read a libCacheSim oracleGeneral trace (keys only).
+
+    Sizes and oracle fields are ignored -- the uniform-size study only
+    needs the request order -- but the record layout is validated.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) % _ORACLE_RECORD.size != 0:
+        raise ValueError(
+            f"{path} is not a valid oracleGeneral file: {len(data)} bytes "
+            f"is not a multiple of the {_ORACLE_RECORD.size}-byte record")
+    if not data:
+        raise ValueError(f"{path} contains no requests")
+    count = len(data) // _ORACLE_RECORD.size
+    keys = np.empty(count, dtype=np.int64)
+    for i, record in enumerate(_ORACLE_RECORD.iter_unpack(data)):
+        keys[i] = record[1]
+    return Trace(name=name or path.stem, keys=keys,
+                 family="imported", group=BLOCK)
+
+
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "write_binary",
+    "read_binary",
+    "write_oracle_general",
+    "read_oracle_general",
+]

@@ -1,0 +1,315 @@
+"""Composable synthetic workload generators.
+
+These generators reproduce the access-pattern *structure* the paper's
+production traces exhibit (§4): Zipf popularity, scans and loops in
+block workloads, popularity decay and one-hit wonders in web
+workloads, very high reuse in social-network KV workloads, and abrupt
+working-set shifts.  Each generator returns a numpy int64 key array;
+:func:`blend` and :func:`concatenate` compose them into full traces.
+
+All randomness flows through explicit ``numpy.random.Generator``
+instances, so corpus construction is bit-for-bit deterministic given a
+seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.traces.zipf import ZipfSampler
+
+
+def _permuted_ids(num_objects: int, base: int,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Object ids for ranks, shuffled so popularity isn't id-ordered."""
+    ids = np.arange(base, base + num_objects, dtype=np.int64)
+    rng.shuffle(ids)
+    return ids
+
+
+def zipf_trace(
+    num_objects: int,
+    num_requests: int,
+    alpha: float,
+    rng: np.random.Generator,
+    base: int = 0,
+) -> np.ndarray:
+    """IID Zipf requests over ``num_objects`` objects."""
+    sampler = ZipfSampler(num_objects, alpha, rng)
+    ranks = sampler.sample(num_requests)
+    return _permuted_ids(num_objects, base, rng)[ranks]
+
+
+def clustered_zipf_trace(
+    num_objects: int,
+    num_requests: int,
+    alpha: float,
+    rng: np.random.Generator,
+    repeat_prob: float = 0.5,
+    window: int = 250,
+    base: int = 0,
+) -> np.ndarray:
+    """Zipf traffic with temporally clustered re-references.
+
+    Real cache workloads are not IID: accesses to an object bunch in
+    time (correlated references, the pattern 2Q was designed around).
+    Each request either repeats a recent request (probability
+    ``repeat_prob``, drawn uniformly from the last ``window``
+    positions) or draws fresh from the Zipf core.  Clustered reuse is
+    what makes a small probationary FIFO cheap: an object's follow-up
+    accesses land while it is still in probation.
+    """
+    if not 0.0 <= repeat_prob < 1.0:
+        raise ValueError(
+            f"repeat_prob must be in [0, 1), got {repeat_prob}")
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window}")
+    out = zipf_trace(num_objects, num_requests, alpha, rng, base=base)
+    repeat = rng.random(num_requests) < repeat_prob
+    offsets = rng.integers(1, window, num_requests)
+    for i in range(1, num_requests):
+        if repeat[i]:
+            out[i] = out[i - min(offsets[i], i)]
+    return out
+
+
+def short_lived_trace(
+    num_requests: int,
+    rng: np.random.Generator,
+    mean_accesses: float = 2.0,
+    window: int = 300,
+    base: int = 0,
+) -> np.ndarray:
+    """A stream of short-lived objects: a small burst, then death.
+
+    Models the paper's "dynamic and short-lived data, versioning in
+    object names, short TTLs" (§4): each object receives a geometric
+    number of accesses (mean ``mean_accesses``), all within ``window``
+    requests of its birth, and is never requested again.  These
+    objects fool promotion-based algorithms -- a couple of correlated
+    hits look like popularity -- and are exactly what quick demotion
+    evicts early.
+    """
+    if mean_accesses < 1.0:
+        raise ValueError(
+            f"mean_accesses must be >= 1, got {mean_accesses}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    events = []
+    position = 0
+    object_id = base
+    while len(events) < num_requests:
+        burst = int(rng.geometric(1.0 / mean_accesses))
+        offsets = rng.integers(0, window, burst)
+        events.extend((position + int(off), object_id) for off in offsets)
+        object_id += 1
+        position += burst  # keeps event density near one per slot
+    events.sort()
+    return np.array([key for _, key in events[:num_requests]],
+                    dtype=np.int64)
+
+
+def scan_trace(num_objects: int, base: int = 0) -> np.ndarray:
+    """A single sequential pass over ``num_objects`` objects.
+
+    Scans are the classic cache-polluting pattern of block workloads:
+    every object is touched exactly once, so none deserves caching.
+    """
+    return np.arange(base, base + num_objects, dtype=np.int64)
+
+
+def loop_trace(num_objects: int, repetitions: int, base: int = 0) -> np.ndarray:
+    """Cyclic repetition of a sequential scan.
+
+    A loop of length > cache size is LRU's worst case (hit ratio 0)
+    while FIFO-family and LIRS-style algorithms retain part of it.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    single = scan_trace(num_objects, base)
+    return np.tile(single, repetitions)
+
+
+def temporal_locality_trace(
+    num_objects: int,
+    num_requests: int,
+    alpha: float,
+    rng: np.random.Generator,
+    base: int = 0,
+) -> np.ndarray:
+    """The LRU-stack-depth model of temporal locality.
+
+    Each request references the object at stack depth *d*, where *d*
+    is drawn Zipf-distributed, and moves it to the top.  Small depths
+    dominate, producing the "recently used implies soon reused"
+    pattern that favours recency-based algorithms.
+    """
+    sampler = ZipfSampler(num_objects, alpha, rng)
+    depths = sampler.sample(num_requests)
+    stack: List[int] = list(range(base, base + num_objects))
+    out = np.empty(num_requests, dtype=np.int64)
+    for i, depth in enumerate(depths):
+        key = stack[depth]
+        if depth:
+            del stack[depth]
+            stack.insert(0, key)
+        out[i] = key
+    return out
+
+
+def popularity_decay_trace(
+    num_requests: int,
+    new_object_rate: float,
+    alpha: float,
+    rng: np.random.Generator,
+    base: int = 0,
+    initial_objects: int = 64,
+) -> np.ndarray:
+    """Web-style stream where newer objects are more popular.
+
+    New objects arrive at ``new_object_rate`` per request; every
+    request picks an *age rank* (0 = newest object) from a Zipf
+    distribution, so an object's request probability decays as newer
+    objects arrive -- the popularity-decay behaviour the paper
+    conjectures makes near-insertion ordering (LP-FIFO) effective.
+    """
+    if not 0.0 < new_object_rate <= 1.0:
+        raise ValueError(
+            f"new_object_rate must be in (0, 1], got {new_object_rate}")
+    # At most one arrival per request: size the CDF for the worst case.
+    max_objects = initial_objects + num_requests + 1
+    weights = 1.0 / np.arange(1, max_objects + 1, dtype=np.float64) ** alpha
+    cdf = np.cumsum(weights)
+
+    arrivals = rng.random(num_requests) < new_object_rate
+    uniforms = rng.random(num_requests)
+    out = np.empty(num_requests, dtype=np.int64)
+    count = initial_objects
+    for i in range(num_requests):
+        if arrivals[i]:
+            count += 1
+        # Zipf over the current population's age ranks: invert the CDF
+        # truncated to `count` entries.
+        rank = int(np.searchsorted(cdf, uniforms[i] * cdf[count - 1],
+                                   side="left"))
+        out[i] = base + (count - 1 - rank)  # rank 0 = newest id
+    return out
+
+
+def one_hit_wonder_trace(
+    core_objects: int,
+    num_requests: int,
+    alpha: float,
+    ohw_fraction: float,
+    rng: np.random.Generator,
+    base: int = 0,
+) -> np.ndarray:
+    """Zipf core traffic diluted with never-reused one-hit wonders.
+
+    CDN traces famously contain a large fraction of objects requested
+    exactly once; admitting them wastes cache space, which is exactly
+    what quick demotion repairs.
+    """
+    if not 0.0 <= ohw_fraction < 1.0:
+        raise ValueError(
+            f"ohw_fraction must be in [0, 1), got {ohw_fraction}")
+    core = zipf_trace(core_objects, num_requests, alpha, rng, base=base)
+    is_ohw = rng.random(num_requests) < ohw_fraction
+    num_ohw = int(is_ohw.sum())
+    fresh = np.arange(num_ohw, dtype=np.int64) + base + core_objects
+    out = core
+    out[is_ohw] = fresh
+    return out
+
+
+def working_set_shift_trace(
+    objects_per_phase: int,
+    requests_per_phase: int,
+    num_phases: int,
+    alpha: float,
+    overlap: float,
+    rng: np.random.Generator,
+    base: int = 0,
+) -> np.ndarray:
+    """Phased workload whose working set shifts between phases.
+
+    Consecutive phases share an ``overlap`` fraction of their object
+    range -- Denning's "abrupt changes between phases", which the
+    paper notes favour LRU's fast adaptation over CLOCK in virtual
+    memory (but are rare in block/web traces).
+    """
+    if not 0.0 <= overlap < 1.0:
+        raise ValueError(f"overlap must be in [0, 1), got {overlap}")
+    if num_phases < 1:
+        raise ValueError(f"num_phases must be >= 1, got {num_phases}")
+    shift = max(1, int(objects_per_phase * (1.0 - overlap)))
+    parts = []
+    for phase in range(num_phases):
+        parts.append(zipf_trace(
+            objects_per_phase,
+            requests_per_phase,
+            alpha,
+            rng,
+            base=base + phase * shift,
+        ))
+    return np.concatenate(parts)
+
+
+def concatenate(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Join generator outputs back-to-back (phased composition)."""
+    if not parts:
+        raise ValueError("need at least one part")
+    return np.concatenate([np.asarray(p, dtype=np.int64) for p in parts])
+
+
+def blend(
+    parts: Sequence[np.ndarray],
+    weights: Sequence[float],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Probabilistically interleave several streams.
+
+    Each output position draws its source stream with the given
+    weights; every source is consumed in order.  The output length is
+    the maximum achievable without exhausting any chosen source.
+    """
+    if len(parts) != len(weights):
+        raise ValueError("parts and weights must have equal length")
+    if not parts:
+        raise ValueError("need at least one part")
+    probs = np.asarray(weights, dtype=np.float64)
+    if (probs < 0).any() or probs.sum() <= 0:
+        raise ValueError("weights must be non-negative and sum > 0")
+    probs = probs / probs.sum()
+
+    total = sum(len(p) for p in parts)
+    choices = rng.choice(len(parts), size=total, p=probs)
+    cursors = [0] * len(parts)
+    out = np.empty(total, dtype=np.int64)
+    filled = 0
+    for choice in choices:
+        part = parts[choice]
+        cursor = cursors[choice]
+        if cursor >= len(part):
+            break  # chosen stream exhausted: stop, keeping determinism
+        out[filled] = part[cursor]
+        cursors[choice] = cursor + 1
+        filled += 1
+    return out[:filled]
+
+
+__all__ = [
+    "zipf_trace",
+    "clustered_zipf_trace",
+    "short_lived_trace",
+    "scan_trace",
+    "loop_trace",
+    "temporal_locality_trace",
+    "popularity_decay_trace",
+    "one_hit_wonder_trace",
+    "working_set_shift_trace",
+    "concatenate",
+    "blend",
+]

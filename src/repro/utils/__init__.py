@@ -1,0 +1,5 @@
+"""Internal utility data structures shared across policies."""
+
+from repro.utils.linkedlist import KeyedList, LinkedList, Node
+
+__all__ = ["KeyedList", "LinkedList", "Node"]

@@ -1,0 +1,131 @@
+"""Count-Min Sketch with conservative 4-bit counters and aging.
+
+TinyLFU-style admission (paper §5: "admission algorithms ... can be
+viewed as a form of QD") needs an approximate frequency oracle over
+*all* recently-seen keys, resident or not.  The standard tool is a
+Count-Min Sketch with small saturating counters and periodic halving
+("aging"), which keeps the frequency estimates fresh under workload
+drift at O(1) memory per cache slot.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+Key = Hashable
+
+#: 4-bit counters saturate at 15, as in TinyLFU/Caffeine.
+_MAX_COUNT = 15
+
+#: Large odd multipliers for the per-row hash mix.
+_ROW_SEEDS = (0x9E3779B1, 0x85EBCA77, 0xC2B2AE3D, 0x27D4EB2F,
+              0x165667B1, 0xD3A2646D)
+
+
+class CountMinSketch:
+    """Approximate frequency counting for cache admission.
+
+    Parameters
+    ----------
+    width:
+        Counters per row; rounded up to a power of two.  TinyLFU sizes
+        this to the cache capacity.
+    depth:
+        Number of hash rows (4 in the original).
+    sample_size:
+        Total increments before every counter is halved (the aging
+        window; 10x the cache size in the original paper).
+    """
+
+    def __init__(self, width: int, depth: int = 4,
+                 sample_size: int = 0) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if not 1 <= depth <= len(_ROW_SEEDS):
+            raise ValueError(
+                f"depth must be in 1..{len(_ROW_SEEDS)}, got {depth}")
+        self.width = 1 << (width - 1).bit_length()  # next power of two
+        self.depth = depth
+        self.sample_size = sample_size if sample_size > 0 else 10 * width
+        self._mask = self.width - 1
+        self._table = np.zeros((depth, self.width), dtype=np.uint8)
+        self._increments = 0
+        self.ages = 0  # number of halvings so far (exposed for tests)
+
+    def _indexes(self, key: Key):
+        base = hash(key)
+        for row in range(self.depth):
+            yield row, (base * _ROW_SEEDS[row] >> 7) & self._mask
+
+    def increment(self, key: Key) -> None:
+        """Count one occurrence of *key* (conservative update)."""
+        current = self.estimate(key)
+        if current < _MAX_COUNT:
+            for row, index in self._indexes(key):
+                if self._table[row, index] == current:
+                    self._table[row, index] = current + 1
+        self._increments += 1
+        if self._increments >= self.sample_size:
+            self._age()
+
+    def estimate(self, key: Key) -> int:
+        """The (over-)estimated count of *key*."""
+        return min(int(self._table[row, index])
+                   for row, index in self._indexes(key))
+
+    def _age(self) -> None:
+        """Halve every counter: old popularity decays geometrically."""
+        self._table >>= 1
+        self._increments //= 2
+        self.ages += 1
+
+    def clear(self) -> None:
+        """Zero the sketch."""
+        self._table.fill(0)
+        self._increments = 0
+        self.ages = 0
+
+
+class Doorkeeper:
+    """A small Bloom filter in front of the sketch (TinyLFU §"doorkeeper").
+
+    One-hit wonders die here without ever touching the sketch: a key's
+    first occurrence only sets the filter; the sketch is incremented
+    from the second occurrence on.  Reset together with the sketch's
+    aging window.
+    """
+
+    def __init__(self, capacity: int, hashes: int = 3) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        # ~8 bits per expected key keeps false positives ~2-3%.
+        self._bits = np.zeros(
+            max(64, 1 << (8 * capacity - 1).bit_length()), dtype=bool)
+        self._mask = len(self._bits) - 1
+        self.hashes = hashes
+
+    def _indexes(self, key: Key):
+        base = hash(key)
+        for row in range(self.hashes):
+            yield (base * _ROW_SEEDS[row] >> 11) & self._mask
+
+    def put(self, key: Key) -> bool:
+        """Record *key*; returns whether it was (probably) seen before."""
+        seen = True
+        for index in self._indexes(key):
+            if not self._bits[index]:
+                self._bits[index] = True
+                seen = False
+        return seen
+
+    def __contains__(self, key: Key) -> bool:
+        return all(self._bits[index] for index in self._indexes(key))
+
+    def clear(self) -> None:
+        """Forget everything."""
+        self._bits.fill(False)
+
+
+__all__ = ["CountMinSketch", "Doorkeeper"]

@@ -1,0 +1,101 @@
+"""Unit tests for win-fraction comparison and table rendering."""
+
+import pytest
+
+from repro.analysis.comparison import WinFraction, datasets_won, win_fractions
+from repro.analysis.tables import render_kv_block, render_percent, render_table
+from tests.analysis.test_metrics import record
+
+
+class TestWinFractions:
+    def test_basic_wins(self):
+        records = [
+            record("LRU", "t1", 0.1, misses=50),
+            record("CLOCK", "t1", 0.1, misses=40),
+            record("LRU", "t2", 0.1, misses=50),
+            record("CLOCK", "t2", 0.1, misses=60),
+            record("LRU", "t3", 0.1, misses=50),
+            record("CLOCK", "t3", 0.1, misses=30),
+        ]
+        rows = win_fractions(records, "CLOCK", "LRU", by="family")
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.wins == 2
+        assert row.losses == 1
+        assert row.ties == 0
+        assert row.win_fraction == pytest.approx(2 / 3)
+
+    def test_ties_split(self):
+        records = [
+            record("LRU", "t1", 0.1, misses=50),
+            record("CLOCK", "t1", 0.1, misses=50),
+        ]
+        row = win_fractions(records, "CLOCK", "LRU")[0]
+        assert row.ties == 1
+        assert row.win_fraction == pytest.approx(0.5)
+
+    def test_slicing_by_group(self):
+        records = [
+            record("LRU", "t1", 0.1, misses=50, group="block"),
+            record("CLOCK", "t1", 0.1, misses=40, group="block"),
+            record("LRU", "t2", 0.1, misses=50, group="web", family="cdn"),
+            record("CLOCK", "t2", 0.1, misses=60, group="web", family="cdn"),
+        ]
+        rows = win_fractions(records, "CLOCK", "LRU", by="group")
+        by_slice = {r.slice_name: r for r in rows}
+        assert by_slice["block"].wins == 1
+        assert by_slice["web"].losses == 1
+
+    def test_slice_all(self):
+        records = [
+            record("LRU", "t1", 0.1, misses=50),
+            record("CLOCK", "t1", 0.1, misses=40),
+        ]
+        rows = win_fractions(records, "CLOCK", "LRU", by="all")
+        assert rows[0].slice_name == "all"
+
+    def test_invalid_by(self):
+        with pytest.raises(ValueError):
+            win_fractions([], "a", "b", by="bogus")
+
+    def test_missing_reference_pairs_skipped(self):
+        records = [record("CLOCK", "t1", 0.1, misses=40)]
+        assert win_fractions(records, "CLOCK", "LRU") == []
+
+    def test_datasets_won(self):
+        fractions = [
+            WinFraction("a", 0.1, "c", "r", wins=3, losses=1, ties=0),
+            WinFraction("b", 0.1, "c", "r", wins=1, losses=3, ties=0),
+            WinFraction("c", 0.1, "c", "r", wins=2, losses=2, ties=0),
+        ]
+        assert datasets_won(fractions) == 1
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"],
+                            [["a", 1.23456], ["bbb", 2]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert "1.2346" in text
+        assert "2.0000" not in text  # ints stay ints
+
+    def test_render_table_none_cell(self):
+        text = render_table(["a"], [[None]])
+        assert "-" in text
+
+    def test_render_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_render_percent(self):
+        assert render_percent(0.123) == "12.3%"
+        assert render_percent(0.5, precision=0) == "50%"
+
+    def test_render_kv_block(self):
+        text = render_kv_block("Title", [("k", 1.5), ("j", "v")])
+        assert text.splitlines()[0] == "Title"
+        assert "k: 1.5000" in text
+        assert "j: v" in text

@@ -1,0 +1,96 @@
+"""Unit tests for the efficiency metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    PercentileSummary,
+    mean_reduction,
+    miss_ratio_reduction,
+    pairwise_reduction,
+    reductions_from_baseline,
+    summarize,
+)
+from repro.sim.runner import RunRecord
+
+
+def record(policy, trace, size, misses, requests=100, group="block",
+           family="msr"):
+    return RunRecord(policy=policy, trace=trace, family=family, group=group,
+                     size_fraction=size, capacity=10, requests=requests,
+                     misses=misses)
+
+
+class TestMissRatioReduction:
+    def test_positive_when_better(self):
+        assert miss_ratio_reduction(0.3, 0.5) == pytest.approx(0.4)
+
+    def test_negative_when_worse(self):
+        assert miss_ratio_reduction(0.6, 0.5) == pytest.approx(-0.2)
+
+    def test_zero_baseline(self):
+        assert miss_ratio_reduction(0.0, 0.0) == 0.0
+
+    def test_identity(self):
+        assert miss_ratio_reduction(0.5, 0.5) == 0.0
+
+
+class TestSummarize:
+    def test_percentiles_and_mean(self):
+        values = list(range(101))  # 0..100
+        summary = summarize(values, label="x")
+        assert summary.count == 101
+        assert summary.mean == pytest.approx(50.0)
+        assert summary.percentile(50) == pytest.approx(50.0)
+        assert summary.percentile(10) == pytest.approx(10.0)
+        assert summary.median == summary.percentile(50)
+
+    def test_unknown_percentile_raises(self):
+        summary = summarize([1.0, 2.0])
+        with pytest.raises(KeyError):
+            summary.percentile(33)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestReductions:
+    def test_reductions_from_baseline(self):
+        records = [
+            record("FIFO", "t1", 0.1, misses=50),
+            record("LRU", "t1", 0.1, misses=40),
+            record("ARC", "t1", 0.1, misses=25),
+        ]
+        table = reductions_from_baseline(records)
+        assert table["LRU"][("t1", 0.1)] == pytest.approx(0.2)
+        assert table["ARC"][("t1", 0.1)] == pytest.approx(0.5)
+        assert "FIFO" not in table
+
+    def test_missing_baseline_raises(self):
+        records = [record("LRU", "t1", 0.1, misses=40)]
+        with pytest.raises(KeyError):
+            reductions_from_baseline(records)
+
+    def test_mean_reduction(self):
+        records = [
+            record("FIFO", "t1", 0.1, misses=50),
+            record("FIFO", "t2", 0.1, misses=100),
+            record("LRU", "t1", 0.1, misses=25),
+            record("LRU", "t2", 0.1, misses=100),
+        ]
+        assert mean_reduction(records, "LRU") == pytest.approx(0.25)
+
+    def test_mean_reduction_unknown_policy(self):
+        records = [record("FIFO", "t1", 0.1, misses=50)]
+        with pytest.raises(KeyError):
+            mean_reduction(records, "LRU")
+
+    def test_pairwise_reduction(self):
+        records = [
+            record("ARC", "t1", 0.1, misses=40),
+            record("QD-ARC", "t1", 0.1, misses=30),
+            record("ARC", "t2", 0.1, misses=10),
+            record("QD-ARC", "t2", 0.1, misses=10),
+        ]
+        gains = pairwise_reduction(records, "QD-ARC", "ARC")
+        assert sorted(gains) == [pytest.approx(0.0), pytest.approx(0.25)]

@@ -1,0 +1,153 @@
+"""Unit tests for the miss-ratio curve tooling."""
+
+import pytest
+
+from repro.analysis.mrc import (
+    MissRatioCurve,
+    lru_mrc,
+    reuse_distances,
+    simulated_mrc,
+)
+from repro.policies.lru import LRU
+from repro.sim.simulator import simulate
+
+
+class TestReuseDistances:
+    def test_first_accesses_are_cold(self):
+        assert reuse_distances([1, 2, 3]) == [-1, -1, -1]
+
+    def test_immediate_repeat_distance_zero(self):
+        assert reuse_distances([1, 1]) == [-1, 0]
+
+    def test_hand_traced(self):
+        # 1 2 3 2 1: "2" re-accessed over {3} -> distance 1;
+        #            "1" re-accessed over {2, 3} -> distance 2.
+        assert reuse_distances([1, 2, 3, 2, 1]) == [-1, -1, -1, 1, 2]
+
+    def test_repeated_key_resets_distance(self):
+        # 1 2 1 2: each reuse spans exactly one distinct key.
+        assert reuse_distances([1, 2, 1, 2]) == [-1, -1, 1, 1]
+
+    def test_matches_lru_hit_rule(self, zipf_keys):
+        """A request hits in an LRU of size c iff its reuse distance
+        is < c -- checked against the real simulator."""
+        keys = zipf_keys[:3000]
+        distances = reuse_distances(keys)
+        for capacity in (10, 50, 200):
+            cache = LRU(capacity)
+            for key, distance in zip(keys, distances):
+                hit = cache.request(key)
+                assert hit == (0 <= distance < capacity)
+
+
+class TestMissRatioCurve:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MissRatioCurve("x", (1, 2), (0.5,))
+        with pytest.raises(ValueError):
+            MissRatioCurve("x", (2, 1), (0.5, 0.4))
+
+    def test_lookup(self):
+        curve = MissRatioCurve("x", (10, 100), (0.5, 0.2))
+        assert curve.miss_ratio_at(10) == 0.5
+        assert curve.miss_ratio_at(50) == 0.5
+        assert curve.miss_ratio_at(100) == 0.2
+        assert curve.miss_ratio_at(10 ** 9) == 0.2
+        with pytest.raises(ValueError):
+            curve.miss_ratio_at(5)
+
+    def test_as_rows(self):
+        curve = MissRatioCurve("x", (1,), (0.9,))
+        assert curve.as_rows() == [[1, 0.9]]
+
+
+class TestLruMRC:
+    def test_matches_simulation_exactly(self, zipf_keys):
+        keys = zipf_keys[:4000]
+        sizes = (5, 20, 80, 300)
+        curve = lru_mrc(keys, sizes=sizes)
+        for size in sizes:
+            simulated = simulate(LRU(size), keys).miss_ratio
+            assert curve.miss_ratio_at(size) == pytest.approx(simulated)
+
+    def test_monotone_nonincreasing(self, zipf_keys):
+        curve = lru_mrc(zipf_keys)
+        ratios = list(curve.miss_ratios)
+        assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_default_sizes_generated(self, zipf_keys):
+        curve = lru_mrc(zipf_keys)
+        assert len(curve.sizes) > 5
+
+
+class TestSimulatedMRC:
+    def test_runs_any_policy(self, zipf_keys):
+        from repro.core.qdlpfifo import QDLPFIFO
+        curve = simulated_mrc(QDLPFIFO, zipf_keys[:2000], sizes=(10, 50))
+        assert curve.policy == "QD-LP-FIFO"
+        assert len(curve.sizes) == 2
+        assert all(0 <= r <= 1 for r in curve.miss_ratios)
+
+    def test_agrees_with_lru_mrc_for_lru(self, zipf_keys):
+        keys = zipf_keys[:2000]
+        sizes = (10, 60)
+        exact = lru_mrc(keys, sizes=sizes)
+        direct = simulated_mrc(LRU, keys, sizes=sizes)
+        for size in sizes:
+            assert exact.miss_ratio_at(size) == pytest.approx(
+                direct.miss_ratio_at(size))
+
+
+class TestShardsMRC:
+    def test_validation(self, zipf_keys):
+        from repro.analysis.mrc import shards_mrc
+        with pytest.raises(ValueError):
+            shards_mrc(zipf_keys, sample_rate=0.0)
+        with pytest.raises(ValueError):
+            shards_mrc(zipf_keys, sample_rate=1.5)
+
+    def test_empty_sample_raises(self):
+        from repro.analysis.mrc import shards_mrc
+        with pytest.raises(ValueError, match="no requests"):
+            shards_mrc([1, 2, 3], sample_rate=1e-9)
+
+    def test_full_rate_matches_exact(self, zipf_keys):
+        from repro.analysis.mrc import shards_mrc
+        sizes = (10, 50, 200)
+        exact = lru_mrc(zipf_keys, sizes=sizes)
+        full = shards_mrc(zipf_keys, sizes=sizes, sample_rate=1.0)
+        for size in sizes:
+            assert full.miss_ratio_at(size) == pytest.approx(
+                exact.miss_ratio_at(size))
+
+    def test_sampled_approximates_exact(self, rng):
+        from repro.analysis.mrc import shards_mrc
+        from repro.traces.synthetic import zipf_trace
+        keys = zipf_trace(3000, 80000, 0.9, rng).tolist()
+        sizes = (30, 300, 1500)
+        exact = lru_mrc(keys, sizes=sizes)
+        approx = shards_mrc(keys, sizes=sizes, sample_rate=0.2)
+        for size in sizes:
+            assert approx.miss_ratio_at(size) == pytest.approx(
+                exact.miss_ratio_at(size), abs=0.08)
+
+    def test_monotone(self, zipf_keys):
+        from repro.analysis.mrc import shards_mrc
+        curve = shards_mrc(zipf_keys, sample_rate=0.3)
+        ratios = list(curve.miss_ratios)
+        assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+
+class TestSizeSweepExperiment:
+    def test_runs_and_renders(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro.experiments import size_sweep
+        from repro.experiments.common import CorpusConfig
+        result = size_sweep.run(
+            CorpusConfig(scale=0.1, traces_per_family=1),
+            fractions=(0.01, 0.5))
+        assert result.num_traces == 10
+        assert "A5" in result.render()
+        # Miss ratios fall as caches grow, for every policy.
+        for policy, ratios in result.mean_miss_ratio.items():
+            assert ratios[0] > ratios[-1]

@@ -1,0 +1,96 @@
+"""Unit tests for the lock-contention scalability model."""
+
+import pytest
+
+from repro.concurrency.model import (
+    PolicyProfile,
+    profile_policy,
+    scaling_table,
+    simulate_scaling,
+)
+
+
+def profile(hit_ratio=0.9, promotions=0.0, name="x"):
+    return PolicyProfile(name=name, hit_ratio=hit_ratio,
+                         promotions_per_request=promotions)
+
+
+class TestPolicyProfile:
+    def test_miss_ratio_complement(self):
+        assert profile(hit_ratio=0.7).miss_ratio == pytest.approx(0.3)
+
+    def test_profile_policy_measures_real_runs(self, zipf_keys):
+        from repro.policies.lru import LRU
+        measured = profile_policy(LRU(100), zipf_keys)
+        assert measured.name == "LRU"
+        assert 0 < measured.hit_ratio < 1
+        # LRU promotes on every hit.
+        assert measured.promotions_per_request == pytest.approx(
+            measured.hit_ratio)
+
+
+class TestSimulateScaling:
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            simulate_scaling(profile(), thread_counts=(0,))
+
+    def test_single_thread_throughput_reasonable(self):
+        points = simulate_scaling(profile(), thread_counts=(1,),
+                                  requests_per_thread=500)
+        point = points[0]
+        assert point.threads == 1
+        assert 0 < point.throughput <= 1.0  # at most 1/base_work
+        assert 0 <= point.lock_utilisation <= 1
+
+    def test_lock_free_policy_scales_linearly_at_first(self):
+        points = simulate_scaling(
+            profile(hit_ratio=1.0, promotions=0.0),
+            thread_counts=(1, 2, 4), requests_per_thread=500)
+        by_threads = {p.threads: p.throughput for p in points}
+        assert by_threads[2] == pytest.approx(2 * by_threads[1], rel=0.05)
+        assert by_threads[4] == pytest.approx(4 * by_threads[1], rel=0.05)
+
+    def test_locked_policy_saturates(self):
+        points = simulate_scaling(
+            profile(hit_ratio=0.95, promotions=0.95),
+            thread_counts=(1, 8, 32), requests_per_thread=500)
+        by_threads = {p.threads: p.throughput for p in points}
+        # Once the lock saturates, more threads add nothing.
+        assert by_threads[32] == pytest.approx(by_threads[8], rel=0.1)
+        assert points[-1].lock_utilisation > 0.9
+
+    def test_lock_free_beats_locked_at_scale(self):
+        free = simulate_scaling(profile(hit_ratio=0.95, promotions=0.0),
+                                thread_counts=(32,),
+                                requests_per_thread=500)[0]
+        locked = simulate_scaling(profile(hit_ratio=0.95, promotions=0.95),
+                                  thread_counts=(32,),
+                                  requests_per_thread=500)[0]
+        assert free.throughput > 3 * locked.throughput
+
+    def test_deterministic(self):
+        a = simulate_scaling(profile(), thread_counts=(4,),
+                             requests_per_thread=300)
+        b = simulate_scaling(profile(), thread_counts=(4,),
+                             requests_per_thread=300)
+        assert a == b
+
+
+class TestScalingTable:
+    def test_one_curve_per_profile(self):
+        curves = scaling_table(
+            [profile(name="a"), profile(name="b", promotions=0.9)],
+            thread_counts=(1, 4), requests_per_thread=200)
+        assert set(curves) == {"a", "b"}
+        assert all(len(points) == 2 for points in curves.values())
+
+
+class TestScalabilityExperiment:
+    def test_runs_and_renders(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro.experiments import scalability
+        result = scalability.run(num_objects=500, num_requests=5000,
+                                 thread_counts=(1, 8))
+        assert "X3" in result.render()
+        # The paper's shape, even at toy scale.
+        assert result.speedup("FIFO", 8) > result.speedup("LRU", 8)

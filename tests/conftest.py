@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import zipf_trace
+from repro.traces.trace import Trace
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic numpy RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def zipf_keys(rng):
+    """A 5000-request Zipf key list over 500 objects (list of ints)."""
+    return zipf_trace(500, 5000, 1.0, rng).tolist()
+
+
+@pytest.fixture
+def small_trace(rng):
+    """A small Trace object for simulator-level tests."""
+    keys = zipf_trace(300, 3000, 0.9, rng)
+    return Trace(name="test-zipf", keys=keys, family="test", group="block")
+
+
+def drive(policy, keys):
+    """Feed keys through a policy; returns the hit/miss boolean list."""
+    return [policy.request(key) for key in keys]

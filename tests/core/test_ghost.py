@@ -1,0 +1,77 @@
+"""Unit tests for the metadata-only ghost queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ghost import GhostQueue
+
+
+class TestGhostQueue:
+    def test_add_and_contains(self):
+        ghost = GhostQueue(3)
+        ghost.add("a")
+        assert "a" in ghost
+        assert "b" not in ghost
+        assert len(ghost) == 1
+
+    def test_fifo_eviction_when_full(self):
+        ghost = GhostQueue(2)
+        ghost.add("a")
+        ghost.add("b")
+        ghost.add("c")
+        assert "a" not in ghost
+        assert "b" in ghost and "c" in ghost
+
+    def test_re_add_refreshes_position(self):
+        ghost = GhostQueue(2)
+        ghost.add("a")
+        ghost.add("b")
+        ghost.add("a")   # refresh: a becomes youngest
+        ghost.add("c")   # evicts b, not a
+        assert "a" in ghost
+        assert "b" not in ghost
+
+    def test_remove(self):
+        ghost = GhostQueue(2)
+        ghost.add("a")
+        assert ghost.remove("a") is True
+        assert ghost.remove("a") is False
+        assert "a" not in ghost
+
+    def test_zero_capacity_stays_empty(self):
+        ghost = GhostQueue(0)
+        ghost.add("a")
+        assert len(ghost) == 0
+        assert "a" not in ghost
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            GhostQueue(-1)
+
+    def test_iteration_oldest_first(self):
+        ghost = GhostQueue(10)
+        for key in "abc":
+            ghost.add(key)
+        assert list(ghost) == ["a", "b", "c"]
+
+    def test_clear(self):
+        ghost = GhostQueue(5)
+        for key in "abc":
+            ghost.add(key)
+        ghost.clear()
+        assert len(ghost) == 0
+
+    @given(st.lists(st.integers(0, 30), max_size=300),
+           st.integers(1, 10))
+    def test_never_exceeds_max_entries(self, keys, max_entries):
+        ghost = GhostQueue(max_entries)
+        for key in keys:
+            ghost.add(key)
+            assert len(ghost) <= max_entries
+
+    @given(st.lists(st.integers(0, 10), min_size=5, max_size=100))
+    def test_most_recent_key_always_present(self, keys):
+        ghost = GhostQueue(3)
+        for key in keys:
+            ghost.add(key)
+        assert keys[-1] in ghost

@@ -1,0 +1,104 @@
+"""Unit tests for the §5 alternative Lazy Promotion techniques."""
+
+import pytest
+
+from repro.core.lp_variants import PeriodicPromotionLRU, PromoteOldOnlyLRU
+from repro.policies.lru import LRU
+from tests.conftest import drive
+
+
+class TestPeriodicPromotionLRU:
+    def test_basic_hit_miss(self):
+        cache = PeriodicPromotionLRU(3)
+        assert cache.request("a") is False
+        assert cache.request("a") is True
+
+    def test_hit_within_period_does_not_promote(self):
+        cache = PeriodicPromotionLRU(3, period=100)
+        for key in "abc":
+            cache.request(key)
+        cache.request("a")   # within period: no movement
+        assert list(cache._queue.keys()) == ["c", "b", "a"]
+
+    def test_hit_after_period_promotes(self):
+        cache = PeriodicPromotionLRU(3, period=2)
+        for key in "abc":
+            cache.request(key)
+        cache.request("a")   # a promoted at t1, now t4: 3 >= 2
+        assert list(cache._queue.keys()) == ["a", "c", "b"]
+
+    def test_default_period_is_capacity(self):
+        cache = PeriodicPromotionLRU(17)
+        assert cache.period == 17
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = PeriodicPromotionLRU(30)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 30
+
+    def test_large_period_approaches_fifo(self, zipf_keys):
+        """With an infinite period no promotion ever happens: the
+        policy must produce exactly FIFO's decisions."""
+        from repro.policies.fifo import FIFO
+        lazy = PeriodicPromotionLRU(40, period=10 ** 9)
+        fifo = FIFO(40)
+        for key in zipf_keys:
+            assert lazy.request(key) == fifo.request(key)
+
+    def test_period_one_is_plain_lru(self, zipf_keys):
+        lazy = PeriodicPromotionLRU(40, period=1)
+        lru = LRU(40)
+        for key in zipf_keys:
+            assert lazy.request(key) == lru.request(key)
+
+
+class TestPromoteOldOnlyLRU:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PromoteOldOnlyLRU(10, old_fraction=0.0)
+        with pytest.raises(ValueError):
+            PromoteOldOnlyLRU(10, old_fraction=1.5)
+
+    def test_basic_hit_miss(self):
+        cache = PromoteOldOnlyLRU(3)
+        assert cache.request("a") is False
+        assert cache.request("a") is True
+
+    def test_young_hit_is_noop(self):
+        cache = PromoteOldOnlyLRU(10, old_fraction=0.5)
+        for key in "abc":
+            cache.request(key)
+        cache.request("c")   # c is young (age 1 < 5): no movement
+        assert list(cache._queue.keys()) == ["c", "b", "a"]
+
+    def test_old_hit_promotes(self):
+        cache = PromoteOldOnlyLRU(4, old_fraction=0.5)
+        cache.request("a")
+        for key in "bcd":
+            cache.request(key)
+        # a's age is 3 >= (1-0.5)*4 = 2: the hit promotes it.
+        cache.request("a")
+        assert list(cache._queue.keys())[0] == "a"
+
+    def test_old_fraction_one_is_plain_lru(self, zipf_keys):
+        promote_all = PromoteOldOnlyLRU(40, old_fraction=1.0)
+        lru = LRU(40)
+        for key in zipf_keys:
+            assert promote_all.request(key) == lru.request(key)
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = PromoteOldOnlyLRU(30)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 30
+
+    def test_competitive_with_lru_despite_fewer_promotions(self, zipf_keys):
+        """The §5 point: skipping young promotions costs almost no miss
+        ratio (here: within 3 points of LRU) while cutting promotion
+        traffic drastically."""
+        lazy = PromoteOldOnlyLRU(60, old_fraction=0.5)
+        lru = LRU(60)
+        drive(lazy, zipf_keys)
+        drive(lru, zipf_keys)
+        assert lazy.stats.miss_ratio <= lru.stats.miss_ratio + 0.03

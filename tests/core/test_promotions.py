@@ -1,0 +1,61 @@
+"""Tests for the promotion (structural reordering) accounting --
+the simulator's proxy for the paper's §2 throughput argument."""
+
+from repro.core.clock import FIFOReinsertion
+from repro.core.qd import QDCache
+from repro.core.sieve import Sieve
+from repro.policies.fifo import FIFO
+from repro.policies.lru import LRU
+from repro.policies.arc import ARC
+from tests.conftest import drive
+
+
+class TestPromotionCounting:
+    def test_fifo_never_promotes(self, zipf_keys):
+        cache = FIFO(50)
+        drive(cache, zipf_keys)
+        assert cache.stats.promotions == 0
+
+    def test_sieve_never_promotes(self, zipf_keys):
+        cache = Sieve(50)
+        drive(cache, zipf_keys)
+        assert cache.stats.promotions == 0
+
+    def test_lru_promotes_every_hit(self, zipf_keys):
+        cache = LRU(50)
+        drive(cache, zipf_keys)
+        assert cache.stats.promotions == cache.stats.hits
+
+    def test_arc_promotes_every_hit(self, zipf_keys):
+        cache = ARC(50)
+        drive(cache, zipf_keys)
+        assert cache.stats.promotions == cache.stats.hits
+
+    def test_clock_promotes_far_less_than_lru(self, zipf_keys):
+        """The paper's point: reinsertion happens per *eviction scan*,
+        not per hit, so LP-FIFO's promotion traffic is a fraction of
+        LRU's."""
+        lru, clock = LRU(50), FIFOReinsertion(50)
+        drive(lru, zipf_keys)
+        drive(clock, zipf_keys)
+        assert clock.stats.promotions < lru.stats.promotions / 2
+
+    def test_promotions_per_request(self):
+        cache = LRU(10)
+        assert cache.stats.promotions_per_request == 0.0
+        drive(cache, [1, 1, 1, 2])
+        assert cache.stats.promotions_per_request == 0.5
+
+    def test_reset_clears_promotions(self, zipf_keys):
+        cache = LRU(50)
+        drive(cache, zipf_keys[:100])
+        cache.stats.reset()
+        assert cache.stats.promotions == 0
+
+    def test_qd_aggregates_main_cache_promotions(self, zipf_keys):
+        cache = QDCache(50, ARC)
+        drive(cache, zipf_keys)
+        assert cache.promotion_count == (
+            cache.stats.promotions + cache.main.stats.promotions)
+        # The wrapper itself promotes only on probation -> main moves.
+        assert cache.stats.promotions <= cache.stats.misses

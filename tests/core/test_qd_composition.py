@@ -1,0 +1,71 @@
+"""Composition tests: the QD wrapper must be sound around *any* main
+policy -- the paper's LEGO claim, tested against the whole zoo."""
+
+import pytest
+
+from repro.core.qd import QDCache
+from repro.policies.arc import ARC
+from repro.policies.cacheus import CACHEUS
+from repro.policies.hyperbolic import Hyperbolic
+from repro.policies.lecar import LeCaR
+from repro.policies.lfu import LFU
+from repro.policies.lhd import LHD
+from repro.policies.lirs import LIRS
+from repro.policies.lru import LRU
+from repro.policies.mq import MQ
+from repro.policies.slru import SLRU
+from repro.policies.twoq import TwoQ
+from repro.policies.wtinylfu import WTinyLFU
+
+MAIN_FACTORIES = [
+    LRU, LFU, SLRU, TwoQ, MQ, Hyperbolic,
+    ARC, LIRS, CACHEUS, LeCaR, LHD, WTinyLFU,
+]
+
+
+@pytest.mark.parametrize("main_factory", MAIN_FACTORIES,
+                         ids=lambda f: f.__name__)
+class TestQDAroundEverything:
+    def test_invariants_hold(self, main_factory, zipf_keys):
+        cache = QDCache(40, main_factory)
+        hits = 0
+        for key in zipf_keys:
+            resident = key in cache
+            hit = cache.request(key)
+            assert hit == resident
+            assert key in cache
+            assert len(cache) <= 40
+            hits += hit
+        assert cache.stats.hits == hits
+        assert cache.stats.requests == len(zipf_keys)
+
+    def test_segments_partition_contents(self, main_factory, zipf_keys):
+        cache = QDCache(40, main_factory)
+        for key in zipf_keys[:1500]:
+            cache.request(key)
+            assert not (cache.in_probation(key) and cache.in_main(key))
+            assert len(cache._probation) <= cache.probation_capacity
+            assert len(cache.main) <= cache.main_capacity
+
+    def test_ghost_disjoint_from_cache(self, main_factory, zipf_keys):
+        cache = QDCache(40, main_factory)
+        for key in zipf_keys[:1500]:
+            cache.request(key)
+            if key in cache.ghost:
+                assert key not in cache
+
+    def test_deterministic(self, main_factory, zipf_keys):
+        a = QDCache(40, main_factory)
+        b = QDCache(40, main_factory)
+        outcomes_a = [a.request(k) for k in zipf_keys[:2000]]
+        outcomes_b = [b.request(k) for k in zipf_keys[:2000]]
+        assert outcomes_a == outcomes_b
+
+
+def test_qd_around_qd_is_legal(zipf_keys):
+    """Even stacking QD twice must stay sound (a degenerate LEGO)."""
+    cache = QDCache(50, lambda c: QDCache(c, LRU))
+    for key in zipf_keys:
+        cache.request(key)
+        assert len(cache) <= 50
+    assert cache.stats.requests == len(zipf_keys)

@@ -1,0 +1,77 @@
+"""Unit tests for the experiment plumbing (configs, artifacts)."""
+
+import os
+
+import pytest
+
+from repro.experiments.common import (
+    FULL,
+    QUICK,
+    TINY,
+    CorpusConfig,
+    default_workers,
+    results_dir,
+    write_result,
+)
+
+
+class TestCorpusConfig:
+    def test_build_respects_counts(self):
+        config = CorpusConfig(scale=0.05, traces_per_family=1)
+        assert len(config.build()) == 10
+
+    def test_family_filter(self):
+        config = CorpusConfig(scale=0.05, traces_per_family=1,
+                              families=("msr",))
+        corpus = config.build()
+        assert len(corpus) == 1
+        assert corpus[0].family == "msr"
+
+    def test_scaled_returns_modified_copy(self):
+        modified = QUICK.scaled(scale=0.2)
+        assert modified.scale == 0.2
+        assert modified.traces_per_family == QUICK.traces_per_family
+        assert QUICK.scale == 1.0  # original untouched
+
+    def test_presets_ordered_by_cost(self):
+        assert TINY.scale < QUICK.scale <= FULL.scale
+        assert (TINY.traces_per_family or 99) <= (
+            QUICK.traces_per_family or 99)
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(Exception):
+            QUICK.scale = 0.5
+
+    def test_deterministic_build(self):
+        import numpy as np
+        a = TINY.build()
+        b = TINY.build()
+        assert all(np.array_equal(x.keys, y.keys) for x, y in zip(a, b))
+
+
+class TestArtifacts:
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "out"))
+        path = results_dir()
+        assert path == tmp_path / "out"
+        assert path.is_dir()
+
+    def test_write_result(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_result("mytest", "hello\nworld")
+        assert path.read_text() == "hello\nworld\n"
+        assert path.name == "mytest.txt"
+
+
+class TestWorkers:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_minimum_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+
+    def test_default_positive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() >= 1

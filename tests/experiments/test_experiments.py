@@ -1,0 +1,186 @@
+"""Integration tests: every experiment pipeline runs end-to-end on the
+TINY corpus and produces sane, renderable results."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    fig2,
+    fig3,
+    fig5,
+    table1,
+    throughput,
+)
+from repro.experiments.common import CorpusConfig
+
+TINY = CorpusConfig(scale=0.1, traces_per_family=1)
+
+
+@pytest.fixture(autouse=True)
+def results_tmpdir(tmp_path, monkeypatch):
+    """Redirect results/ artifacts into the test's tmp dir."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    yield tmp_path
+
+
+class TestTable1:
+    def test_rows_cover_all_families(self, results_tmpdir):
+        result = table1.run(TINY)
+        assert len(result.rows) == 10
+        assert {r.family for r in result.rows} == {
+            "msr", "fiu", "cloudphysics", "cdn", "tencent_photo", "wiki",
+            "tencent_cbs", "alibaba", "twitter", "socialnet"}
+
+    def test_render_and_artifact(self, results_tmpdir):
+        result = table1.run(TINY)
+        text = result.render()
+        assert "Table 1" in text
+        assert "TOTAL" in text
+        assert (results_tmpdir / "table1.txt").exists()
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        import os
+        os.environ["REPRO_RESULTS_DIR"] = str(tmp_path_factory.mktemp("r"))
+        return fig2.run(TINY, workers=1)
+
+    def test_win_fractions_computed_per_challenger(self, result):
+        assert set(result.by_family) == {"FIFO-Reinsertion", "2-bit-CLOCK"}
+        rows = result.by_family["FIFO-Reinsertion"]
+        assert len(rows) == 20  # 10 families x 2 sizes
+
+    def test_demotion_ages_show_quick_demotion(self, result):
+        """Fig. 2(e): FIFO-Reinsertion demotes never-hit objects much
+        faster than LRU."""
+        assert (result.demotion_age_fifo_reinsertion
+                < result.demotion_age_lru)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Fig. 2" in text
+        assert "datasets won" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        import os
+        os.environ["REPRO_RESULTS_DIR"] = str(tmp_path_factory.mktemp("r"))
+        return fig3.run(scale=0.3)
+
+    def test_all_cells_present(self, result):
+        for trace_name in ("MSR", "Twitter"):
+            for policy in fig3.POLICIES:
+                deciles = result.shares[(trace_name, policy)]
+                assert len(deciles) == fig3.NUM_DECILES
+                assert sum(deciles) == pytest.approx(1.0, abs=1e-6)
+                assert (trace_name, policy) in result.miss_ratios
+
+    def test_efficient_policies_spend_less_on_unpopular(self, result):
+        """The Fig. 3 headline: the efficient policies (ARC, Belady)
+        spend a smaller space-time share on the unpopular half than
+        LRU does."""
+        for trace_name in ("MSR", "Twitter"):
+            shares = {p: result.unpopular_share(trace_name, p)
+                      for p in fig3.POLICIES}
+            assert shares["Belady"] < shares["LRU"]
+            assert shares["ARC"] < shares["LRU"]
+
+    def test_belady_has_lowest_miss_ratio(self, result):
+        """Table 2 ordering: Belady below every online policy."""
+        for trace_name in ("MSR", "Twitter"):
+            ratios = {p: result.miss_ratios[(trace_name, p)]
+                      for p in fig3.POLICIES}
+            assert ratios["Belady"] == min(ratios.values())
+
+    def test_arc_beats_lru_on_msr(self, result):
+        assert (result.miss_ratios[("MSR", "ARC")]
+                < result.miss_ratios[("MSR", "LRU")])
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Fig. 3" in text
+        assert "Table 2" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        import os
+        os.environ["REPRO_RESULTS_DIR"] = str(tmp_path_factory.mktemp("r"))
+        return fig5.run(TINY, workers=1)
+
+    def test_summaries_cover_matrix(self, result):
+        for group in fig5.GROUPS:
+            for size in fig5.SIZES:
+                for policy in fig5.POLICIES[1:]:
+                    assert (group, size, policy) in result.summaries
+
+    def test_qd_gains_computed_for_all_sota(self, result):
+        assert set(result.qd_gains) == {"ARC", "LIRS", "CACHEUS",
+                                        "LeCaR", "LHD"}
+        for mean_gain, max_gain in result.qd_gains.values():
+            assert max_gain >= mean_gain
+            assert not math.isnan(mean_gain)
+
+    def test_sota_beats_lru_on_average(self, result):
+        """ARC must reduce miss ratios relative to LRU on average (the
+        paper's 6.2% yardstick -- sign only at tiny scale)."""
+        assert result.arc_vs_lru_mean > 0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Fig. 5" in text
+        assert "QD-X vs X" in text
+
+
+class TestAblations:
+    def test_probation_sweep(self, results_tmpdir):
+        result = ablations.run_probation_sweep(
+            TINY, fractions=(0.1, 0.5))
+        assert set(result.outcomes) == {0.1, 0.5}
+        assert "probation" in result.render()
+
+    def test_ghost_sweep_zero_disables_history(self, results_tmpdir):
+        result = ablations.run_ghost_sweep(TINY, factors=(0.0, 1.0))
+        assert set(result.outcomes) == {0.0, 1.0}
+
+    def test_clock_bits_sweep(self, results_tmpdir):
+        result = ablations.run_clock_bits_sweep(TINY, bits=(1, 2))
+        assert set(result.outcomes) == {1, 2}
+        assert result.best() in (1, 2)
+
+
+class TestExtensions:
+    def test_means_cover_all_cells(self, results_tmpdir):
+        result = extensions.run(TINY, workers=1)
+        for policy in extensions.POLICIES[1:]:
+            for group in ("block", "web"):
+                for size in (0.001, 0.1):
+                    assert (group, size, policy) in result.means
+        assert "S3-FIFO" in result.render()
+
+
+class TestThroughput:
+    def test_measures_each_policy(self, results_tmpdir):
+        result = throughput.run(policies=("FIFO", "LRU", "ARC"),
+                                num_objects=500, num_requests=20000)
+        assert set(result.ops_per_second) == {"FIFO", "LRU", "ARC"}
+        assert all(v > 0 for v in result.ops_per_second.values())
+        assert all(0 < h < 1 for h in result.hit_ratio.values())
+
+    def test_relative_speedup(self, results_tmpdir):
+        result = throughput.run(policies=("FIFO", "LRU"),
+                                num_objects=500, num_requests=20000)
+        relative = result.relative_to("LRU")
+        assert relative["LRU"] == pytest.approx(1.0)
+
+    def test_render(self, results_tmpdir):
+        result = throughput.run(policies=("FIFO", "LRU"),
+                                num_objects=300, num_requests=5000)
+        assert "k-requests/s" in result.render()

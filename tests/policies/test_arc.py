@@ -1,0 +1,111 @@
+"""Unit tests for ARC, traced against the FAST'03 pseudocode."""
+
+from repro.policies.arc import ARC
+from tests.conftest import drive
+
+
+class TestARC:
+    def test_new_keys_enter_t1(self):
+        cache = ARC(4)
+        cache.request("a")
+        assert cache.in_t1("a")
+        assert not cache.in_t2("a")
+
+    def test_hit_moves_to_t2(self):
+        cache = ARC(4)
+        cache.request("a")
+        cache.request("a")
+        assert cache.in_t2("a")
+        assert not cache.in_t1("a")
+
+    def test_full_t1_evicts_without_ghosting(self):
+        """FAST'03 Case IV: when |T1| == c (B1 empty), the T1 LRU is
+        dropped outright, not recorded in B1."""
+        cache = ARC(2)
+        cache.request("a")
+        cache.request("b")
+        cache.request("c")
+        assert "a" not in cache
+        assert len(cache._b1) == 0
+
+    def test_b1_hit_grows_p(self):
+        cache = ARC(2)
+        cache.request("a")
+        cache.request("a")      # a -> T2
+        cache.request("b")      # T1 = [b]
+        cache.request("c")      # replace() pushes b into the B1 ghost
+        assert "b" in cache._b1
+        assert cache.p == 0.0
+        cache.request("b")      # ghost hit in B1: p grows
+        assert cache.p > 0.0
+        assert cache.in_t2("b")
+
+    def test_b2_hit_shrinks_p(self):
+        cache = ARC(2)
+        # Put a into T2, then push it out into B2.
+        cache.request("a")
+        cache.request("a")      # a in T2
+        cache.request("b")
+        cache.request("c")
+        cache.request("b")
+        cache.request("c")      # a long gone into B2
+        assert "a" not in cache
+        p_before = cache.p
+        cache.request("a")      # B2 ghost hit: p shrinks (floor 0)
+        assert cache.p <= p_before
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = ARC(30)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 30
+
+    def test_ghost_lists_bounded(self, zipf_keys):
+        """|T1|+|B1| <= c and total directory <= 2c (FAST'03 invariants)."""
+        cache = ARC(25)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache._t1) + len(cache._b1) <= 25
+            total = (len(cache._t1) + len(cache._t2)
+                     + len(cache._b1) + len(cache._b2))
+            assert total <= 50
+
+    def test_p_stays_in_range(self, zipf_keys):
+        cache = ARC(25)
+        for key in zipf_keys:
+            cache.request(key)
+            assert 0.0 <= cache.p <= 25.0
+
+    def test_lists_disjoint(self, zipf_keys):
+        cache = ARC(20)
+        for key in zipf_keys[:1500]:
+            cache.request(key)
+            t1, t2 = set(cache._t1), set(cache._t2)
+            b1, b2 = set(cache._b1), set(cache._b2)
+            assert not (t1 & t2)
+            assert not (b1 & b2)
+            assert not ((t1 | t2) & (b1 | b2))
+
+    def test_scan_resistance(self, rng):
+        """ARC's raison d'etre: scans must not flush the hot set."""
+        from repro.traces.synthetic import blend, scan_trace, zipf_trace
+        from repro.policies.lru import LRU
+        core = zipf_trace(400, 15000, 1.1, rng)
+        scan = scan_trace(5000, base=1000)
+        keys = blend([core, scan], [0.75, 0.25], rng).tolist()
+        arc, lru = ARC(100), LRU(100)
+        drive(arc, keys)
+        drive(lru, keys)
+        assert arc.stats.miss_ratio < lru.stats.miss_ratio
+
+    def test_beats_lru_on_corpus_trace(self):
+        """ARC reduces LRU's miss ratio on a representative trace (the
+        paper's 6.2%-on-average yardstick)."""
+        from repro.traces.corpus import FAMILY_BY_NAME, build_trace
+        from repro.policies.lru import LRU
+        trace = build_trace(FAMILY_BY_NAME["cdn"], 0, 0.5, 42)
+        capacity = trace.cache_size(0.1)
+        arc, lru = ARC(capacity), LRU(capacity)
+        drive(arc, trace.as_list())
+        drive(lru, trace.as_list())
+        assert arc.stats.miss_ratio < lru.stats.miss_ratio

@@ -1,0 +1,127 @@
+"""Unit tests for CACHEUS (SR-LRU + CR-LFU with adaptive learning rate)."""
+
+import pytest
+
+from repro.policies.cacheus import CACHEUS, _SRLRU
+from tests.conftest import drive
+
+
+class TestSRLRU:
+    def test_insert_goes_to_scan_region(self):
+        srlru = _SRLRU(4)
+        srlru.insert("a")
+        assert "a" in srlru._scan
+
+    def test_hit_moves_to_reuse_region(self):
+        srlru = _SRLRU(4)
+        srlru.insert("a")
+        srlru.hit("a")
+        assert "a" in srlru._reuse
+        assert "a" not in srlru._scan
+
+    def test_victim_prefers_scan_region(self):
+        srlru = _SRLRU(4)
+        srlru.insert("a")
+        srlru.hit("a")
+        srlru.insert("b")
+        assert srlru.victim() == "b"
+
+    def test_victim_falls_back_to_reuse(self):
+        srlru = _SRLRU(4)
+        srlru.insert("a")
+        srlru.hit("a")
+        assert srlru.victim() == "a"
+
+    def test_reuse_overflow_demotes(self):
+        srlru = _SRLRU(4)  # scan_target 2 -> max_reuse 2
+        for key in "abc":
+            srlru.insert(key)
+            srlru.hit(key)
+        assert len(srlru._reuse) <= 2
+        assert len(srlru._scan) >= 1
+
+    def test_history_hit_shrinks_scan_target(self):
+        srlru = _SRLRU(10)
+        before = srlru.scan_target
+        srlru.on_history_hit()
+        assert srlru.scan_target == before - 1
+
+    def test_scan_eviction_grows_scan_target(self):
+        srlru = _SRLRU(10)
+        before = srlru.scan_target
+        srlru.on_scan_eviction()
+        assert srlru.scan_target == before + 1
+
+    def test_scan_target_bounded(self):
+        srlru = _SRLRU(3)
+        for _ in range(20):
+            srlru.on_history_hit()
+        assert srlru.scan_target >= 1
+        for _ in range(20):
+            srlru.on_scan_eviction()
+        assert srlru.scan_target <= 2
+
+
+class TestCACHEUS:
+    def test_basic_hit_miss(self):
+        cache = CACHEUS(3)
+        assert cache.request("a") is False
+        assert cache.request("a") is True
+
+    def test_weights_normalised(self, zipf_keys):
+        cache = CACHEUS(25)
+        for key in zipf_keys:
+            cache.request(key)
+            w1, w2 = cache.weights
+            assert w1 + w2 == pytest.approx(1.0)
+
+    def test_learning_rate_in_bounds(self, zipf_keys):
+        cache = CACHEUS(25)
+        for key in zipf_keys:
+            cache.request(key)
+            assert CACHEUS._LR_MIN <= cache.learning_rate <= CACHEUS._LR_MAX
+
+    def test_experts_agree_on_contents(self, zipf_keys):
+        cache = CACHEUS(20)
+        for key in zipf_keys[:2000]:
+            cache.request(key)
+            resident = set(cache._present)
+            assert set(cache._crlfu._freq_of) == resident
+            srlru_keys = set(cache._srlru._scan) | set(cache._srlru._reuse)
+            assert srlru_keys == resident
+
+    def test_histories_bounded(self, zipf_keys):
+        cache = CACHEUS(20)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache._hist_srlru) <= 10
+            assert len(cache._hist_crlfu) <= 10
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = CACHEUS(25)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 25
+
+    def test_deterministic_with_seed(self, zipf_keys):
+        a = CACHEUS(25, seed=5)
+        b = CACHEUS(25, seed=5)
+        assert drive(a, zipf_keys) == drive(b, zipf_keys)
+
+    def test_beats_fifo_on_skewed_workload(self, zipf_keys):
+        from repro.policies.fifo import FIFO
+        cacheus, fifo = CACHEUS(50), FIFO(50)
+        drive(cacheus, zipf_keys)
+        drive(fifo, zipf_keys)
+        assert cacheus.stats.miss_ratio < fifo.stats.miss_ratio
+
+    def test_scan_resistance(self, rng):
+        from repro.traces.synthetic import blend, scan_trace, zipf_trace
+        from repro.policies.lru import LRU
+        core = zipf_trace(400, 15000, 1.1, rng)
+        scan = scan_trace(5000, base=1000)
+        keys = blend([core, scan], [0.75, 0.25], rng).tolist()
+        cacheus, lru = CACHEUS(100), LRU(100)
+        drive(cacheus, keys)
+        drive(lru, keys)
+        assert cacheus.stats.miss_ratio < lru.stats.miss_ratio

@@ -1,0 +1,53 @@
+"""Unit tests for plain FIFO."""
+
+from repro.policies.fifo import FIFO
+from tests.conftest import drive
+
+
+class TestFIFO:
+    def test_insertion_order_eviction(self):
+        cache = FIFO(3)
+        for key in "abcd":
+            cache.request(key)
+        assert "a" not in cache
+        assert {"b", "c", "d"} == set(cache._queue)
+
+    def test_hits_do_not_change_order(self):
+        cache = FIFO(2)
+        cache.request("a")
+        cache.request("b")
+        cache.request("a")   # hit; FIFO does nothing
+        cache.request("c")   # still evicts a (oldest insertion)
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_hit_and_miss_return_values(self):
+        cache = FIFO(2)
+        assert cache.request("a") is False
+        assert cache.request("a") is True
+
+    def test_len_and_contains(self):
+        cache = FIFO(5)
+        for key in "abc":
+            cache.request(key)
+        assert len(cache) == 3
+        assert "b" in cache and "z" not in cache
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = FIFO(40)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 40
+
+    def test_stats(self, zipf_keys):
+        cache = FIFO(40)
+        hits = sum(drive(cache, zipf_keys))
+        assert cache.stats.hits == hits
+        assert cache.stats.requests == len(zipf_keys)
+
+    def test_cyclic_loop_worst_case(self):
+        """A loop one longer than the cache yields zero hits (the
+        classic FIFO == LRU == 0 pathology)."""
+        cache = FIFO(5)
+        keys = list(range(6)) * 10
+        assert not any(drive(cache, keys))

@@ -1,0 +1,64 @@
+"""Unit tests for hyperbolic caching."""
+
+import pytest
+
+from repro.policies.hyperbolic import Hyperbolic
+from tests.conftest import drive
+
+
+class TestHyperbolic:
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            Hyperbolic(10, sample_size=0)
+
+    def test_basic_hit_miss(self):
+        cache = Hyperbolic(3)
+        assert cache.request("a") is False
+        assert cache.request("a") is True
+
+    def test_small_cache_exact_eviction(self):
+        """With n <= sample_size the whole cache is the sample, so the
+        eviction is exact: the lowest request *rate* goes."""
+        cache = Hyperbolic(2, sample_size=64)
+        for _ in range(6):
+            cache.request("a")   # a: high rate
+        cache.request("b")       # b: rate 1/age, decaying
+        for _ in range(4):
+            cache.request("a")   # let b age without hits
+        cache.request("c")       # a: ~10/11, b: ~1/5 -> evict b
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_idle_priority_decays(self):
+        cache = Hyperbolic(30)
+        cache.request("a")
+        p0 = cache._priority("a")
+        for i in range(20):
+            cache.request(f"x{i}")  # cache big enough: a stays resident
+        assert cache._priority("a") < p0
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = Hyperbolic(25)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 25
+
+    def test_internal_indexes_consistent(self, zipf_keys):
+        cache = Hyperbolic(20)
+        for key in zipf_keys[:2000]:
+            cache.request(key)
+            assert len(cache._keys) == len(cache._pos) == len(cache._meta)
+            for k, idx in list(cache._pos.items())[:5]:
+                assert cache._keys[idx] == k
+
+    def test_deterministic_with_seed(self, zipf_keys):
+        a = Hyperbolic(25, seed=3)
+        b = Hyperbolic(25, seed=3)
+        assert drive(a, zipf_keys) == drive(b, zipf_keys)
+
+    def test_beats_fifo_on_skewed_workload(self, zipf_keys):
+        from repro.policies.fifo import FIFO
+        hyp, fifo = Hyperbolic(50), FIFO(50)
+        drive(hyp, zipf_keys)
+        drive(fifo, zipf_keys)
+        assert hyp.stats.miss_ratio < fifo.stats.miss_ratio

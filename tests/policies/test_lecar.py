@@ -1,0 +1,84 @@
+"""Unit tests for LeCaR."""
+
+import pytest
+
+from repro.policies.lecar import LeCaR
+from tests.conftest import drive
+
+
+class TestLeCaR:
+    def test_initial_weights(self):
+        cache = LeCaR(10)
+        assert cache.weights == (0.5, 0.5)
+
+    def test_basic_hit_miss(self):
+        cache = LeCaR(3)
+        assert cache.request("a") is False
+        assert cache.request("a") is True
+
+    def test_weights_stay_normalised(self, zipf_keys):
+        cache = LeCaR(25)
+        for key in zipf_keys:
+            cache.request(key)
+            w_lru, w_lfu = cache.weights
+            assert w_lru + w_lfu == pytest.approx(1.0)
+            assert 0.0 < w_lru < 1.0
+
+    def test_history_hit_boosts_other_expert(self):
+        cache = LeCaR(2, seed=0)
+        # Force evictions and replay an evicted key: whichever history
+        # it sits in, the other expert's weight must rise.
+        for key in ["a", "b", "c", "d", "e"]:
+            cache.request(key)
+        victim = next(iter(cache._hist_lru), None)
+        if victim is None:
+            victim = next(iter(cache._hist_lfu))
+            before = cache.w_lru
+            cache.request(victim)
+            assert cache.w_lru > before
+        else:
+            before = cache.w_lfu
+            cache.request(victim)
+            assert cache.w_lfu > before
+
+    def test_history_restores_frequency(self):
+        cache = LeCaR(2, seed=1)
+        for _ in range(5):
+            cache.request("a")
+        # Evict a by churning.
+        for key in ["b", "c", "d", "e", "f"]:
+            cache.request(key)
+        if "a" in cache._hist_lru or "a" in cache._hist_lfu:
+            cache.request("a")
+            assert cache._lfu.frequency("a") > 1
+
+    def test_histories_bounded(self, zipf_keys):
+        cache = LeCaR(20)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache._hist_lru) <= 20
+            assert len(cache._hist_lfu) <= 20
+
+    def test_structures_agree(self, zipf_keys):
+        cache = LeCaR(20)
+        for key in zipf_keys[:2000]:
+            cache.request(key)
+            assert set(cache._lru) == set(cache._lfu._freq_of)
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = LeCaR(25)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 25
+
+    def test_deterministic_with_seed(self, zipf_keys):
+        a = LeCaR(25, seed=7)
+        b = LeCaR(25, seed=7)
+        assert drive(a, zipf_keys) == drive(b, zipf_keys)
+
+    def test_beats_fifo_on_skewed_workload(self, zipf_keys):
+        from repro.policies.fifo import FIFO
+        lecar, fifo = LeCaR(50), FIFO(50)
+        drive(lecar, zipf_keys)
+        drive(fifo, zipf_keys)
+        assert lecar.stats.miss_ratio < fifo.stats.miss_ratio

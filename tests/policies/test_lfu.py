@@ -1,0 +1,134 @@
+"""Unit tests for the O(1) LFU structure (and its CR-LFU variant)."""
+
+import pytest
+
+from repro.policies.lfu import LFU
+from tests.conftest import drive
+
+
+class TestLFUBasics:
+    def test_least_frequent_evicted(self):
+        cache = LFU(2)
+        cache.request("a")
+        cache.request("a")
+        cache.request("b")
+        cache.request("c")   # b (freq 1) evicted, not a (freq 2)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_tie_break_lru_default(self):
+        cache = LFU(2)
+        cache.request("a")
+        cache.request("b")
+        cache.request("c")   # tie at freq 1: a is least recent -> evicted
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_tie_break_mru_variant(self):
+        cache = LFU(2, tie="mru")
+        cache.request("a")
+        cache.request("b")
+        cache.request("c")   # tie at freq 1: b is most recent -> evicted
+        assert "b" not in cache
+        assert "a" in cache
+        assert cache.name == "CR-LFU"
+
+    def test_invalid_tie_rejected(self):
+        with pytest.raises(ValueError):
+            LFU(2, tie="fifo")
+
+    def test_frequency_tracking(self):
+        cache = LFU(5)
+        for _ in range(4):
+            cache.request("a")
+        assert cache.frequency("a") == 4
+        assert cache.frequency("missing") == 0
+
+    def test_victim(self):
+        cache = LFU(3)
+        cache.request("a")
+        cache.request("a")
+        cache.request("b")
+        assert cache.victim() == "b"
+        with pytest.raises(KeyError):
+            LFU(2).victim()
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = LFU(30)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 30
+
+
+class TestStructureOps:
+    def test_insert_with_frequency(self):
+        cache = LFU(3)
+        cache.insert("a", freq=5)
+        cache.request("b")
+        cache.request("c")   # cache full now
+        cache.request("d")   # evicts b or c (freq 1), never a
+        assert "a" in cache
+        assert cache.frequency("a") == 5
+
+    def test_insert_duplicate_raises(self):
+        cache = LFU(3)
+        cache.insert("a")
+        with pytest.raises(KeyError):
+            cache.insert("a")
+
+    def test_insert_past_capacity_raises(self):
+        cache = LFU(1)
+        cache.insert("a")
+        with pytest.raises(OverflowError):
+            cache.insert("b")
+
+    def test_insert_invalid_freq_raises(self):
+        with pytest.raises(ValueError):
+            LFU(2).insert("a", freq=0)
+
+    def test_bump(self):
+        cache = LFU(3)
+        cache.insert("a")
+        cache.bump("a")
+        assert cache.frequency("a") == 2
+        with pytest.raises(KeyError):
+            cache.bump("missing")
+
+    def test_pop_victim(self):
+        cache = LFU(3)
+        cache.insert("a", 3)
+        cache.insert("b", 1)
+        cache.insert("c", 2)
+        assert cache.pop_victim() == "b"
+        assert cache.pop_victim() == "c"
+        assert cache.pop_victim() == "a"
+        with pytest.raises(KeyError):
+            cache.pop_victim()
+
+    def test_remove(self):
+        cache = LFU(3)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        assert cache.remove("a") is True
+        assert cache.remove("a") is False
+        assert cache.victim() == "b"
+
+    def test_remove_then_victim_consistent(self):
+        """Removing the only min-frequency key must advance min_freq."""
+        cache = LFU(4)
+        cache.insert("a", 1)
+        cache.insert("b", 3)
+        cache.insert("c", 3)
+        cache.remove("a")
+        assert cache.victim() in ("b", "c")
+
+    def test_interleaved_ops_consistency(self, rng):
+        """LFU invariant: the victim always has the global min count."""
+        cache = LFU(20)
+        keys = rng.integers(0, 60, 3000).tolist()
+        for key in keys:
+            cache.request(key)
+            victim = cache.victim()
+            min_freq = min(cache.frequency(k)
+                           for k in cache._freq_of)
+            assert cache.frequency(victim) == min_freq

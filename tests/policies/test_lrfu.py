@@ -1,0 +1,72 @@
+"""Unit tests for LRFU."""
+
+import pytest
+
+from repro.policies.lrfu import LRFU
+from tests.conftest import drive
+
+
+class TestLRFU:
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            LRFU(10, lambda_=-0.1)
+
+    def test_basic_hit_miss(self):
+        cache = LRFU(3)
+        assert cache.request("a") is False
+        assert cache.request("a") is True
+
+    def test_high_lambda_behaves_like_lru(self, zipf_keys):
+        """With strong decay only recency matters: decisions should
+        closely track LRU."""
+        from repro.policies.lru import LRU
+        lrfu = LRFU(30, lambda_=10.0)
+        lru = LRU(30)
+        agreements = sum(
+            lrfu.request(key) == lru.request(key) for key in zipf_keys)
+        assert agreements / len(zipf_keys) > 0.98
+
+    def test_low_lambda_behaves_like_lfu(self):
+        """lambda -> 0: frequency dominates, so a twice-used object
+        outlives a once-used newer one."""
+        cache = LRFU(2, lambda_=1e-9)
+        cache.request("a")
+        cache.request("a")
+        cache.request("b")
+        cache.request("c")   # b (CRF ~1) evicted, a (CRF ~2) kept
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = LRFU(25)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 25
+
+    def test_heap_compaction_bounds_memory(self, zipf_keys):
+        cache = LRFU(20)
+        for key in zipf_keys:
+            cache.request(key)
+        assert len(cache._heap) <= 8 * max(len(cache._weight), 16)
+
+    def test_weight_monotone_on_rehit(self):
+        """Re-accessing an object must strictly increase its weight
+        (CRF grows by the new access)."""
+        cache = LRFU(5, lambda_=0.01)
+        cache.request("a")
+        w1 = cache._weight["a"]
+        cache.request("x")
+        cache.request("a")
+        assert cache._weight["a"] > w1
+
+    def test_stats_consistency(self, zipf_keys):
+        cache = LRFU(25)
+        hits = sum(drive(cache, zipf_keys))
+        assert cache.stats.hits == hits
+
+    def test_beats_fifo_on_skewed_workload(self, zipf_keys):
+        from repro.policies.fifo import FIFO
+        lrfu, fifo = LRFU(50), FIFO(50)
+        drive(lrfu, zipf_keys)
+        drive(fifo, zipf_keys)
+        assert lrfu.stats.miss_ratio < fifo.stats.miss_ratio

@@ -1,0 +1,65 @@
+"""Unit tests for LRU, including the classic stack (inclusion) property."""
+
+from repro.policies.lru import LRU
+from tests.conftest import drive
+
+
+class TestLRU:
+    def test_least_recent_evicted(self):
+        cache = LRU(2)
+        cache.request("a")
+        cache.request("b")
+        cache.request("a")   # a is now most recent
+        cache.request("c")   # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_victim_helper(self):
+        cache = LRU(3)
+        for key in "abc":
+            cache.request(key)
+        assert cache.victim() == "a"
+        cache.request("a")
+        assert cache.victim() == "b"
+
+    def test_hand_traced_sequence(self):
+        """Request-by-request hit pattern on a fixed sequence."""
+        cache = LRU(3)
+        sequence = ["a", "b", "c", "a", "d", "b", "a", "c", "e", "a"]
+        # d evicts b; the b miss evicts c; the c miss evicts d; the e
+        # miss evicts b again; a is kept hot throughout.
+        expected = [False, False, False, True, False, False, True, False,
+                    False, True]
+        assert drive(cache, sequence) == expected
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = LRU(35)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 35
+
+    def test_inclusion_property(self, zipf_keys):
+        """LRU is a stack algorithm: a larger cache's hits are a
+        superset of a smaller cache's hits at every step."""
+        small = LRU(20)
+        large = LRU(60)
+        for key in zipf_keys[:2000]:
+            small_hit = small.request(key)
+            large_hit = large.request(key)
+            assert not (small_hit and not large_hit)
+
+    def test_loop_pathology(self):
+        """Loops longer than the cache give LRU zero hits -- the
+        pattern LIRS/ARC were invented for."""
+        cache = LRU(5)
+        keys = list(range(6)) * 10
+        assert not any(drive(cache, keys))
+
+    def test_beats_fifo_on_temporal_locality(self, rng):
+        from repro.traces.synthetic import temporal_locality_trace
+        from repro.policies.fifo import FIFO
+        keys = temporal_locality_trace(500, 20000, 1.0, rng).tolist()
+        lru, fifo = LRU(50), FIFO(50)
+        drive(lru, keys)
+        drive(fifo, keys)
+        assert lru.stats.miss_ratio < fifo.stats.miss_ratio

@@ -1,0 +1,87 @@
+"""Unit tests for Multi-Queue (MQ)."""
+
+import pytest
+
+from repro.policies.mq import MQ
+from tests.conftest import drive
+
+
+class TestMQ:
+    def test_invalid_num_queues(self):
+        with pytest.raises(ValueError):
+            MQ(10, num_queues=0)
+
+    def test_queue_index_by_frequency(self):
+        cache = MQ(10)
+        cache.request("a")            # freq 1 -> Q0
+        assert cache.queue_of("a") == 0
+        cache.request("a")            # freq 2 -> Q1
+        assert cache.queue_of("a") == 1
+        cache.request("a")
+        cache.request("a")            # freq 4 -> Q2
+        assert cache.queue_of("a") == 2
+
+    def test_queue_index_capped(self):
+        cache = MQ(10, num_queues=3)
+        for _ in range(100):
+            cache.request("a")
+        assert cache.queue_of("a") == 2
+
+    def test_eviction_from_lowest_queue(self):
+        cache = MQ(2)
+        cache.request("a")
+        cache.request("a")   # a in Q1
+        cache.request("b")   # b in Q0
+        cache.request("c")   # evicts b (lowest queue LRU), not a
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_ghost_restores_frequency(self):
+        # Short lifetime so "a" expires, demotes to Q0 and gets evicted
+        # into Qout during the churn; a large ghost keeps it remembered.
+        cache = MQ(2, lifetime=2, ghost_factor=50)
+        for _ in range(4):
+            cache.request("a")   # freq 4 -> Q2
+        for i in range(20):
+            cache.request(f"k{i}")
+        assert "a" not in cache
+        cache.request("a")       # readmitted with freq 4 + 1 = 5 -> Q2
+        assert cache.queue_of("a") == 2
+
+    def test_expired_head_demoted(self):
+        cache = MQ(4, lifetime=3)
+        cache.request("a")
+        cache.request("a")       # a in Q1
+        assert cache.queue_of("a") == 1
+        # Let a's lifetime expire while other requests tick the clock.
+        for key in ["b", "c", "d", "b", "c", "d"]:
+            cache.request(key)
+        assert cache.queue_of("a") == 0  # demoted Q1 -> Q0
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = MQ(30)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 30
+
+    def test_meta_matches_queues(self, zipf_keys):
+        cache = MQ(25)
+        for key in zipf_keys[:2000]:
+            cache.request(key)
+        total = sum(len(q) for q in cache._queues)
+        assert total == len(cache._meta) == len(cache)
+        for idx, queue in enumerate(cache._queues):
+            for key in queue:
+                assert cache._meta[key][2] == idx
+
+    def test_stats_consistency(self, zipf_keys):
+        cache = MQ(30)
+        hits = sum(drive(cache, zipf_keys))
+        assert cache.stats.hits == hits
+
+    def test_beats_fifo_on_skewed_workload(self, zipf_keys):
+        from repro.policies.fifo import FIFO
+        mq, fifo = MQ(50), FIFO(50)
+        drive(mq, zipf_keys)
+        drive(fifo, zipf_keys)
+        assert mq.stats.miss_ratio < fifo.stats.miss_ratio

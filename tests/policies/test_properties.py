@@ -1,0 +1,130 @@
+"""Property-based tests over the whole policy zoo.
+
+These are the invariants DESIGN.md commits to:
+
+* the cache never exceeds its capacity;
+* a request for a cached key is a hit, for an absent key a miss;
+* hits + misses == requests;
+* identical policies replaying identical traces make identical
+  decisions (determinism);
+* Belady lower-bounds every online policy's misses;
+* an immediate repeat access is always a hit (no policy evicts the
+  object it just served between two back-to-back requests).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.policies.belady import Belady
+from repro.policies.registry import REGISTRY, make, names
+
+# Policies under property test (Belady handled separately: it needs
+# prepare()).
+ONLINE_NAMES = [name for name in names() if name != "Belady"]
+
+keys_strategy = st.lists(st.integers(0, 50), min_size=1, max_size=400)
+capacity_strategy = st.integers(4, 40)
+
+
+def replay(name, capacity, keys):
+    policy = make(name, capacity)
+    outcomes = [policy.request(key) for key in keys]
+    return policy, outcomes
+
+
+@pytest.mark.parametrize("name", ONLINE_NAMES)
+@given(keys=keys_strategy, capacity=capacity_strategy)
+@settings(max_examples=25, deadline=None)
+def test_capacity_and_stats_invariants(name, keys, capacity):
+    policy = make(name, capacity)
+    hits = 0
+    for key in keys:
+        # A request for a currently-cached key must hit; an absent key
+        # must miss; afterwards the key must be resident.
+        resident_before = key in policy
+        hit = policy.request(key)
+        assert hit == resident_before
+        assert key in policy
+        assert len(policy) <= capacity
+        hits += hit
+    assert policy.stats.hits == hits
+    assert policy.stats.requests == len(keys)
+    assert policy.stats.hits + policy.stats.misses == policy.stats.requests
+
+
+@pytest.mark.parametrize("name", ONLINE_NAMES)
+@given(keys=keys_strategy, capacity=capacity_strategy)
+@settings(max_examples=10, deadline=None)
+def test_determinism(name, keys, capacity):
+    _, first = replay(name, capacity, keys)
+    _, second = replay(name, capacity, keys)
+    assert first == second
+
+
+@pytest.mark.parametrize("name", ONLINE_NAMES)
+@given(keys=keys_strategy, capacity=capacity_strategy)
+@settings(max_examples=10, deadline=None)
+def test_immediate_repeat_is_hit(name, keys, capacity):
+    policy = make(name, capacity)
+    for key in keys:
+        policy.request(key)
+        assert policy.request(key) is True
+
+
+@given(keys=keys_strategy, capacity=capacity_strategy)
+@settings(max_examples=40, deadline=None)
+def test_belady_dominates_all_online_policies(keys, capacity):
+    belady = Belady(capacity)
+    belady.prepare(keys)
+    for key in keys:
+        belady.request(key)
+    for name in ("FIFO", "LRU", "2-bit-CLOCK", "ARC", "QD-LP-FIFO"):
+        spec = REGISTRY[name]
+        if capacity < spec.min_capacity:
+            continue
+        policy = make(name, capacity)
+        for key in keys:
+            policy.request(key)
+        assert belady.stats.misses <= policy.stats.misses, name
+
+
+@given(keys=keys_strategy)
+@settings(max_examples=25, deadline=None)
+def test_lru_inclusion_property(keys):
+    """LRU's stack property: hits of a size-k LRU are a subset of the
+    hits of any larger LRU at every position."""
+    from repro.policies.lru import LRU
+    small = LRU(8)
+    large = LRU(16)
+    for key in keys:
+        small_hit = small.request(key)
+        large_hit = large.request(key)
+        assert not (small_hit and not large_hit)
+
+
+@given(keys=keys_strategy, capacity=st.integers(4, 40))
+@settings(max_examples=25, deadline=None)
+def test_compulsory_misses_lower_bound(keys, capacity):
+    """Every policy misses at least once per distinct key (no
+    prefetching exists in this model) -- including Belady."""
+    for name in ("FIFO", "LRU", "ARC", "QD-LP-FIFO", "SIEVE"):
+        spec = REGISTRY[name]
+        if capacity < spec.min_capacity:
+            continue
+        policy = make(name, capacity)
+        for key in keys:
+            policy.request(key)
+        assert policy.stats.misses >= len(set(keys))
+
+
+@given(keys=keys_strategy, capacity=capacity_strategy)
+@settings(max_examples=15, deadline=None)
+def test_fifo_reinsertion_never_worse_than_everything_missing(keys, capacity):
+    """Sanity bound: miss count never exceeds the request count, and a
+    working set that fits entirely yields only compulsory misses."""
+    policy = make("FIFO-Reinsertion", capacity)
+    unique = len(set(keys))
+    for key in keys:
+        policy.request(key)
+    if unique <= capacity:
+        assert policy.stats.misses == unique

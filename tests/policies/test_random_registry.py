@@ -1,0 +1,74 @@
+"""Unit tests for RandomCache and the policy registry."""
+
+import pytest
+
+from repro.policies.random_policy import RandomCache
+from repro.policies.registry import REGISTRY, SOTA_NAMES, make, names
+from tests.conftest import drive
+
+
+class TestRandomCache:
+    def test_basic_hit_miss(self):
+        cache = RandomCache(3)
+        assert cache.request("a") is False
+        assert cache.request("a") is True
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = RandomCache(25)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 25
+
+    def test_swap_pop_index_consistency(self, zipf_keys):
+        cache = RandomCache(15)
+        for key in zipf_keys[:2000]:
+            cache.request(key)
+            for k, idx in cache._pos.items():
+                assert cache._keys[idx] == k
+
+    def test_deterministic_with_seed(self, zipf_keys):
+        a = RandomCache(25, seed=9)
+        b = RandomCache(25, seed=9)
+        assert drive(a, zipf_keys) == drive(b, zipf_keys)
+
+
+class TestRegistry:
+    def test_all_names_instantiate(self):
+        for name in names():
+            spec = REGISTRY[name]
+            policy = make(name, max(64, spec.min_capacity))
+            assert policy.capacity >= spec.min_capacity
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known policies"):
+            make("NotAPolicy", 10)
+
+    def test_min_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            make("LIRS", 1)
+
+    def test_category_filter(self):
+        assert set(names("sota")) == set(SOTA_NAMES)
+        assert "FIFO" in names("baseline")
+        assert "QD-LP-FIFO" in names("qd")
+        assert "Belady" in names("offline")
+        assert set(names()) == set(REGISTRY)
+
+    def test_qd_variants_wrap_their_base(self):
+        from repro.core.qd import QDCache
+        for name in SOTA_NAMES:
+            policy = make(f"QD-{name}", 100)
+            assert isinstance(policy, QDCache)
+            assert policy.name == f"QD-{name}"
+
+    def test_every_policy_handles_a_real_workload(self, zipf_keys):
+        """Smoke: every registered policy processes 5000 requests and
+        reports consistent stats."""
+        for name in names():
+            policy = make(name, 64)
+            if name == "Belady":
+                policy.prepare(zipf_keys)
+            hits = sum(policy.request(key) for key in zipf_keys)
+            assert policy.stats.hits == hits
+            assert policy.stats.requests == len(zipf_keys)
+            assert len(policy) <= 64

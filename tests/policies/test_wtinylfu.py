@@ -1,0 +1,111 @@
+"""Unit tests for W-TinyLFU."""
+
+import pytest
+
+from repro.policies.wtinylfu import WTinyLFU, _SegmentedLRU
+from tests.conftest import drive
+
+
+class TestSegmentedLRU:
+    def test_insert_and_hit_promote(self):
+        slru = _SegmentedLRU(10, protected_fraction=0.8)
+        slru.insert("a")
+        assert "a" in slru
+        slru.hit("a")
+        assert "a" in slru._protected
+
+    def test_victim_prefers_probationary(self):
+        slru = _SegmentedLRU(10, protected_fraction=0.8)
+        slru.insert("a")
+        slru.hit("a")
+        slru.insert("b")
+        assert slru.victim() == "b"
+
+    def test_protected_overflow_demotes(self):
+        slru = _SegmentedLRU(5, protected_fraction=0.4)  # protected 2
+        for key in "abc":
+            slru.insert(key)
+            slru.hit(key)
+        assert len(slru._protected) <= 2
+
+    def test_pop_victim(self):
+        slru = _SegmentedLRU(4, protected_fraction=0.5)
+        slru.insert("a")
+        slru.insert("b")
+        assert slru.pop_victim() == "a"
+        assert "a" not in slru
+
+
+class TestWTinyLFU:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WTinyLFU(1)
+        with pytest.raises(ValueError):
+            WTinyLFU(10, window_fraction=0.0)
+
+    def test_partition(self):
+        cache = WTinyLFU(100)
+        assert cache.window_capacity == 1
+        assert cache.main_capacity == 99
+
+    def test_miss_enters_window(self):
+        cache = WTinyLFU(100)
+        cache.request("a")
+        assert cache.in_window("a")
+
+    def test_window_overflow_moves_to_main_when_space(self):
+        cache = WTinyLFU(100)
+        cache.request("a")
+        cache.request("b")   # window holds 1: a pushed into main
+        assert cache.in_main("a")
+        assert cache.in_window("b")
+
+    def test_admission_duel_rejects_cold_candidate(self):
+        cache = WTinyLFU(10, window_fraction=0.1)  # window 1, main 9
+        # Build a hot main cache.
+        for key in [f"h{i}" for i in range(9)]:
+            for _ in range(5):
+                cache.request(key)
+        # 8 hot keys graduated into main; one remains in the window.
+        assert len(cache) == 9
+        # A stream of one-hit wonders must not displace the hot set.
+        for i in range(30):
+            cache.request(f"cold{i}")
+        hot_resident = sum(f"h{i}" in cache for i in range(9))
+        assert hot_resident >= 8
+
+    def test_frequent_candidate_admitted(self):
+        cache = WTinyLFU(6, window_fraction=0.2)  # window 1, main 5
+        for key in ["a", "b", "c", "d", "e"]:
+            cache.request(key)   # fill main with once-seen keys
+        for _ in range(6):
+            cache.request("hot")  # hot builds sketch frequency
+        assert "hot" in cache
+
+    def test_capacity_never_exceeded(self, zipf_keys):
+        cache = WTinyLFU(30)
+        for key in zipf_keys:
+            cache.request(key)
+            assert len(cache) <= 30
+
+    def test_stats_consistency(self, zipf_keys):
+        cache = WTinyLFU(30)
+        hits = sum(drive(cache, zipf_keys))
+        assert cache.stats.hits == hits
+        assert cache.stats.requests == len(zipf_keys)
+
+    def test_beats_lru_on_ohw_workload(self, rng):
+        """Admission filtering shines exactly where QD does: one-hit
+        wonders must not pollute the cache."""
+        from repro.policies.lru import LRU
+        from repro.traces.synthetic import one_hit_wonder_trace
+        keys = one_hit_wonder_trace(3000, 50000, 1.0, 0.3, rng).tolist()
+        tiny, lru = WTinyLFU(500), LRU(500)
+        drive(tiny, keys)
+        drive(lru, keys)
+        assert tiny.stats.miss_ratio < lru.stats.miss_ratio
+
+    def test_deterministic(self, zipf_keys):
+        a = WTinyLFU(40)
+        b = WTinyLFU(40)
+        assert drive(a, zipf_keys) == drive(b, zipf_keys)

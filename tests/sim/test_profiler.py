@@ -1,0 +1,74 @@
+"""Unit tests for the resource-consumption profiler."""
+
+import math
+
+import pytest
+
+from repro.core.base import EvictionEvent
+from repro.policies.fifo import FIFO
+from repro.policies.lru import LRU
+from repro.core.clock import FIFOReinsertion
+from repro.sim.profiler import ProfileResult, profile
+
+
+class TestProfile:
+    def test_records_complete_lifetimes(self):
+        # FIFO(2): a admitted at t0, evicted at t2 when c arrives.
+        result = profile(FIFO(2), ["a", "b", "c"])
+        events = {e.key: e for e in result.events}
+        assert events["a"].admit_time == 0
+        assert events["a"].evict_time == 2
+        assert events["a"].residency == 2
+
+    def test_still_resident_objects_closed_at_end(self):
+        result = profile(FIFO(10), ["a", "b"])
+        events = {e.key: e for e in result.events}
+        assert events["a"].evict_time == 2   # trace length
+        assert events["b"].evict_time == 2
+
+    def test_hits_counted_per_tenure(self):
+        result = profile(FIFO(10), ["a", "a", "a", "b"])
+        events = {e.key: e for e in result.events}
+        assert events["a"].hits == 2
+        assert events["b"].hits == 0
+
+    def test_multiple_tenures_accumulate(self):
+        # a evicted then readmitted: two events, summed residency.
+        result = profile(FIFO(1), ["a", "b", "a"])
+        a_events = [e for e in result.events if e.key == "a"]
+        assert len(a_events) == 2
+        totals = result.residency_by_key()
+        assert totals["a"] == sum(e.residency for e in a_events)
+
+    def test_miss_ratio_matches_policy(self, small_trace):
+        result = profile(LRU(30), small_trace)
+        assert result.requests == small_trace.num_requests
+        assert 0.0 < result.miss_ratio < 1.0
+
+    def test_zero_hit_ages(self):
+        result = profile(FIFO(2), ["a", "a", "b", "c"])
+        # b and c never hit; a hit once.
+        ages = result.zero_hit_eviction_ages()
+        assert len(ages) == 2
+
+    def test_mean_zero_hit_age_nan_when_none(self):
+        result = profile(FIFO(2), ["a", "a"])
+        assert math.isnan(result.mean_zero_hit_age())
+
+    def test_fig2e_demotion_speed(self, rng):
+        """The Fig. 2(e) claim: FIFO-Reinsertion demotes never-hit
+        objects faster than LRU."""
+        from repro.traces.synthetic import one_hit_wonder_trace
+        keys = one_hit_wonder_trace(1000, 20000, 0.9, 0.3, rng)
+        lru_age = profile(LRU(300), keys).mean_zero_hit_age()
+        clock_age = profile(FIFOReinsertion(300), keys).mean_zero_hit_age()
+        assert clock_age < lru_age
+
+    def test_total_residency_bounded_by_capacity_times_time(self,
+                                                            small_trace):
+        """Space-time conservation: total residency cannot exceed
+        capacity x trace length."""
+        capacity = 25
+        result = profile(LRU(capacity), small_trace)
+        total = sum(result.residency_by_key().values())
+        assert total <= capacity * small_trace.num_requests

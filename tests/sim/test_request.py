@@ -1,0 +1,26 @@
+"""Unit tests for the request model."""
+
+import pytest
+
+from repro.sim.request import Request
+
+
+class TestRequest:
+    def test_defaults(self):
+        req = Request(key=5)
+        assert req.key == 5
+        assert req.time == 0
+        assert req.size == 1
+
+    def test_frozen(self):
+        req = Request(key=1)
+        with pytest.raises(AttributeError):
+            req.key = 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Request(key=1, size=0)
+
+    def test_hashable_key_types(self):
+        assert Request(key="object/name").key == "object/name"
+        assert Request(key=(1, 2)).key == (1, 2)

@@ -1,0 +1,85 @@
+"""Unit tests for the sweep runner."""
+
+import pytest
+
+from repro.sim.runner import (
+    LARGE_FRACTION,
+    SMALL_FRACTION,
+    RunRecord,
+    index_by,
+    miss_ratio_table,
+    run_matrix,
+    run_one,
+)
+from repro.traces.corpus import build_corpus
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return build_corpus(scale=0.05, traces_per_family=1,
+                        families=["msr", "cdn"])
+
+
+class TestRunOne:
+    def test_record_fields(self, tiny_corpus):
+        record = run_one("LRU", tiny_corpus[0], LARGE_FRACTION)
+        assert record.policy == "LRU"
+        assert record.trace == tiny_corpus[0].name
+        assert record.family == "msr"
+        assert record.group == "block"
+        assert record.requests == tiny_corpus[0].num_requests
+        assert 0.0 < record.miss_ratio <= 1.0
+
+    def test_capacity_resolution(self, tiny_corpus):
+        trace = tiny_corpus[0]
+        record = run_one("LRU", trace, LARGE_FRACTION)
+        assert record.capacity == max(10, round(trace.num_unique * 0.1))
+
+    def test_min_capacity_respected(self, tiny_corpus):
+        record = run_one("LRU", tiny_corpus[0], SMALL_FRACTION,
+                         min_capacity=64)
+        assert record.capacity >= 64
+
+    def test_size_label(self, tiny_corpus):
+        small = run_one("FIFO", tiny_corpus[0], SMALL_FRACTION)
+        large = run_one("FIFO", tiny_corpus[0], LARGE_FRACTION)
+        assert small.size_label == "small"
+        assert large.size_label == "large"
+
+
+class TestRunMatrix:
+    def test_full_matrix_shape(self, tiny_corpus):
+        records = run_matrix(["FIFO", "LRU"], tiny_corpus,
+                             size_fractions=(SMALL_FRACTION, LARGE_FRACTION))
+        assert len(records) == 2 * len(tiny_corpus) * 2
+
+    def test_unknown_policy_rejected(self, tiny_corpus):
+        with pytest.raises(KeyError):
+            run_matrix(["FIFO", "NoSuchPolicy"], tiny_corpus)
+
+    def test_parallel_equals_serial(self, tiny_corpus):
+        serial = run_matrix(["FIFO", "LRU"], tiny_corpus, workers=1)
+        parallel = run_matrix(["FIFO", "LRU"], tiny_corpus, workers=2)
+        assert serial == parallel
+
+    def test_offline_policy_in_matrix(self, tiny_corpus):
+        records = run_matrix(["Belady", "LRU"], tiny_corpus,
+                             size_fractions=(LARGE_FRACTION,))
+        by_policy = {r.policy: r for r in records if r.trace == tiny_corpus[0].name}
+        assert by_policy["Belady"].misses <= by_policy["LRU"].misses
+
+
+class TestHelpers:
+    def test_index_by(self, tiny_corpus):
+        records = run_matrix(["FIFO"], tiny_corpus,
+                             size_fractions=(LARGE_FRACTION,))
+        idx = index_by(records)
+        key = ("FIFO", tiny_corpus[0].name, LARGE_FRACTION)
+        assert key in idx
+
+    def test_miss_ratio_table(self, tiny_corpus):
+        records = run_matrix(["FIFO", "LRU"], tiny_corpus,
+                             size_fractions=(LARGE_FRACTION,))
+        table = miss_ratio_table(records)
+        assert set(table) == {"FIFO", "LRU"}
+        assert len(table["FIFO"]) == len(tiny_corpus)

@@ -1,0 +1,68 @@
+"""Property-based tests for the size-aware policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sized.policies import GDSF, SizedClock, SizedFIFO, SizedLRU
+from repro.sized.qd import SizedQDCache, SizedQDLPFIFO
+
+FACTORIES = {
+    "Sized-FIFO": SizedFIFO,
+    "Sized-LRU": SizedLRU,
+    "Sized-CLOCK": lambda b: SizedClock(b, 2),
+    "GDSF": GDSF,
+    "Sized-QD-LRU": lambda b: SizedQDCache(b, SizedLRU),
+    "Sized-QD-LP-FIFO": SizedQDLPFIFO,
+}
+
+requests_strategy = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(1, 120)),
+    min_size=1, max_size=250)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@given(requests=requests_strategy, capacity=st.integers(50, 600))
+@settings(max_examples=20, deadline=None)
+def test_sized_invariants(name, requests, capacity):
+    """Byte budget, hit semantics and stats hold under random traffic
+    with changing object sizes."""
+    cache = FACTORIES[name](capacity)
+    current_size = {}
+    for key, size in requests:
+        resident_before = key in cache
+        hit = cache.request(key, size)
+        assert hit == resident_before
+        current_size[key] = size
+        assert cache.used_bytes <= capacity
+        assert cache.used_bytes >= 0
+        if hit and cache.admits(size):
+            # A hit must leave the (resized) object resident, as long
+            # as some segment of the cache can hold it at all.
+            assert key in cache
+    stats = cache.stats
+    assert stats.hits + stats.misses == len(requests)
+    assert stats.hit_bytes + stats.miss_bytes == sum(
+        size for _, size in requests)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@given(requests=requests_strategy, capacity=st.integers(50, 600))
+@settings(max_examples=10, deadline=None)
+def test_sized_determinism(name, requests, capacity):
+    a = FACTORIES[name](capacity)
+    b = FACTORIES[name](capacity)
+    outcomes_a = [a.request(k, s) for k, s in requests]
+    outcomes_b = [b.request(k, s) for k, s in requests]
+    assert outcomes_a == outcomes_b
+
+
+@given(requests=requests_strategy, capacity=st.integers(50, 600))
+@settings(max_examples=20, deadline=None)
+def test_sized_qd_used_bytes_matches_parts(requests, capacity):
+    cache = SizedQDLPFIFO(capacity)
+    for key, size in requests:
+        cache.request(key, size)
+        assert cache.used_bytes == (cache._probation_used
+                                    + cache.main.used_bytes)
+        assert cache._probation_used <= cache.probation_bytes
+        assert cache.main.used_bytes <= cache.main_bytes

@@ -1,0 +1,113 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(
+            ["simulate", "--policy", "LRU"])
+        assert args.family == "msr"
+        assert args.size == 0.1
+
+    def test_experiment_ids_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "QD-LP-FIFO" in out
+        assert "Belady" in out
+        assert "sota:" in out
+
+    def test_simulate_synthetic(self, capsys):
+        code = main(["simulate", "--policy", "LRU", "--family", "wiki",
+                     "--scale", "0.05", "--size", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miss ratio" in out
+        assert "wiki-000" in out
+
+    def test_simulate_unknown_policy(self, capsys):
+        code = main(["simulate", "--policy", "Nope", "--scale", "0.05"])
+        assert code == 1
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_simulate_unknown_family(self, capsys):
+        code = main(["simulate", "--policy", "LRU", "--family", "nope"])
+        assert code == 1
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_simulate_missing_trace_file(self, capsys, tmp_path):
+        code = main(["simulate", "--policy", "LRU",
+                     "--trace", str(tmp_path / "missing.csv")])
+        assert code == 1
+
+    def test_simulate_from_csv(self, capsys, tmp_path, small_trace):
+        from repro.traces.io import write_csv
+        path = tmp_path / "t.csv"
+        write_csv(small_trace, path)
+        code = main(["simulate", "--policy", "FIFO", "--trace", str(path),
+                     "--size", "0.1"])
+        assert code == 0
+        assert "miss ratio" in capsys.readouterr().out
+
+    def test_corpus_listing(self, capsys):
+        code = main(["corpus", "--scale", "0.05",
+                     "--traces-per-family", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "msr-000" in out
+        assert "socialnet-000" in out
+
+    def test_corpus_export_binary(self, capsys, tmp_path):
+        code = main(["corpus", "--scale", "0.05", "--traces-per-family",
+                     "1", "--out", str(tmp_path), "--format", "binary"])
+        assert code == 0
+        files = list(tmp_path.glob("*.bin"))
+        assert len(files) == 10
+        from repro.traces.io import read_binary
+        trace = read_binary(files[0])
+        assert trace.num_requests > 0
+
+    def test_corpus_export_csv(self, capsys, tmp_path):
+        code = main(["corpus", "--scale", "0.05", "--traces-per-family",
+                     "1", "--out", str(tmp_path), "--format", "csv"])
+        assert code == 0
+        assert len(list(tmp_path.glob("*.csv"))) == 10
+
+    def test_experiment_table1(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        code = main(["experiment", "table1", "--tier", "tiny"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+class TestExperimentCommands:
+    """Each CLI experiment id dispatches and renders (tiny tier)."""
+
+    def test_experiment_fig3(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["experiment", "fig3", "--tier", "tiny"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_experiment_ablation_clockbits(self, capsys, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["experiment", "ablation-clockbits",
+                     "--tier", "tiny"]) == 0
+        assert "bit-width" in capsys.readouterr().out
+
+    def test_experiment_extensions(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["experiment", "extensions", "--tier", "tiny"]) == 0
+        assert "S3-FIFO" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Unit tests for the Table 1 corpus builder."""
+
+import numpy as np
+import pytest
+
+from repro.traces.corpus import (
+    FAMILIES,
+    FAMILY_BY_NAME,
+    build_corpus,
+    build_trace,
+)
+from repro.traces.stats import compute_stats
+from repro.traces.trace import BLOCK, WEB
+
+
+class TestFamilies:
+    def test_ten_families_like_table1(self):
+        assert len(FAMILIES) == 10
+
+    def test_block_web_split(self):
+        groups = {f.name: f.group for f in FAMILIES}
+        assert groups["msr"] == BLOCK
+        assert groups["tencent_cbs"] == BLOCK
+        assert groups["cdn"] == WEB
+        assert groups["twitter"] == WEB   # KV grouped with web, per paper
+        assert groups["socialnet"] == WEB
+
+    def test_cache_types(self):
+        assert FAMILY_BY_NAME["twitter"].cache_type == "KV"
+        assert FAMILY_BY_NAME["cdn"].cache_type == "object"
+        assert FAMILY_BY_NAME["msr"].cache_type == "block"
+
+
+class TestBuildTrace:
+    def test_deterministic(self):
+        a = build_trace(FAMILY_BY_NAME["msr"], 0, 0.1, seed=42)
+        b = build_trace(FAMILY_BY_NAME["msr"], 0, 0.1, seed=42)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_different_indices_differ(self):
+        a = build_trace(FAMILY_BY_NAME["msr"], 0, 0.1, seed=42)
+        b = build_trace(FAMILY_BY_NAME["msr"], 1, 0.1, seed=42)
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_different_seeds_differ(self):
+        a = build_trace(FAMILY_BY_NAME["msr"], 0, 0.1, seed=42)
+        b = build_trace(FAMILY_BY_NAME["msr"], 0, 0.1, seed=43)
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_naming_and_metadata(self):
+        trace = build_trace(FAMILY_BY_NAME["wiki"], 3, 0.1, seed=42)
+        assert trace.name == "wiki-003"
+        assert trace.family == "wiki"
+        assert trace.group == WEB
+        assert trace.params  # recipes record their parameters
+
+    def test_scale_controls_length(self):
+        small = build_trace(FAMILY_BY_NAME["cdn"], 0, 0.1, seed=42)
+        large = build_trace(FAMILY_BY_NAME["cdn"], 0, 0.4, seed=42)
+        assert large.num_requests > 2 * small.num_requests
+
+
+class TestBuildCorpus:
+    def test_default_counts(self):
+        corpus = build_corpus(scale=0.05)
+        assert len(corpus) == sum(f.default_traces for f in FAMILIES)
+
+    def test_traces_per_family_override(self):
+        corpus = build_corpus(scale=0.05, traces_per_family=2)
+        assert len(corpus) == 20
+
+    def test_family_filter(self):
+        corpus = build_corpus(scale=0.05, traces_per_family=1,
+                              families=["msr", "wiki"])
+        assert {t.family for t in corpus} == {"msr", "wiki"}
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            build_corpus(families=["nope"])
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_corpus(scale=0.0)
+
+    def test_subsetting_preserves_trace_identity(self):
+        """Trace i of a family is identical whether or not other
+        families/traces are built (independent seed streams)."""
+        full = build_corpus(scale=0.05, traces_per_family=2)
+        subset = build_corpus(scale=0.05, traces_per_family=1,
+                              families=["wiki"])
+        full_wiki0 = next(t for t in full if t.name == "wiki-000")
+        assert np.array_equal(full_wiki0.keys, subset[0].keys)
+
+
+class TestCorpusCharacter:
+    """The corpus must exhibit the workload structure the paper
+    describes -- these are the calibration targets of DESIGN.md."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_corpus(scale=0.3, traces_per_family=1)
+
+    def test_socialnet_has_high_reuse(self, corpus):
+        stats = {t.family: compute_stats(t) for t in corpus}
+        # "most objects are accessed more than once" (paper §3 fn. 3)
+        assert stats["socialnet"].one_hit_wonder_ratio < 0.35
+        assert stats["socialnet"].mean_frequency > 8
+
+    def test_block_and_web_have_one_hit_wonders(self, corpus):
+        stats = {t.family: compute_stats(t) for t in corpus}
+        for family in ("msr", "cdn", "tencent_cbs", "wiki"):
+            assert stats[family].one_hit_wonder_ratio > 0.3
+
+    def test_socialnet_most_reused_family(self, corpus):
+        stats = {t.family: compute_stats(t) for t in corpus}
+        social = stats.pop("socialnet")
+        assert social.mean_frequency == pytest.approx(
+            max([social.mean_frequency]
+                + [s.mean_frequency for s in stats.values()]), rel=1e-9)

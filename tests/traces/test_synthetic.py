@@ -1,0 +1,186 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.traces import synthetic as syn
+
+
+class TestZipfTrace:
+    def test_length_and_range(self, rng):
+        keys = syn.zipf_trace(100, 5000, 1.0, rng, base=10)
+        assert len(keys) == 5000
+        assert keys.min() >= 10
+        assert keys.max() < 110
+
+    def test_popularity_not_id_ordered(self, rng):
+        """Ranks are shuffled onto ids, so id 0 is rarely the hottest."""
+        hot_ids = set()
+        for seed in range(10):
+            local = np.random.default_rng(seed)
+            keys = syn.zipf_trace(100, 2000, 1.2, local)
+            values, counts = np.unique(keys, return_counts=True)
+            hot_ids.add(int(values[counts.argmax()]))
+        assert len(hot_ids) > 3
+
+
+class TestClusteredZipf:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            syn.clustered_zipf_trace(10, 100, 1.0, rng, repeat_prob=1.0)
+        with pytest.raises(ValueError):
+            syn.clustered_zipf_trace(10, 100, 1.0, rng, window=1)
+
+    def test_clustering_shortens_reuse_distance(self, rng):
+        """Median reuse distance must drop versus the IID trace."""
+        def median_reuse(keys):
+            last = {}
+            distances = []
+            for i, key in enumerate(keys):
+                if key in last:
+                    distances.append(i - last[key])
+                last[key] = i
+            return np.median(distances)
+
+        iid = syn.zipf_trace(2000, 30000, 0.8, rng)
+        clustered = syn.clustered_zipf_trace(2000, 30000, 0.8, rng,
+                                             repeat_prob=0.5, window=100)
+        assert median_reuse(clustered) < median_reuse(iid) / 2
+
+
+class TestShortLived:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            syn.short_lived_trace(100, rng, mean_accesses=0.5)
+        with pytest.raises(ValueError):
+            syn.short_lived_trace(100, rng, window=0)
+
+    def test_length(self, rng):
+        keys = syn.short_lived_trace(5000, rng)
+        assert len(keys) == 5000
+
+    def test_all_reuse_within_window(self, rng):
+        keys = syn.short_lived_trace(10000, rng, mean_accesses=2.0,
+                                     window=50)
+        first, last = {}, {}
+        for i, key in enumerate(keys.tolist()):
+            first.setdefault(key, i)
+            last[key] = i
+        spans = [last[k] - first[k] for k in first]
+        # Objects live at most ~window slots (sorting keeps it tight).
+        assert max(spans) <= 2 * 50
+
+    def test_mean_accesses_controls_reuse(self, rng):
+        lo = syn.short_lived_trace(20000, rng, mean_accesses=1.05)
+        hi = syn.short_lived_trace(20000, rng, mean_accesses=3.0)
+        assert len(np.unique(lo)) > len(np.unique(hi))
+
+
+class TestScanAndLoop:
+    def test_scan_is_one_pass(self):
+        keys = syn.scan_trace(100, base=5)
+        assert len(np.unique(keys)) == 100
+        assert keys[0] == 5 and keys[-1] == 104
+
+    def test_loop_repeats(self):
+        keys = syn.loop_trace(10, 3)
+        assert len(keys) == 30
+        assert np.array_equal(keys[:10], keys[10:20])
+
+    def test_loop_validation(self):
+        with pytest.raises(ValueError):
+            syn.loop_trace(10, 0)
+
+
+class TestTemporalLocality:
+    def test_stack_model_favours_recent(self, rng):
+        keys = syn.temporal_locality_trace(500, 20000, 1.2, rng).tolist()
+        # Immediate re-reference rate should be substantial under a
+        # skewed depth distribution.
+        repeats = sum(keys[i] == keys[i - 1] for i in range(1, len(keys)))
+        assert repeats / len(keys) > 0.1
+
+    def test_key_range(self, rng):
+        keys = syn.temporal_locality_trace(50, 1000, 1.0, rng, base=7)
+        assert keys.min() >= 7
+        assert keys.max() < 57
+
+
+class TestPopularityDecay:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            syn.popularity_decay_trace(100, 0.0, 1.0, rng)
+
+    def test_new_objects_arrive_over_time(self, rng):
+        keys = syn.popularity_decay_trace(20000, 0.1, 0.9, rng)
+        first_half = set(keys[:10000].tolist())
+        second_half = set(keys[10000:].tolist())
+        assert len(second_half - first_half) > 100
+
+    def test_recency_bias(self, rng):
+        """Later requests reference higher (newer) ids on average."""
+        keys = syn.popularity_decay_trace(20000, 0.1, 0.9, rng)
+        assert keys[-2000:].mean() > keys[:2000].mean()
+
+
+class TestOneHitWonder:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            syn.one_hit_wonder_trace(10, 100, 1.0, 1.0, rng)
+
+    def test_fraction_controls_single_access_objects(self, rng):
+        keys = syn.one_hit_wonder_trace(500, 20000, 1.0, 0.4, rng)
+        _, counts = np.unique(keys, return_counts=True)
+        singles = (counts == 1).sum()
+        assert singles >= 0.3 * 20000 * 0.4
+
+
+class TestWorkingSetShift:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            syn.working_set_shift_trace(10, 100, 0, 1.0, 0.5, rng)
+        with pytest.raises(ValueError):
+            syn.working_set_shift_trace(10, 100, 2, 1.0, 1.0, rng)
+
+    def test_phases_shift_object_range(self, rng):
+        keys = syn.working_set_shift_trace(100, 1000, 3, 1.0, 0.0, rng)
+        phase1 = set(keys[:1000].tolist())
+        phase3 = set(keys[2000:].tolist())
+        assert not (phase1 & phase3)
+
+    def test_overlap_shares_objects(self, rng):
+        keys = syn.working_set_shift_trace(100, 1000, 2, 1.0, 0.9, rng)
+        phase1 = set(keys[:1000].tolist())
+        phase2 = set(keys[1000:].tolist())
+        assert phase1 & phase2
+
+
+class TestComposition:
+    def test_concatenate(self, rng):
+        a = syn.scan_trace(10)
+        b = syn.scan_trace(10, base=100)
+        joined = syn.concatenate([a, b])
+        assert len(joined) == 20
+        with pytest.raises(ValueError):
+            syn.concatenate([])
+
+    def test_blend_validation(self, rng):
+        with pytest.raises(ValueError):
+            syn.blend([syn.scan_trace(10)], [0.5, 0.5], rng)
+        with pytest.raises(ValueError):
+            syn.blend([], [], rng)
+        with pytest.raises(ValueError):
+            syn.blend([syn.scan_trace(10)], [-1.0], rng)
+
+    def test_blend_preserves_source_order(self, rng):
+        a = syn.scan_trace(500)
+        b = syn.scan_trace(500, base=10000)
+        mixed = syn.blend([a, b], [0.5, 0.5], rng).tolist()
+        from_a = [k for k in mixed if k < 10000]
+        assert from_a == sorted(from_a)
+
+    def test_blend_uses_both_sources(self, rng):
+        a = syn.scan_trace(1000)
+        b = syn.scan_trace(1000, base=10000)
+        mixed = syn.blend([a, b], [0.5, 0.5], rng)
+        assert (mixed < 10000).any() and (mixed >= 10000).any()

@@ -1,0 +1,136 @@
+"""Unit tests for Trace, trace I/O, and trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import read_binary, read_csv, write_binary, write_csv
+from repro.traces.stats import (
+    aggregate_by_family,
+    compute_stats,
+    frequency_histogram,
+)
+from repro.traces.trace import Trace, from_keys
+
+
+class TestTrace:
+    def test_basic_properties(self):
+        trace = from_keys([1, 2, 1, 3])
+        assert trace.num_requests == 4
+        assert trace.num_unique == 3
+        assert len(trace) == 4
+
+    def test_as_list_returns_python_ints(self):
+        trace = from_keys([1, 2, 3])
+        keys = trace.as_list()
+        assert all(type(k) is int for k in keys)
+
+    def test_as_list_cached(self):
+        trace = from_keys([1, 2, 3])
+        assert trace.as_list() is trace.as_list()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            from_keys([])
+
+    def test_bad_group_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(name="x", keys=np.array([1]), group="bogus")
+
+    def test_cache_size(self):
+        trace = from_keys(list(range(1000)))
+        assert trace.cache_size(0.1) == 100
+        assert trace.cache_size(0.001) == 10   # floor at minimum
+        assert trace.cache_size(0.001, minimum=50) == 50
+        with pytest.raises(ValueError):
+            trace.cache_size(0.0)
+
+
+class TestIO:
+    def test_csv_roundtrip(self, tmp_path, small_trace):
+        path = tmp_path / "trace.csv"
+        write_csv(small_trace, path)
+        loaded = read_csv(path)
+        assert loaded.name == small_trace.name
+        assert loaded.family == small_trace.family
+        assert loaded.group == small_trace.group
+        assert np.array_equal(loaded.keys, small_trace.keys)
+
+    def test_csv_without_meta(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("key\n1\n2\n1\n")
+        loaded = read_csv(path)
+        assert loaded.keys.tolist() == [1, 2, 1]
+        assert loaded.name == "plain"
+
+    def test_csv_multi_column(self, tmp_path):
+        path = tmp_path / "multi.csv"
+        path.write_text("key,time,size\n5,0,100\n6,1,200\n")
+        loaded = read_csv(path)
+        assert loaded.keys.tolist() == [5, 6]
+
+    def test_csv_empty_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("key\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_binary_roundtrip(self, tmp_path, small_trace):
+        path = tmp_path / "trace.bin"
+        write_binary(small_trace, path)
+        loaded = read_binary(path)
+        assert loaded.name == small_trace.name
+        assert np.array_equal(loaded.keys, small_trace.keys)
+
+    def test_binary_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(ValueError, match="magic"):
+            read_binary(path)
+
+    def test_binary_truncated(self, tmp_path, small_trace):
+        path = tmp_path / "trace.bin"
+        write_binary(small_trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(ValueError, match="truncated"):
+            read_binary(path)
+
+    def test_binary_smaller_than_csv_for_wide_keys(self, tmp_path):
+        # Real object ids are wide (hashes); binary wins there.
+        trace = from_keys([10 ** 15 + i for i in range(2000)])
+        csv_path = tmp_path / "t.csv"
+        bin_path = tmp_path / "t.bin"
+        write_csv(trace, csv_path)
+        write_binary(trace, bin_path)
+        assert bin_path.stat().st_size < csv_path.stat().st_size * 0.8
+
+
+class TestStats:
+    def test_compute_stats(self):
+        trace = from_keys([1, 1, 1, 2, 3])
+        stats = compute_stats(trace)
+        assert stats.num_requests == 5
+        assert stats.num_objects == 3
+        assert stats.one_hit_wonder_ratio == pytest.approx(2 / 3)
+        assert stats.reuse_ratio == pytest.approx(1 / 3)
+        assert stats.mean_frequency == pytest.approx(5 / 3)
+        assert stats.max_frequency == 3
+
+    def test_aggregate_by_family(self):
+        traces = [
+            from_keys([1, 1, 2], name="a-0", family="a"),
+            from_keys([3, 4], name="a-1", family="a"),
+            from_keys([5, 5, 5], name="b-0", family="b", group="web"),
+        ]
+        rows = aggregate_by_family(traces)
+        assert [r.family for r in rows] == ["a", "b"]
+        a_row = rows[0]
+        assert a_row.num_traces == 2
+        assert a_row.total_requests == 5
+        assert a_row.total_objects == 4
+
+    def test_frequency_histogram(self):
+        trace = from_keys([1] * 5 + [2, 3, 4])
+        histogram = frequency_histogram(trace)
+        assert histogram["1"] == 3
+        assert histogram["4-7"] == 1

@@ -1,0 +1,115 @@
+"""Unit tests for trace utilities and oracleGeneral interop."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import read_oracle_general, write_oracle_general
+from repro.traces.trace import from_keys, head, remap_keys, sample_requests
+
+
+class TestHead:
+    def test_prefix(self, small_trace):
+        prefix = head(small_trace, 100)
+        assert prefix.num_requests == 100
+        assert np.array_equal(prefix.keys, small_trace.keys[:100])
+        assert prefix.family == small_trace.family
+
+    def test_validation(self, small_trace):
+        with pytest.raises(ValueError):
+            head(small_trace, 0)
+
+    def test_name_records_operation(self, small_trace):
+        assert "head100" in head(small_trace, 100).name
+
+
+class TestSampleRequests:
+    def test_rate_one_keeps_everything(self, small_trace):
+        sampled = sample_requests(small_trace, 1.0)
+        assert np.array_equal(sampled.keys, small_trace.keys)
+
+    def test_spatial_sampling_is_per_key(self, small_trace):
+        """A key is either fully kept or fully dropped."""
+        sampled = sample_requests(small_trace, 0.3)
+        kept = set(sampled.keys.tolist())
+        original_counts = {}
+        for key in small_trace.as_list():
+            original_counts[key] = original_counts.get(key, 0) + 1
+        sampled_counts = {}
+        for key in sampled.as_list():
+            sampled_counts[key] = sampled_counts.get(key, 0) + 1
+        for key in kept:
+            assert sampled_counts[key] == original_counts[key]
+
+    def test_rate_controls_volume(self, small_trace):
+        low = sample_requests(small_trace, 0.1)
+        high = sample_requests(small_trace, 0.8)
+        assert low.num_requests < high.num_requests
+
+    def test_deterministic(self, small_trace):
+        a = sample_requests(small_trace, 0.3, seed=4)
+        b = sample_requests(small_trace, 0.3, seed=4)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_validation(self, small_trace):
+        with pytest.raises(ValueError):
+            sample_requests(small_trace, 0.0)
+        with pytest.raises(ValueError):
+            sample_requests(small_trace, 1e-12)
+
+
+class TestRemapKeys:
+    def test_dense_first_appearance_order(self):
+        trace = from_keys([50, 9, 50, 100, 9])
+        remapped = remap_keys(trace)
+        assert remapped.keys.tolist() == [0, 1, 0, 2, 1]
+
+    def test_structure_preserved(self, small_trace):
+        remapped = remap_keys(small_trace)
+        assert remapped.num_requests == small_trace.num_requests
+        assert remapped.num_unique == small_trace.num_unique
+        assert remapped.keys.max() == small_trace.num_unique - 1
+
+    def test_miss_ratio_invariant_under_remap(self, small_trace):
+        """Renaming keys cannot change any policy's behaviour."""
+        from repro.policies.lru import LRU
+        from repro.sim.simulator import simulate
+        original = simulate(LRU(50), small_trace).miss_ratio
+        remapped = simulate(LRU(50), remap_keys(small_trace)).miss_ratio
+        assert original == remapped
+
+
+class TestOracleGeneral:
+    def test_roundtrip(self, tmp_path, small_trace):
+        path = tmp_path / "trace.oracleGeneral.bin"
+        write_oracle_general(small_trace, path)
+        loaded = read_oracle_general(path)
+        assert np.array_equal(loaded.keys, small_trace.keys)
+
+    def test_record_size(self, tmp_path):
+        trace = from_keys([1, 2, 3])
+        path = tmp_path / "t.bin"
+        write_oracle_general(trace, path)
+        assert path.stat().st_size == 3 * 24  # 4 + 8 + 4 + 8 bytes
+
+    def test_next_access_field_correct(self, tmp_path):
+        import struct
+        trace = from_keys([7, 8, 7])
+        path = tmp_path / "t.bin"
+        write_oracle_general(trace, path)
+        records = list(struct.Struct("<IQIq").iter_unpack(
+            path.read_bytes()))
+        assert records[0][3] == 2    # key 7 next used at position 2
+        assert records[1][3] == -1   # key 8 never again
+        assert records[2][3] == -1
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 25)  # not a multiple of 24
+        with pytest.raises(ValueError, match="record"):
+            read_oracle_general(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="no requests"):
+            read_oracle_general(path)

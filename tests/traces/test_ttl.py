@@ -1,0 +1,81 @@
+"""Unit tests for TTL modelling."""
+
+import numpy as np
+import pytest
+
+from repro.traces.ttl import apply_ttl, effective_objects
+from repro.traces.trace import from_keys
+
+
+class TestApplyTTL:
+    def test_zero_ttl_is_identity(self):
+        keys = np.array([5, 6, 5, 7], dtype=np.int64)
+        out = apply_ttl(keys, ttl=0)
+        assert np.array_equal(out, keys)
+        assert out is not keys  # a copy, never an alias
+
+    def test_within_ttl_same_version(self):
+        out = apply_ttl([9, 9, 9], ttl=10)
+        assert out[0] == out[1] == out[2]
+
+    def test_expiry_creates_new_version(self):
+        # key 9 accessed at t=0 (version born), then at t=3 (> ttl=2
+        # after birth): must be a different versioned id.
+        out = apply_ttl([9, 8, 7, 9], ttl=2)
+        assert out[0] != out[3]
+
+    def test_refresh_on_expiry_restarts_clock(self):
+        # ttl=3: version born at t0; t2 within ttl (same); t4 expired
+        # (new version born at t4); t5 within the *new* version's ttl.
+        out = apply_ttl([1, 0, 1, 0, 1, 1], ttl=3)
+        assert out[0] == out[2]
+        assert out[4] != out[0]
+        assert out[4] == out[5]
+
+    def test_distinct_keys_never_collide(self):
+        keys = np.array([1, 2, 1, 2, 1, 2], dtype=np.int64)
+        out = apply_ttl(keys, ttl=2)
+        versions_1 = set(out[keys == 1].tolist())
+        versions_2 = set(out[keys == 2].tolist())
+        assert not versions_1 & versions_2
+
+    def test_accepts_trace(self, small_trace):
+        out = apply_ttl(small_trace, ttl=100)
+        assert len(out) == small_trace.num_requests
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            apply_ttl([1], ttl=5, jitter=1.0)
+
+    def test_jitter_deterministic(self, small_trace):
+        a = apply_ttl(small_trace, ttl=50, jitter=0.3, seed=2)
+        b = apply_ttl(small_trace, ttl=50, jitter=0.3, seed=2)
+        assert np.array_equal(a, b)
+
+
+class TestEffectiveObjects:
+    def test_no_ttl_matches_uniques(self, small_trace):
+        assert effective_objects(small_trace, 0) == small_trace.num_unique
+
+    def test_short_ttl_inflates_objects(self, small_trace):
+        inflated = effective_objects(small_trace, 50)
+        assert inflated > small_trace.num_unique
+
+    def test_monotone_in_ttl(self, small_trace):
+        shorter = effective_objects(small_trace, 20)
+        longer = effective_objects(small_trace, 500)
+        assert shorter >= longer
+
+
+class TestTTLMissRatioEffect:
+    def test_short_ttl_raises_miss_ratio(self, small_trace):
+        """Expired objects are compulsory misses: any policy's miss
+        ratio rises monotonically as the TTL shrinks."""
+        from repro.policies.lru import LRU
+        from repro.sim.simulator import simulate
+        capacity = small_trace.cache_size(0.1)
+        ratios = []
+        for ttl in (0, 1000, 100):
+            keys = apply_ttl(small_trace, ttl)
+            ratios.append(simulate(LRU(capacity), keys.tolist()).miss_ratio)
+        assert ratios[0] <= ratios[1] <= ratios[2]

@@ -1,0 +1,65 @@
+"""Unit tests for the Zipf sampler."""
+
+import numpy as np
+import pytest
+
+from repro.traces.zipf import ZipfSampler, zipf_ranks
+
+
+class TestZipfSampler:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0, rng)
+        sampler = ZipfSampler(10, 1.0, rng)
+        with pytest.raises(ValueError):
+            sampler.sample(-1)
+
+    def test_sample_range(self, rng):
+        sampler = ZipfSampler(100, 1.0, rng)
+        ranks = sampler.sample(10000)
+        assert ranks.min() >= 0
+        assert ranks.max() < 100
+        assert ranks.dtype == np.int64
+
+    def test_zero_count(self, rng):
+        assert len(ZipfSampler(10, 1.0, rng).sample(0)) == 0
+
+    def test_alpha_zero_is_uniform(self, rng):
+        sampler = ZipfSampler(10, 0.0, rng)
+        ranks = sampler.sample(50000)
+        counts = np.bincount(ranks, minlength=10)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_skew_orders_frequencies(self, rng):
+        sampler = ZipfSampler(50, 1.2, rng)
+        ranks = sampler.sample(100000)
+        counts = np.bincount(ranks, minlength=50)
+        # rank 0 clearly dominates, tail clearly rare
+        assert counts[0] > 5 * counts[10]
+        assert counts[0] > 20 * counts[40]
+
+    def test_pmf_matches_theory(self, rng):
+        sampler = ZipfSampler(5, 1.0, rng)
+        pmf = sampler.pmf()
+        weights = 1.0 / np.arange(1, 6)
+        expected = weights / weights.sum()
+        assert np.allclose(pmf, expected)
+
+    def test_pmf_sums_to_one(self, rng):
+        pmf = ZipfSampler(1000, 0.8, rng).pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_empirical_matches_pmf(self, rng):
+        sampler = ZipfSampler(20, 1.0, rng)
+        ranks = sampler.sample(200000)
+        empirical = np.bincount(ranks, minlength=20) / 200000
+        assert np.allclose(empirical, sampler.pmf(), atol=0.01)
+
+    def test_convenience_wrapper_deterministic(self):
+        a = zipf_ranks(100, 1.0, 1000, seed=5)
+        b = zipf_ranks(100, 1.0, 1000, seed=5)
+        assert np.array_equal(a, b)
+        c = zipf_ranks(100, 1.0, 1000, seed=6)
+        assert not np.array_equal(a, c)

@@ -1,0 +1,151 @@
+"""Unit tests for the intrusive doubly-linked list."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.linkedlist import KeyedList, LinkedList, Node
+
+
+class TestLinkedList:
+    def test_empty(self):
+        lst = LinkedList()
+        assert len(lst) == 0
+        assert not lst
+        assert lst.head is None
+        assert lst.tail is None
+
+    def test_push_head_order(self):
+        lst = LinkedList()
+        for key in "abc":
+            lst.push_head(Node(key))
+        assert [n.key for n in lst] == ["c", "b", "a"]
+        assert lst.head.key == "c"
+        assert lst.tail.key == "a"
+
+    def test_push_tail_order(self):
+        lst = LinkedList()
+        for key in "abc":
+            lst.push_tail(Node(key))
+        assert [n.key for n in lst] == ["a", "b", "c"]
+
+    def test_pop_tail(self):
+        lst = LinkedList()
+        nodes = [lst.push_head(Node(i)) for i in range(3)]
+        assert lst.pop_tail() is nodes[0]
+        assert lst.pop_tail() is nodes[1]
+        assert lst.pop_tail() is nodes[2]
+        with pytest.raises(IndexError):
+            lst.pop_tail()
+
+    def test_pop_head_empty_raises(self):
+        with pytest.raises(IndexError):
+            LinkedList().pop_head()
+
+    def test_remove_middle(self):
+        lst = LinkedList()
+        a, b, c = (lst.push_tail(Node(k)) for k in "abc")
+        lst.remove(b)
+        assert [n.key for n in lst] == ["a", "c"]
+        assert a.next is c
+        assert c.prev is a
+        assert b.prev is None and b.next is None
+
+    def test_remove_only_element(self):
+        lst = LinkedList()
+        node = lst.push_head(Node("x"))
+        lst.remove(node)
+        assert len(lst) == 0
+        assert lst.head is None and lst.tail is None
+
+    def test_move_to_head(self):
+        lst = LinkedList()
+        a, b, c = (lst.push_tail(Node(k)) for k in "abc")
+        lst.move_to_head(c)
+        assert [n.key for n in lst] == ["c", "a", "b"]
+        lst.move_to_head(c)  # already head: no-op
+        assert [n.key for n in lst] == ["c", "a", "b"]
+
+    def test_iteration_survives_removal(self):
+        lst = LinkedList()
+        for i in range(5):
+            lst.push_tail(Node(i))
+        for node in lst:
+            if node.key % 2 == 0:
+                lst.remove(node)
+        assert [n.key for n in lst] == [1, 3]
+
+
+class TestKeyedList:
+    def test_membership_and_get(self):
+        kl = KeyedList()
+        kl.push_head("a")
+        assert "a" in kl
+        assert "b" not in kl
+        assert kl.get("a").key == "a"
+        assert kl.get("b") is None
+
+    def test_duplicate_push_raises(self):
+        kl = KeyedList()
+        kl.push_head("a")
+        with pytest.raises(KeyError):
+            kl.push_head("a")
+        with pytest.raises(KeyError):
+            kl.push_tail("a")
+
+    def test_pop_tail_removes_index(self):
+        kl = KeyedList()
+        kl.push_head("a")
+        kl.push_head("b")
+        node = kl.pop_tail()
+        assert node.key == "a"
+        assert "a" not in kl
+        assert len(kl) == 1
+
+    def test_push_head_node_reinsertion(self):
+        kl = KeyedList()
+        kl.push_head("a")
+        kl.push_head("b")
+        node = kl.pop_tail()
+        kl.push_head_node(node)
+        assert list(kl.keys()) == ["a", "b"]
+
+    def test_remove_by_key(self):
+        kl = KeyedList()
+        for key in "abc":
+            kl.push_head(key)
+        kl.remove("b")
+        assert list(kl.keys()) == ["c", "a"]
+        with pytest.raises(KeyError):
+            kl.remove("b")
+
+    def test_move_to_head(self):
+        kl = KeyedList()
+        for key in "abc":
+            kl.push_tail(key)
+        kl.move_to_head("c")
+        assert list(kl.keys()) == ["c", "a", "b"]
+
+    def test_head_tail_properties(self):
+        kl = KeyedList()
+        assert kl.head is None and kl.tail is None
+        kl.push_head("x")
+        assert kl.head.key == "x" and kl.tail.key == "x"
+
+    @given(st.lists(st.tuples(st.sampled_from(["push", "pop", "remove"]),
+                              st.integers(0, 20)), max_size=200))
+    def test_index_consistency_under_random_ops(self, ops):
+        """The key index and the list always agree."""
+        kl = KeyedList()
+        for op, key in ops:
+            if op == "push":
+                if key not in kl:
+                    kl.push_head(key)
+            elif op == "pop":
+                if len(kl):
+                    kl.pop_tail()
+            else:
+                if key in kl:
+                    kl.remove(key)
+            keys = list(kl.keys())
+            assert len(keys) == len(kl) == len(kl.index)
+            assert set(keys) == set(kl.index)

@@ -1,0 +1,86 @@
+"""Unit tests for the Count-Min sketch and doorkeeper."""
+
+import pytest
+
+from repro.utils.sketch import CountMinSketch, Doorkeeper
+
+
+class TestCountMinSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0)
+        with pytest.raises(ValueError):
+            CountMinSketch(16, depth=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(16, depth=99)
+
+    def test_width_rounded_to_power_of_two(self):
+        assert CountMinSketch(100).width == 128
+        assert CountMinSketch(128).width == 128
+
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(256, sample_size=10 ** 9)
+        for key in range(50):
+            for _ in range(key % 7 + 1):
+                sketch.increment(key)
+        for key in range(50):
+            assert sketch.estimate(key) >= key % 7 + 1
+
+    def test_counters_saturate(self):
+        sketch = CountMinSketch(64, sample_size=10 ** 9)
+        for _ in range(100):
+            sketch.increment("hot")
+        assert sketch.estimate("hot") == 15
+
+    def test_unseen_key_is_zero_when_sparse(self):
+        sketch = CountMinSketch(1024, sample_size=10 ** 9)
+        sketch.increment("a")
+        assert sketch.estimate("never-seen-key-xyz") <= 1
+
+    def test_aging_halves_counts(self):
+        sketch = CountMinSketch(64, sample_size=20)
+        for _ in range(10):
+            sketch.increment("hot")
+        before = sketch.estimate("hot")
+        for i in range(10):
+            sketch.increment(f"filler-{i}")  # crosses the sample window
+        assert sketch.ages >= 1
+        assert sketch.estimate("hot") <= before // 2 + 1
+
+    def test_clear(self):
+        sketch = CountMinSketch(64)
+        sketch.increment("a")
+        sketch.clear()
+        assert sketch.estimate("a") == 0
+
+    def test_hot_beats_cold(self):
+        """The property admission relies on: a frequently-seen key
+        estimates higher than a once-seen key."""
+        sketch = CountMinSketch(1024, sample_size=10 ** 9)
+        for _ in range(10):
+            sketch.increment("hot")
+        sketch.increment("cold")
+        assert sketch.estimate("hot") > sketch.estimate("cold")
+
+
+class TestDoorkeeper:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Doorkeeper(0)
+
+    def test_first_put_reports_unseen(self):
+        keeper = Doorkeeper(128)
+        assert keeper.put("a") is False
+        assert keeper.put("a") is True
+        assert "a" in keeper
+
+    def test_unseen_not_contained(self):
+        keeper = Doorkeeper(128)
+        keeper.put("a")
+        assert "definitely-not-there" not in keeper
+
+    def test_clear(self):
+        keeper = Doorkeeper(128)
+        keeper.put("a")
+        keeper.clear()
+        assert "a" not in keeper
