@@ -16,7 +16,6 @@ probationary queue degenerates there; the assertions below therefore
 target the large-size and aggregate behaviour -- see EXPERIMENTS.md.
 """
 
-import numpy as np
 from conftest import run_once, shape_checks_enabled
 
 from repro.experiments import fig5

@@ -18,6 +18,8 @@ Package map:
   and more, behind one registry.
 * :mod:`repro.sim` -- trace-driven simulator, sweep runner, resource
   profiler.
+* :mod:`repro.exec` -- fault-tolerant sweep execution: crash-isolated
+  workers, retries, checkpointed resume (see docs/robustness.md).
 * :mod:`repro.traces` -- synthetic workload generators and the Table 1
   corpus.
 * :mod:`repro.analysis` -- miss-ratio reductions, win fractions, tables.
@@ -52,14 +54,22 @@ from repro.policies import (
     SOTA_NAMES,
     make,
 )
+from repro.exec import (
+    ExecOptions,
+    FailureReport,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.sim import (
     LARGE_FRACTION,
     SMALL_FRACTION,
     RunRecord,
     SimResult,
+    SweepResult,
     miss_ratio,
     profile,
     run_matrix,
+    run_sweep,
     simulate,
 )
 from repro.traces import Trace, build_corpus, from_keys
@@ -91,13 +101,19 @@ __all__ = [
     "LRU",
     "SOTA_NAMES",
     "make",
+    "ExecOptions",
+    "FailureReport",
+    "FaultPlan",
+    "RetryPolicy",
     "LARGE_FRACTION",
     "SMALL_FRACTION",
     "RunRecord",
     "SimResult",
+    "SweepResult",
     "miss_ratio",
     "profile",
     "run_matrix",
+    "run_sweep",
     "simulate",
     "Trace",
     "build_corpus",

@@ -13,6 +13,16 @@ Examples::
     repro simulate --policy LRU --trace mytrace.csv --size 0.01
     repro corpus --out traces/ --format binary --traces-per-family 2
     repro experiment fig5 --tier quick
+    repro experiment fig5 --tier full --checkpoint --retries 3
+    repro experiment fig5 --tier full --resume 20260806-101500-ab12cd
+
+Exit codes::
+
+    0    success
+    1    runtime failure (unexpected error, or a sweep lost cells)
+    2    user error (bad arguments, unknown policy/family, corrupt or
+         missing trace file, unknown resume run id)
+    130  interrupted (Ctrl-C); checkpointed sweeps stay resumable
 """
 
 from __future__ import annotations
@@ -22,9 +32,17 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.experiments.common import FULL, QUICK, TINY, CorpusConfig
+from repro.experiments.common import FULL, QUICK, TINY
 
 _TIERS = {"tiny": TINY, "quick": QUICK, "full": FULL}
+
+EXIT_OK = 0
+EXIT_RUNTIME = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPT = 130
+
+#: experiment ids whose matrix goes through the fault-tolerant runner
+_SWEEP_IDS = ("fig2", "fig5", "extensions")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -38,7 +56,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"{category}:")
         for name in by_category.get(category, []):
             print(f"  {name}")
-    return 0
+    return EXIT_OK
 
 
 def _load_trace(args: argparse.Namespace):
@@ -50,9 +68,13 @@ def _load_trace(args: argparse.Namespace):
         if not path.exists():
             print(f"error: trace file {path} not found", file=sys.stderr)
             return None
-        if path.suffix in (".bin", ".rptr"):
-            return read_binary(path)
-        return read_csv(path)
+        try:
+            if path.suffix in (".bin", ".rptr"):
+                return read_binary(path)
+            return read_csv(path)
+        except ValueError as exc:
+            print(f"error: cannot load trace: {exc}", file=sys.stderr)
+            return None
     family = FAMILY_BY_NAME.get(args.family)
     if family is None:
         known = ", ".join(sorted(FAMILY_BY_NAME))
@@ -68,12 +90,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     trace = _load_trace(args)
     if trace is None:
-        return 1
+        return EXIT_USAGE
     if args.policy not in REGISTRY:
         known = ", ".join(sorted(REGISTRY))
         print(f"error: unknown policy {args.policy!r}; known: {known}",
               file=sys.stderr)
-        return 1
+        return EXIT_USAGE
     capacity = trace.cache_size(args.size)
     capacity = max(capacity, REGISTRY[args.policy].min_capacity)
     policy = make(args.policy, capacity)
@@ -85,7 +107,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"({args.size:.3%} of unique objects)")
     print(f"miss ratio  : {result.miss_ratio:.4f}")
     print(f"hits/misses : {result.hits}/{result.misses}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -112,7 +134,25 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
                 write_csv(trace, out / f"{trace.name}.csv")
     if out:
         print(f"\nwrote {len(corpus)} traces to {out}/")
-    return 0
+    return EXIT_OK
+
+
+def _exec_options(args: argparse.Namespace):
+    """Build ExecOptions from the experiment subcommand's flags."""
+    from repro.exec import ExecOptions, RetryPolicy
+
+    retry = RetryPolicy(
+        max_attempts=args.retries,
+        base_delay=args.retry_delay,
+        timeout=args.task_timeout,
+    )
+    return ExecOptions(
+        retry=retry,
+        resume=args.resume,
+        run_id=args.run_id,
+        checkpoint=args.checkpoint,
+        runs_dir=Path(args.runs_dir) if args.runs_dir else None,
+    )
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -120,21 +160,47 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         ablations, extensions, fig2, fig3, fig5, table1, throughput)
 
     config = _TIERS[args.tier]
+    try:
+        options = _exec_options(args)
+    except ValueError as exc:
+        # invalid --retries/--retry-delay/--task-timeout combination
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.id not in _SWEEP_IDS and (args.resume or args.checkpoint
+                                      or args.run_id):
+        print(f"note: experiment {args.id!r} does not run a sweep matrix; "
+              f"--resume/--checkpoint/--run-id are ignored",
+              file=sys.stderr)
     runners = {
         "table1": lambda: table1.run(config),
-        "fig2": lambda: fig2.run(config),
+        "fig2": lambda: fig2.run(config, workers=args.workers,
+                                 options=options),
         "fig3": lambda: fig3.run(scale=config.scale),
         "table2": lambda: fig3.run(scale=config.scale),
-        "fig5": lambda: fig5.run(config),
+        "fig5": lambda: fig5.run(config, workers=args.workers,
+                                 options=options),
         "throughput": lambda: throughput.run(),
         "ablation-probation": lambda: ablations.run_probation_sweep(config),
         "ablation-ghost": lambda: ablations.run_ghost_sweep(config),
         "ablation-clockbits": lambda: ablations.run_clock_bits_sweep(config),
-        "extensions": lambda: extensions.run(config),
+        "extensions": lambda: extensions.run(config, workers=args.workers,
+                                             options=options),
     }
-    result = runners[args.id]()
+    try:
+        result = runners[args.id]()
+    except FileNotFoundError as exc:
+        # unknown --resume run id: user error, not a runtime crash
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     print(result.render())
-    return 0
+    failures = getattr(result, "failures", None)
+    if failures:
+        # partial results were rendered; signal the loss to scripts
+        return EXIT_RUNTIME
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,6 +238,24 @@ def build_parser() -> argparse.ArgumentParser:
         "ablation-probation", "ablation-ghost", "ablation-clockbits",
         "extensions"))
     exp.add_argument("--tier", choices=tuple(_TIERS), default="quick")
+    exp.add_argument("--workers", type=int, default=0,
+                     help="sweep worker processes (0 = half the cores)")
+    exp.add_argument("--resume", metavar="RUN_ID",
+                     help="resume a checkpointed sweep from its journal")
+    exp.add_argument("--checkpoint", action="store_true",
+                     help="journal completed cells under runs/<run-id>/")
+    exp.add_argument("--run-id",
+                     help="explicit run id for a new checkpointed sweep")
+    exp.add_argument("--runs-dir",
+                     help="journal root (default $REPRO_RUNS_DIR or runs/)")
+    exp.add_argument("--retries", type=int, default=3, metavar="N",
+                     help="max attempts per sweep cell (default 3)")
+    exp.add_argument("--retry-delay", type=float, default=0.5,
+                     metavar="SECONDS",
+                     help="base exponential-backoff delay (default 0.5)")
+    exp.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell wall-clock budget (default unbounded)")
 
     return parser
 
@@ -185,7 +269,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "corpus": _cmd_corpus,
         "experiment": _cmd_experiment,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
+    except Exception as exc:  # runtime failure: report, no traceback spam
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,7 +18,7 @@ shared by all policies:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable, List
 
 Key = Hashable

@@ -1,0 +1,51 @@
+"""repro.exec -- fault-tolerant execution for long-running sweeps.
+
+The paper's evaluation is a 5307-trace simulation matrix; ours replays
+millions of requests per (policy, trace, size) cell at the full tier.
+This package makes those sweeps survivable:
+
+* :mod:`repro.exec.executor` -- per-task crash isolation, retries with
+  exponential backoff, per-task timeouts, graceful degradation.
+* :mod:`repro.exec.journal` -- a JSONL checkpoint journal under
+  ``runs/<run-id>/`` enabling lossless resume.
+* :mod:`repro.exec.retry` -- the :class:`RetryPolicy` knobs.
+* :mod:`repro.exec.faults` -- deterministic fault injection for tests.
+* :mod:`repro.exec.report` -- structured :class:`FailureReport`.
+"""
+
+from repro.exec.executor import ExecutionOutcome, Task, run_tasks
+from repro.exec.faults import (
+    CRASH,
+    ERROR,
+    FaultPlan,
+    InjectedFault,
+    SweepInterrupted,
+    TaskTimeout,
+    WorkerCrash,
+)
+from repro.exec.journal import Journal, JournalState, new_run_id, runs_root
+from repro.exec.options import ExecOptions
+from repro.exec.report import FailureReport, TaskFailure
+from repro.exec.retry import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "CRASH",
+    "ERROR",
+    "ExecOptions",
+    "ExecutionOutcome",
+    "FailureReport",
+    "FaultPlan",
+    "InjectedFault",
+    "Journal",
+    "JournalState",
+    "NO_RETRY",
+    "RetryPolicy",
+    "SweepInterrupted",
+    "Task",
+    "TaskFailure",
+    "TaskTimeout",
+    "WorkerCrash",
+    "new_run_id",
+    "run_tasks",
+    "runs_root",
+]

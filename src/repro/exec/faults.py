@@ -1,0 +1,115 @@
+"""Deterministic fault injection for the execution layer.
+
+Testing a fault-tolerant runner with real crashes and real clocks makes
+for flaky suites.  A :class:`FaultPlan` instead *declares* the faults a
+run should experience -- "cell X raises on attempt 1", "cell Y crashes
+its worker process", "cell Z takes 30 virtual seconds" -- and the
+executor consults it at well-defined points, so every failure path can
+be exercised deterministically and without sleeping.
+
+Fault kinds:
+
+* ``ERROR`` -- the task function raises :class:`InjectedFault`.
+* ``CRASH`` -- the worker process dies abruptly (``os._exit``); in
+  in-process (serial) mode a :class:`WorkerCrash` is raised instead.
+* virtual *delays* -- the attempt reports an elapsed time without
+  actually sleeping, letting per-task timeouts trigger deterministically.
+* ``abort_after`` -- the coordinator raises :class:`SweepInterrupted`
+  after N completed tasks, simulating a mid-sweep kill for
+  checkpoint/resume tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+ERROR = "error"
+CRASH = "crash"
+_KINDS = (ERROR, CRASH)
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a worker when the plan injects an ``ERROR`` fault."""
+
+
+class WorkerCrash(RuntimeError):
+    """In-process stand-in for an abrupt worker-process death."""
+
+
+class TaskTimeout(RuntimeError):
+    """An attempt exceeded the retry policy's per-task timeout."""
+
+
+class SweepInterrupted(RuntimeError):
+    """The coordinator was interrupted mid-sweep (injected kill)."""
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults, keyed by task key + attempt.
+
+    Attempt numbers are 1-based; registering with ``attempt=None``
+    makes the fault fire on *every* attempt.  Instances are picklable
+    so they travel to worker processes.
+    """
+
+    #: (key, attempt-or-None) -> fault kind
+    failures: Dict[Tuple[object, Optional[int]], str] = field(
+        default_factory=dict)
+    #: (key, attempt-or-None) -> virtual seconds the attempt "takes"
+    delays: Dict[Tuple[object, Optional[int]], float] = field(
+        default_factory=dict)
+    #: raise SweepInterrupted after this many completions (None = never)
+    abort_after: Optional[int] = None
+
+    # -- builders ------------------------------------------------------
+    def fail(self, key, attempt: Optional[int] = None,
+             kind: str = ERROR) -> "FaultPlan":
+        """Make *key* fail on *attempt* (``None`` = every attempt)."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; use one of "
+                             f"{_KINDS}")
+        self.failures[(key, attempt)] = kind
+        return self
+
+    def delay(self, key, seconds: float,
+              attempt: Optional[int] = None) -> "FaultPlan":
+        """Give *key*'s attempt a virtual duration of *seconds*."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.delays[(key, attempt)] = seconds
+        return self
+
+    def abort_after_completions(self, count: int) -> "FaultPlan":
+        """Interrupt the coordinator after *count* completed tasks."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.abort_after = count
+        return self
+
+    # -- queries -------------------------------------------------------
+    def fault_for(self, key, attempt: int) -> Optional[str]:
+        """The fault kind scheduled for (key, attempt), if any."""
+        kind = self.failures.get((key, attempt))
+        if kind is None:
+            kind = self.failures.get((key, None))
+        return kind
+
+    def delay_for(self, key, attempt: int) -> float:
+        """The virtual duration scheduled for (key, attempt)."""
+        seconds = self.delays.get((key, attempt))
+        if seconds is None:
+            seconds = self.delays.get((key, None), 0.0)
+        return seconds
+
+
+__all__ = [
+    "ERROR",
+    "CRASH",
+    "FaultPlan",
+    "InjectedFault",
+    "WorkerCrash",
+    "TaskTimeout",
+    "SweepInterrupted",
+]

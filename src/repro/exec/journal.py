@@ -1,0 +1,179 @@
+"""JSONL checkpoint journal: ``runs/<run-id>/journal.jsonl``.
+
+Every completed task of a checkpointed sweep is appended to the
+journal as one JSON line, flushed immediately, so a crash or Ctrl-C
+loses at most the in-flight cells.  Resuming a run replays the journal,
+skips the recorded cells, and appends new completions to the same file.
+
+Line kinds::
+
+    {"kind": "meta",    "sweep": {...}}                  # run identity
+    {"kind": "result",  "key": [...], "payload": {...}}  # completed cell
+    {"kind": "failure", "key": [...], "attempts": N,
+     "failure_kind": "...", "error": "..."}              # exhausted cell
+
+``result`` lines win by-key over earlier lines (re-runs overwrite);
+``failure`` lines are informational -- a resumed run retries failed
+cells rather than skipping them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+PathLike = Union[str, Path]
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+def runs_root(override: Optional[PathLike] = None) -> Path:
+    """Directory holding per-run journal directories.
+
+    Resolution order: explicit *override*, ``$REPRO_RUNS_DIR``, then
+    ``runs/`` under the current working directory.
+    """
+    if override is not None:
+        return Path(override)
+    env = os.environ.get("REPRO_RUNS_DIR")
+    if env:
+        return Path(env)
+    return Path("runs")
+
+
+def new_run_id() -> str:
+    """A fresh, sortable, collision-resistant run id."""
+    return time.strftime("%Y%m%d-%H%M%S") + "-" + uuid.uuid4().hex[:6]
+
+
+@dataclass
+class JournalState:
+    """The journal's contents after a replay."""
+
+    meta: Optional[dict] = None
+    #: key tuple -> payload of the last ``result`` line for that key
+    results: Dict[Tuple, dict] = field(default_factory=dict)
+    #: raw ``failure`` lines, in file order
+    failures: List[dict] = field(default_factory=list)
+
+
+def _key_to_json(key: Tuple) -> list:
+    return list(key)
+
+
+def _key_from_json(raw) -> Tuple:
+    return tuple(raw)
+
+
+class Journal:
+    """Append-only JSONL checkpoint for one run."""
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self.path = self.directory / JOURNAL_NAME
+        self.run_id = self.directory.name
+        self._handle = None
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def create(cls, run_id: Optional[str] = None,
+               root: Optional[PathLike] = None,
+               meta: Optional[dict] = None) -> "Journal":
+        """Start a journal for a new run (dir is created; meta written).
+
+        Creating over an existing run id is allowed -- the journal is
+        appended to, which is what crash-then-rerun with an explicit
+        ``--run-id`` wants -- but the meta line is only written when the
+        file does not exist yet.
+        """
+        journal = cls(runs_root(root) / (run_id or new_run_id()))
+        journal.directory.mkdir(parents=True, exist_ok=True)
+        if meta is not None and not journal.path.exists():
+            journal.append({"kind": "meta", "sweep": meta})
+        return journal
+
+    @classmethod
+    def open(cls, run_id: str,
+             root: Optional[PathLike] = None) -> "Journal":
+        """Open an existing run's journal for resume."""
+        journal = cls(runs_root(root) / run_id)
+        if not journal.path.exists():
+            raise FileNotFoundError(
+                f"no journal found for run {run_id!r} "
+                f"(looked in {journal.path})")
+        return journal
+
+    # -- writing -------------------------------------------------------
+    def append(self, obj: dict) -> None:
+        """Append one JSON line and flush it to the OS."""
+        if self._handle is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def record_result(self, key: Tuple, payload: dict) -> None:
+        """Checkpoint one completed task."""
+        self.append({"kind": "result", "key": _key_to_json(key),
+                     "payload": payload})
+
+    def record_failure(self, key: Tuple, attempts: int,
+                       failure_kind: str, error: str) -> None:
+        """Record a task whose attempts were exhausted."""
+        self.append({"kind": "failure", "key": _key_to_json(key),
+                     "attempts": attempts, "failure_kind": failure_kind,
+                     "error": error})
+
+    def close(self) -> None:
+        """Close the append handle (safe to call twice)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------
+    def load(self) -> JournalState:
+        """Replay the journal file into a :class:`JournalState`.
+
+        Lines that fail to parse (e.g. a half-written final line from a
+        hard kill) are ignored -- the corresponding cell simply re-runs.
+        """
+        state = JournalState()
+        if not self.path.exists():
+            return state
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a crash mid-append
+                kind = obj.get("kind")
+                if kind == "meta":
+                    state.meta = obj.get("sweep")
+                elif kind == "result":
+                    state.results[_key_from_json(obj["key"])] = obj["payload"]
+                elif kind == "failure":
+                    state.failures.append(obj)
+        return state
+
+
+__all__ = [
+    "JOURNAL_NAME",
+    "Journal",
+    "JournalState",
+    "new_run_id",
+    "runs_root",
+]

@@ -1,0 +1,52 @@
+"""User-facing bundle of execution-layer knobs.
+
+:class:`ExecOptions` is what the experiment modules and the CLI thread
+down to :func:`repro.sim.runner.run_sweep` -- one object instead of six
+keyword arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.exec.faults import FaultPlan
+from repro.exec.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """How a sweep should be executed.
+
+    * ``retry`` -- per-cell retry/backoff/timeout policy.
+    * ``resume`` -- run id of a journal to resume from; finished cells
+      are skipped and new completions append to the same journal.
+    * ``run_id`` -- explicit id for a *new* checkpointed run (implies
+      checkpointing).
+    * ``checkpoint`` -- checkpoint under a generated run id.
+    * ``runs_dir`` -- root holding ``<run-id>/journal.jsonl`` dirs
+      (default: ``$REPRO_RUNS_DIR`` or ``runs/``).
+    * ``fault_plan`` -- deterministic fault injection (tests only).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    resume: Optional[str] = None
+    run_id: Optional[str] = None
+    checkpoint: bool = False
+    runs_dir: Optional[Path] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    def sweep_kwargs(self) -> dict:
+        """The keyword arguments :func:`run_sweep` accepts."""
+        return {
+            "retry": self.retry,
+            "resume": self.resume,
+            "run_id": self.run_id,
+            "checkpoint": self.checkpoint,
+            "runs_dir": self.runs_dir,
+            "fault_plan": self.fault_plan,
+        }
+
+
+__all__ = ["ExecOptions"]

@@ -1,0 +1,64 @@
+"""Structured failure reporting for degraded sweeps.
+
+When cells of a sweep exhaust their retries, the executor does not
+raise -- it returns every successful cell plus a :class:`FailureReport`
+describing exactly what was lost, so callers can aggregate partial
+results and operators can decide whether to resume or investigate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task whose attempts were exhausted."""
+
+    key: Tuple
+    attempts: int
+    kind: str      # "error" | "timeout" | "crash"
+    error: str     # last error message / traceback tail
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (f"{'/'.join(str(part) for part in self.key)}: "
+                f"{self.kind} after {self.attempts} attempt(s) -- "
+                f"{self.error}")
+
+
+@dataclass
+class FailureReport:
+    """All failed tasks of one sweep, in deterministic task order."""
+
+    failures: List[TaskFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing failed."""
+        return not self.failures
+
+    def keys(self) -> List[Tuple]:
+        """Keys of the failed tasks."""
+        return [failure.key for failure in self.failures]
+
+    def summary(self) -> str:
+        """Multi-line summary suitable for logs/stderr."""
+        if self.ok:
+            return "all tasks completed"
+        lines = [f"{len(self.failures)} task(s) failed:"]
+        lines.extend("  " + failure.describe() for failure in self.failures)
+        return "\n".join(lines)
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def __iter__(self) -> Iterator[TaskFailure]:
+        return iter(self.failures)
+
+
+__all__ = ["TaskFailure", "FailureReport"]

@@ -1,0 +1,55 @@
+"""Retry policy for fault-tolerant task execution.
+
+A :class:`RetryPolicy` bundles the three knobs every resilient runner
+needs: how many times to attempt a task, how long to back off between
+attempts (exponential, starting from ``base_delay``), and how long a
+single attempt may run before it is killed and counted as a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a failing task is retried.
+
+    * ``max_attempts`` -- total attempts per task (1 = no retry).
+    * ``base_delay`` -- seconds before the first retry; each further
+      retry doubles it (``base_delay * 2 ** (attempt - 1)``).
+    * ``timeout`` -- per-attempt wall-clock budget in seconds, or
+      ``None`` for unbounded.  In parallel mode an over-budget worker
+      process is terminated; injected virtual delays (see
+      :class:`~repro.exec.faults.FaultPlan`) are checked against the
+      same budget so tests can exercise the timeout path without
+      sleeping.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0:
+            raise ValueError(
+                f"base_delay must be >= 0, got {self.base_delay}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(
+                f"timeout must be > 0 or None, got {self.timeout}")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay in seconds before the retry that follows *attempt*."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return self.base_delay * (2 ** (attempt - 1))
+
+
+#: Fail fast: one attempt, no backoff, no timeout.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, timeout=None)
+
+__all__ = ["RetryPolicy", "NO_RETRY"]

@@ -17,10 +17,13 @@ when pytest captures stdout.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+import sys
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
+from repro.exec import ExecOptions
+from repro.sim.runner import SweepResult, run_sweep
 from repro.traces.corpus import build_corpus
 from repro.traces.trace import Trace
 
@@ -82,6 +85,40 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) // 2)
 
 
+def run_experiment_sweep(
+    policy_names: Sequence[str],
+    traces: Sequence[Trace],
+    *,
+    min_capacity: int = 50,
+    workers: int = 0,
+    options: Optional[ExecOptions] = None,
+) -> SweepResult:
+    """Run an experiment's matrix through the fault-tolerant runner.
+
+    This is the one funnel every sweep-shaped experiment goes through:
+    it applies the default worker count, threads the caller's
+    :class:`~repro.exec.ExecOptions` (retry/timeout knobs, checkpoint
+    journal, resume, fault injection) down to
+    :func:`~repro.sim.runner.run_sweep`, and narrates checkpoint ids
+    and cell failures on stderr so degraded runs are visible even when
+    callers only consume ``result.records``.
+    """
+    options = options or ExecOptions()
+    result = run_sweep(
+        policy_names, traces,
+        min_capacity=min_capacity,
+        workers=workers or default_workers(),
+        **options.sweep_kwargs(),
+    )
+    if result.run_id:
+        print(f"sweep checkpoint: run id {result.run_id} "
+              f"(resume with --resume {result.run_id})", file=sys.stderr)
+    if not result.ok:
+        print(f"sweep degraded: {result.failures.summary()}",
+              file=sys.stderr)
+    return result
+
+
 __all__ = [
     "CorpusConfig",
     "TINY",
@@ -90,4 +127,5 @@ __all__ = [
     "results_dir",
     "write_result",
     "default_workers",
+    "run_experiment_sweep",
 ]

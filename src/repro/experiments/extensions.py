@@ -11,14 +11,20 @@ miss-ratio reduction from FIFO per group and size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.metrics import reductions_from_baseline
 from repro.analysis.tables import render_table
-from repro.experiments.common import QUICK, CorpusConfig, default_workers, write_result
-from repro.sim.runner import LARGE_FRACTION, SMALL_FRACTION, RunRecord, run_matrix
+from repro.exec import ExecOptions, FailureReport
+from repro.experiments.common import (
+    QUICK,
+    CorpusConfig,
+    run_experiment_sweep,
+    write_result,
+)
+from repro.sim.runner import LARGE_FRACTION, SMALL_FRACTION, RunRecord
 
 POLICIES = ["FIFO", "LRU", "ARC", "QD-LP-FIFO", "S3-FIFO", "SIEVE",
             "W-TinyLFU"]
@@ -31,6 +37,8 @@ class ExtensionsResult:
     records: List[RunRecord]
     means: Dict[Tuple[str, float, str], float]
     config: CorpusConfig
+    #: cells lost to worker faults, if any (graceful degradation)
+    failures: Optional[FailureReport] = None
 
     def mean(self, group: str, size_fraction: float, policy: str) -> float:
         """Mean reduction for one cell."""
@@ -53,11 +61,13 @@ class ExtensionsResult:
             precision=1)
 
 
-def run(config: CorpusConfig = QUICK, workers: int = 0) -> ExtensionsResult:
+def run(config: CorpusConfig = QUICK, workers: int = 0,
+        options: Optional[ExecOptions] = None) -> ExtensionsResult:
     """Run the extensions comparison."""
     traces = config.build()
-    records = run_matrix(POLICIES, traces, min_capacity=50,
-                         workers=workers or default_workers())
+    sweep = run_experiment_sweep(POLICIES, traces, min_capacity=50,
+                                 workers=workers, options=options)
+    records = sweep.records
     group_of_trace = {t.name: t.group for t in traces}
     reductions = reductions_from_baseline(records, baseline="FIFO")
 
@@ -70,7 +80,8 @@ def run(config: CorpusConfig = QUICK, workers: int = 0) -> ExtensionsResult:
         for (group, size), values in per_slice.items():
             means[(group, size, policy)] = float(np.mean(values))
 
-    result = ExtensionsResult(records=records, means=means, config=config)
+    result = ExtensionsResult(records=records, means=means, config=config,
+                              failures=sweep.failures)
     write_result("extensions", result.render())
     return result
 

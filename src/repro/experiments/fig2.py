@@ -16,17 +16,23 @@ of never-hit objects (the demotion age) under LRU vs FIFO-Reinsertion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.analysis.comparison import WinFraction, datasets_won, win_fractions
 from repro.analysis.tables import render_percent, render_table
 from repro.core.clock import FIFOReinsertion
-from repro.experiments.common import QUICK, CorpusConfig, default_workers, write_result
+from repro.exec import ExecOptions, FailureReport
+from repro.experiments.common import (
+    QUICK,
+    CorpusConfig,
+    run_experiment_sweep,
+    write_result,
+)
 from repro.policies.lru import LRU
 from repro.sim.profiler import profile
-from repro.sim.runner import LARGE_FRACTION, SMALL_FRACTION, RunRecord, run_matrix
+from repro.sim.runner import LARGE_FRACTION, SMALL_FRACTION, RunRecord
 from repro.traces.synthetic import one_hit_wonder_trace
 
 POLICIES = ["LRU", "FIFO-Reinsertion", "2-bit-CLOCK"]
@@ -42,6 +48,8 @@ class Fig2Result:
     demotion_age_lru: float
     demotion_age_fifo_reinsertion: float
     config: CorpusConfig
+    #: cells lost to worker faults, if any (graceful degradation)
+    failures: Optional[FailureReport] = None
 
     def datasets_won(self, challenger: str, size_fraction: float) -> int:
         """Datasets (families) where *challenger* beats LRU on most
@@ -103,12 +111,13 @@ def _demotion_ages(seed: int = 7) -> Dict[str, float]:
     return ages
 
 
-def run(config: CorpusConfig = QUICK, workers: int = 0) -> Fig2Result:
+def run(config: CorpusConfig = QUICK, workers: int = 0,
+        options: Optional[ExecOptions] = None) -> Fig2Result:
     """Run the Fig. 2 study over the corpus."""
     traces = config.build()
-    records = run_matrix(
-        POLICIES, traces, min_capacity=50,
-        workers=workers or default_workers())
+    sweep = run_experiment_sweep(POLICIES, traces, min_capacity=50,
+                                 workers=workers, options=options)
+    records = sweep.records
 
     by_family = {}
     by_group = {}
@@ -126,6 +135,7 @@ def run(config: CorpusConfig = QUICK, workers: int = 0) -> Fig2Result:
         demotion_age_lru=ages["LRU"],
         demotion_age_fifo_reinsertion=ages["FIFO-Reinsertion"],
         config=config,
+        failures=sweep.failures,
     )
     write_result("fig2", result.render())
     return result

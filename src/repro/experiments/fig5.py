@@ -19,7 +19,7 @@ The paper's claims this experiment must reproduce in shape:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,9 +31,15 @@ from repro.analysis.metrics import (
     summarize,
 )
 from repro.analysis.tables import render_percent, render_table
-from repro.experiments.common import QUICK, CorpusConfig, default_workers, write_result
+from repro.exec import ExecOptions, FailureReport
+from repro.experiments.common import (
+    QUICK,
+    CorpusConfig,
+    run_experiment_sweep,
+    write_result,
+)
 from repro.policies.registry import SOTA_NAMES
-from repro.sim.runner import LARGE_FRACTION, SMALL_FRACTION, RunRecord, run_matrix
+from repro.sim.runner import LARGE_FRACTION, SMALL_FRACTION, RunRecord
 
 #: Everything Fig. 5 plots, plus the LRU/FIFO baselines it normalises by.
 POLICIES = (["FIFO", "LRU"]
@@ -57,6 +63,8 @@ class Fig5Result:
     #: ARC's mean reduction from LRU (the paper's 6.2 % yardstick)
     arc_vs_lru_mean: float
     config: CorpusConfig
+    #: cells lost to worker faults, if any (graceful degradation)
+    failures: Optional[FailureReport] = None
 
     def summary(self, group: str, size_fraction: float,
                 policy: str) -> PercentileSummary:
@@ -103,11 +111,13 @@ class Fig5Result:
         return "\n\n".join(sections)
 
 
-def run(config: CorpusConfig = QUICK, workers: int = 0) -> Fig5Result:
+def run(config: CorpusConfig = QUICK, workers: int = 0,
+        options: Optional[ExecOptions] = None) -> Fig5Result:
     """Run the full Fig. 5 matrix and aggregate."""
     traces = config.build()
-    records = run_matrix(POLICIES, traces, min_capacity=50,
-                         workers=workers or default_workers())
+    sweep = run_experiment_sweep(POLICIES, traces, min_capacity=50,
+                                 workers=workers, options=options)
+    records = sweep.records
 
     group_of_trace = {t.name: t.group for t in traces}
     reductions = reductions_from_baseline(records, baseline="FIFO")
@@ -134,6 +144,7 @@ def run(config: CorpusConfig = QUICK, workers: int = 0) -> Fig5Result:
         qd_gains=qd_gains,
         arc_vs_lru_mean=float(np.mean(arc_vs_lru)),
         config=config,
+        failures=sweep.failures,
     )
     write_result("fig5", result.render())
     return result

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
-import numpy as np
 
 from repro.analysis.tables import render_table
 from repro.experiments.common import QUICK, CorpusConfig, write_result

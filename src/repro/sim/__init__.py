@@ -6,8 +6,10 @@ from repro.sim.runner import (
     LARGE_FRACTION,
     SMALL_FRACTION,
     RunRecord,
+    SweepResult,
     run_matrix,
     run_one,
+    run_sweep,
 )
 from repro.sim.simulator import SimResult, miss_ratio, simulate
 
@@ -18,8 +20,10 @@ __all__ = [
     "LARGE_FRACTION",
     "SMALL_FRACTION",
     "RunRecord",
+    "SweepResult",
     "run_matrix",
     "run_one",
+    "run_sweep",
     "SimResult",
     "miss_ratio",
     "simulate",

@@ -3,17 +3,30 @@
 The paper's experiments all have the same shape -- run a set of
 algorithms over a corpus of traces at the "small" (0.1 % of unique
 objects) and "large" (10 %) cache sizes and aggregate the per-trace
-miss ratios.  :func:`run_matrix` executes that matrix, optionally in
-parallel across traces, and returns flat records the analysis layer
-consumes.
+miss ratios.  :func:`run_sweep` executes that matrix through the
+fault-tolerant execution layer (:mod:`repro.exec`): every
+(trace, policy, size) cell is an independent task, so a worker crash,
+exception, or timeout fails that cell only; cells retry per a
+:class:`~repro.exec.retry.RetryPolicy`; and with checkpointing enabled
+every completed cell is journalled to ``runs/<run-id>/journal.jsonl``
+so an interrupted sweep resumes losslessly via ``resume=<run-id>``.
+
+Results are always returned in deterministic (trace, size, policy)
+order regardless of worker scheduling, retries, or resume.
+:func:`run_matrix` is the records-only convenience wrapper the
+analysis layer consumes.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.exec.executor import Task, run_tasks
+from repro.exec.faults import FaultPlan
+from repro.exec.journal import Journal
+from repro.exec.report import FailureReport
+from repro.exec.retry import NO_RETRY, RetryPolicy
 from repro.policies.registry import REGISTRY, make
 from repro.sim.simulator import simulate
 from repro.traces.trace import Trace
@@ -70,15 +83,145 @@ def run_one(policy_name: str, trace: Trace, size_fraction: float,
     )
 
 
-def _run_trace_task(args: Tuple[Trace, Sequence[str], Sequence[float], int]
-                    ) -> List[RunRecord]:
-    """Worker: all (policy, size) combinations for a single trace."""
-    trace, policy_names, size_fractions, min_capacity = args
-    records = []
-    for fraction in size_fractions:
-        for name in policy_names:
-            records.append(run_one(name, trace, fraction, min_capacity))
-    return records
+# ----------------------------------------------------------------------
+# Cell tasks for the execution layer
+# ----------------------------------------------------------------------
+
+def cell_key(trace_name: str, policy_name: str,
+             size_fraction: float) -> Tuple[str, str, float]:
+    """Journal/report identity of one sweep cell."""
+    return (trace_name, policy_name, float(size_fraction))
+
+
+def _run_cell(payload) -> RunRecord:
+    """Execution-layer task body: simulate one cell."""
+    trace, policy_name, size_fraction, min_capacity = payload
+    return run_one(policy_name, trace, size_fraction, min_capacity)
+
+
+def _cell_tasks(policy_names: Sequence[str], traces: Sequence[Trace],
+                size_fractions: Sequence[float],
+                min_capacity: int) -> List[Task]:
+    """The matrix as independent tasks, in canonical result order."""
+    tasks = []
+    for trace in traces:
+        for fraction in size_fractions:
+            for name in policy_names:
+                tasks.append(Task(
+                    key=cell_key(trace.name, name, fraction),
+                    payload=(trace, name, float(fraction), min_capacity)))
+    return tasks
+
+
+def _record_to_json(record: RunRecord) -> dict:
+    return asdict(record)
+
+
+def _record_from_json(payload: dict) -> RunRecord:
+    return RunRecord(**payload)
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, including what it lost.
+
+    ``records`` holds the successful cells in deterministic
+    (trace, size, policy) order; ``failures`` describes cells whose
+    retries were exhausted; ``run_id`` is set when checkpointing was on
+    (pass it back as ``resume=`` to continue an interrupted run);
+    ``resumed`` counts cells restored from the journal rather than
+    simulated.
+    """
+
+    records: List[RunRecord]
+    failures: FailureReport
+    run_id: Optional[str] = None
+    resumed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell completed."""
+        return self.failures.ok
+
+
+def run_sweep(
+    policy_names: Sequence[str],
+    traces: Iterable[Trace],
+    size_fractions: Sequence[float] = (SMALL_FRACTION, LARGE_FRACTION),
+    min_capacity: int = 10,
+    workers: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    resume: Optional[str] = None,
+    run_id: Optional[str] = None,
+    checkpoint: bool = False,
+    runs_dir=None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> SweepResult:
+    """Run the (policy x trace x size) matrix fault-tolerantly.
+
+    ``workers > 1`` gives each cell attempt its own worker process --
+    simulation is pure CPU-bound Python, so threads would not help, and
+    per-attempt processes additionally isolate crashes and enforce the
+    retry policy's per-task timeout.  Cell failures do not raise; they
+    are reported in the returned :class:`SweepResult`.
+
+    Checkpointing is enabled by ``checkpoint=True``, an explicit
+    ``run_id``, or ``resume=<run-id>`` (which loads the journal, skips
+    its finished cells, and appends to it).  Resuming validates that
+    the sweep's shape (policies, traces, sizes, min_capacity) matches
+    the journal's; a mismatch raises ``ValueError``.
+    """
+    unknown = [n for n in policy_names if n not in REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown policies: {unknown}")
+    trace_list = list(traces)
+    fractions = [float(f) for f in size_fractions]
+    tasks = _cell_tasks(policy_names, trace_list, fractions, min_capacity)
+
+    meta = {
+        "policies": list(policy_names),
+        "traces": [t.name for t in trace_list],
+        "size_fractions": fractions,
+        "min_capacity": min_capacity,
+    }
+    journal: Optional[Journal] = None
+    completed: Dict[Tuple, RunRecord] = {}
+    if resume:
+        journal = Journal.open(resume, root=runs_dir)
+        state = journal.load()
+        if state.meta is not None and state.meta != meta:
+            journal.close()
+            raise ValueError(
+                f"run {resume!r} was checkpointed for a different sweep "
+                f"(policies/traces/sizes/min_capacity differ); refusing "
+                f"to resume")
+        completed = {key: _record_from_json(payload)
+                     for key, payload in state.results.items()}
+    elif checkpoint or run_id:
+        journal = Journal.create(run_id=run_id, root=runs_dir, meta=meta)
+
+    try:
+        outcome = run_tasks(
+            tasks, _run_cell,
+            workers=workers,
+            retry=retry if retry is not None else NO_RETRY,
+            journal=journal,
+            completed=completed,
+            fault_plan=fault_plan,
+            encode=_record_to_json,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    records = [outcome.results[task.key] for task in tasks
+               if task.key in outcome.results]
+    return SweepResult(
+        records=records,
+        failures=outcome.failures,
+        run_id=journal.run_id if journal is not None else None,
+        resumed=outcome.resumed,
+    )
 
 
 def run_matrix(
@@ -87,26 +230,20 @@ def run_matrix(
     size_fractions: Sequence[float] = (SMALL_FRACTION, LARGE_FRACTION),
     min_capacity: int = 10,
     workers: int = 1,
+    **sweep_kwargs,
 ) -> List[RunRecord]:
-    """Run the full (policy x trace x size) matrix.
+    """Run the full matrix and return the records.
 
-    ``workers > 1`` parallelises across traces with a process pool --
-    simulation is pure CPU-bound Python, so threads would not help.
-    Results are returned in deterministic (trace, size, policy) order
-    regardless of worker scheduling.
+    Convenience wrapper over :func:`run_sweep`; extra keyword arguments
+    (``retry``, ``resume``, ``run_id``, ``checkpoint``, ``runs_dir``,
+    ``fault_plan``) pass straight through.  On cell failure the
+    remaining records are still returned (graceful degradation) -- use
+    :func:`run_sweep` when the caller needs the
+    :class:`~repro.exec.report.FailureReport`.
     """
-    unknown = [n for n in policy_names if n not in REGISTRY]
-    if unknown:
-        raise KeyError(f"unknown policies: {unknown}")
-    trace_list = list(traces)
-    tasks = [(t, tuple(policy_names), tuple(size_fractions), min_capacity)
-             for t in trace_list]
-    if workers <= 1 or len(trace_list) <= 1:
-        nested = [_run_trace_task(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            nested = list(pool.map(_run_trace_task, tasks, chunksize=1))
-    return [record for batch in nested for record in batch]
+    return run_sweep(policy_names, traces, size_fractions=size_fractions,
+                     min_capacity=min_capacity, workers=workers,
+                     **sweep_kwargs).records
 
 
 def index_by(records: Iterable[RunRecord]
@@ -131,7 +268,10 @@ __all__ = [
     "LARGE_FRACTION",
     "SIZE_LABELS",
     "RunRecord",
+    "SweepResult",
+    "cell_key",
     "run_one",
+    "run_sweep",
     "run_matrix",
     "index_by",
     "miss_ratio_table",

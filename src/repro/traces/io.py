@@ -54,22 +54,38 @@ def read_csv(path: PathLike, name: str = None) -> Trace:
     Accepts files with or without the ``# meta:`` comment and header
     row, and with 1-3 columns (key[,time[,size]]); only the key column
     is used, matching the paper's uniform-size setting.
+
+    One non-numeric header row is tolerated before the data; any other
+    row whose first column is not an integer raises ``ValueError``
+    naming the offending line, so corrupt exports fail loudly instead
+    of silently dropping requests.
     """
     path = Path(path)
     meta = {"name": name or path.stem, "family": "imported", "group": BLOCK}
     keys = []
+    header_seen = False
     with path.open(newline="") as handle:
-        for line in handle:
-            line = line.strip()
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
             if not line:
                 continue
             if line.startswith("#"):
                 if line.startswith("# meta:"):
-                    meta.update(json.loads(line[len("# meta:"):]))
+                    try:
+                        meta.update(json.loads(line[len("# meta:"):]))
+                    except json.JSONDecodeError as exc:
+                        raise ValueError(
+                            f"{path}:{lineno}: malformed '# meta:' "
+                            f"header: {exc}") from exc
                 continue
             first = line.split(",", 1)[0].strip()
             if not first.lstrip("-").isdigit():
-                continue  # header row
+                if not header_seen and not keys:
+                    header_seen = True  # the one allowed header row
+                    continue
+                raise ValueError(
+                    f"{path}:{lineno}: malformed row {line!r} "
+                    f"(expected an integer key in the first column)")
             keys.append(int(first))
     if not keys:
         raise ValueError(f"no requests found in {path}")
@@ -98,24 +114,56 @@ def write_binary(trace: Trace, path: PathLike) -> None:
 
 
 def read_binary(path: PathLike) -> Trace:
-    """Read a trace written by :func:`write_binary`."""
+    """Read a trace written by :func:`write_binary`.
+
+    Every length field in the header is validated against the actual
+    file size *before* anything is allocated or read, so a corrupt or
+    hostile header (e.g. a multi-gigabyte ``meta_len`` or ``count`` in
+    a 100-byte file) raises a clear ``ValueError`` instead of
+    attempting an enormous read.
+    """
     path = Path(path)
+    file_size = path.stat().st_size
     with path.open("rb") as handle:
-        magic = handle.read(4)
+        header = handle.read(10)
+        if len(header) < 10:
+            raise ValueError(
+                f"{path} is truncated: {file_size} bytes is too short "
+                f"for the 10-byte header")
+        magic = header[:4]
         if magic != _MAGIC:
             raise ValueError(f"{path} is not a packed trace file "
                              f"(bad magic {magic!r})")
-        version, meta_len = struct.unpack("<HI", handle.read(6))
+        version, meta_len = struct.unpack("<HI", header[4:10])
         if version != _VERSION:
             raise ValueError(f"unsupported trace version {version}")
-        meta = json.loads(handle.read(meta_len).decode("utf-8"))
+        if meta_len > file_size - 10 - 8:
+            raise ValueError(
+                f"{path} has a corrupt header: metadata length "
+                f"{meta_len} exceeds the {file_size}-byte file")
+        try:
+            meta = json.loads(handle.read(meta_len).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"{path} has corrupt metadata: {exc}") from exc
+        if not isinstance(meta, dict):
+            raise ValueError(
+                f"{path} has corrupt metadata: expected a JSON object, "
+                f"got {type(meta).__name__}")
         (count,) = struct.unpack("<Q", handle.read(8))
+        payload_available = file_size - 10 - meta_len - 8
+        if count * 8 > payload_available:
+            raise ValueError(
+                f"{path} is truncated: header declares {count} keys "
+                f"({count * 8} bytes) but only {payload_available} "
+                f"payload bytes remain")
         payload = handle.read(count * 8)
         if len(payload) != count * 8:
             raise ValueError(f"{path} is truncated: expected {count} keys")
         keys = np.frombuffer(payload, dtype="<i8").astype(np.int64)
-    return Trace(name=meta["name"], keys=keys,
-                 family=meta["family"], group=meta["group"])
+    return Trace(name=meta.get("name", path.stem), keys=keys,
+                 family=meta.get("family", "imported"),
+                 group=meta.get("group", BLOCK))
 
 
 # ----------------------------------------------------------------------

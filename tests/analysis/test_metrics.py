@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.metrics import (
-    PercentileSummary,
     mean_reduction,
     miss_ratio_reduction,
     pairwise_reduction,

@@ -1,0 +1,209 @@
+"""Unit tests for the fault-tolerant executor.
+
+All failure paths are driven by the deterministic FaultPlan -- no real
+sleeps and (except for the explicit crash-isolation tests, which kill
+real worker processes) no timing dependence.
+"""
+
+import pytest
+
+from repro.exec import (
+    CRASH,
+    NO_RETRY,
+    FaultPlan,
+    Journal,
+    RetryPolicy,
+    SweepInterrupted,
+    Task,
+    run_tasks,
+)
+
+
+def double(payload):
+    """Module-level task body (must be importable by workers)."""
+    return payload * 2
+
+
+def explode(payload):
+    raise RuntimeError(f"cannot process {payload!r}")
+
+
+def tasks_for(*keys):
+    return [Task(key=(key,), payload=key) for key in keys]
+
+
+class TestSerialBasics:
+    def test_all_tasks_run(self):
+        outcome = run_tasks(tasks_for("a", "b", "c"), double)
+        assert outcome.results == {("a",): "aa", ("b",): "bb", ("c",): "cc"}
+        assert outcome.failures.ok
+        assert outcome.executed == 3
+        assert outcome.resumed == 0
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            run_tasks(tasks_for("a") + tasks_for("a"), double)
+
+    def test_completed_tasks_skipped(self):
+        outcome = run_tasks(tasks_for("a", "b"), explode,
+                            completed={("a",): "cached-a", ("b",): "cached-b"})
+        assert outcome.results == {("a",): "cached-a", ("b",): "cached-b"}
+        assert outcome.resumed == 2
+        assert outcome.executed == 0
+
+    def test_task_exception_degrades_not_raises(self):
+        outcome = run_tasks(tasks_for("a", "b"), explode, retry=NO_RETRY)
+        assert outcome.results == {}
+        assert len(outcome.failures) == 2
+        assert all(f.kind == "error" for f in outcome.failures)
+        assert "cannot process" in outcome.failures.failures[0].error
+
+
+class TestRetry:
+    def test_injected_fault_retried_to_success(self):
+        plan = FaultPlan().fail(("a",), attempt=1)
+        sleeps = []
+        outcome = run_tasks(
+            tasks_for("a"), double, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.25),
+            sleep=sleeps.append)
+        assert outcome.results == {("a",): "aa"}
+        assert outcome.failures.ok
+        assert sleeps == [0.25]  # one backoff before the retry
+
+    def test_backoff_is_exponential(self):
+        plan = (FaultPlan().fail(("a",), attempt=1)
+                .fail(("a",), attempt=2).fail(("a",), attempt=3))
+        sleeps = []
+        outcome = run_tasks(
+            tasks_for("a"), double, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.5),
+            sleep=sleeps.append)
+        assert outcome.failures.ok
+        assert sleeps == [0.5, 1.0, 2.0]
+
+    def test_exhausted_attempts_fail_with_count(self):
+        plan = FaultPlan().fail(("a",))  # every attempt
+        outcome = run_tasks(
+            tasks_for("a", "b"), double, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            sleep=lambda _: None)
+        assert outcome.results == {("b",): "bb"}
+        failure = outcome.failures.failures[0]
+        assert failure.key == ("a",)
+        assert failure.attempts == 3
+        assert failure.kind == "error"
+
+    def test_serial_crash_fault_isolated(self):
+        plan = FaultPlan().fail(("a",), kind=CRASH)
+        outcome = run_tasks(tasks_for("a", "b"), double, fault_plan=plan,
+                            retry=NO_RETRY)
+        assert outcome.results == {("b",): "bb"}
+        assert outcome.failures.failures[0].kind == "crash"
+
+
+class TestVirtualTimeout:
+    def test_delay_over_budget_is_timeout(self):
+        plan = FaultPlan().delay(("a",), 30.0)
+        outcome = run_tasks(
+            tasks_for("a", "b"), double, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, timeout=5.0),
+            sleep=lambda _: None)
+        assert outcome.results == {("b",): "bb"}
+        failure = outcome.failures.failures[0]
+        assert failure.kind == "timeout"
+        assert failure.attempts == 2
+
+    def test_timeout_then_fast_retry_succeeds(self):
+        plan = FaultPlan().delay(("a",), 30.0, attempt=1)
+        outcome = run_tasks(
+            tasks_for("a"), double, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, timeout=5.0),
+            sleep=lambda _: None)
+        assert outcome.results == {("a",): "aa"}
+        assert outcome.failures.ok
+
+    def test_delay_under_budget_is_fine(self):
+        plan = FaultPlan().delay(("a",), 3.0)
+        outcome = run_tasks(
+            tasks_for("a"), double, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=1, base_delay=0.0, timeout=5.0))
+        assert outcome.results == {("a",): "aa"}
+
+
+class TestJournalIntegration:
+    def test_results_checkpointed_as_they_complete(self, tmp_path):
+        journal = Journal.create(run_id="r1", root=tmp_path)
+        run_tasks(tasks_for("a", "b"), double, journal=journal)
+        journal.close()
+        state = journal.load()
+        assert state.results == {("a",): "aa", ("b",): "bb"}
+
+    def test_abort_after_leaves_resumable_journal(self, tmp_path):
+        journal = Journal.create(run_id="r1", root=tmp_path)
+        plan = FaultPlan().abort_after_completions(2)
+        with pytest.raises(SweepInterrupted):
+            run_tasks(tasks_for("a", "b", "c", "d"), double,
+                      journal=journal, fault_plan=plan)
+        journal.close()
+        completed = {key: payload
+                     for key, payload in journal.load().results.items()}
+        assert completed == {("a",): "aa", ("b",): "bb"}
+        # resuming skips the journalled tasks and finishes the rest
+        outcome = run_tasks(tasks_for("a", "b", "c", "d"), double,
+                            completed=completed)
+        assert outcome.resumed == 2
+        assert outcome.executed == 2
+        assert outcome.results == {("a",): "aa", ("b",): "bb",
+                                   ("c",): "cc", ("d",): "dd"}
+
+    def test_failures_journalled(self, tmp_path):
+        journal = Journal.create(run_id="r1", root=tmp_path)
+        plan = FaultPlan().fail(("a",))
+        run_tasks(tasks_for("a"), double, journal=journal, fault_plan=plan,
+                  retry=NO_RETRY)
+        journal.close()
+        state = journal.load()
+        assert state.failures[0]["failure_kind"] == "error"
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self):
+        tasks = tasks_for("a", "b", "c", "d", "e")
+        serial = run_tasks(tasks, double, workers=1)
+        parallel = run_tasks(tasks, double, workers=3)
+        assert parallel.results == serial.results
+
+    def test_injected_error_isolated(self):
+        plan = FaultPlan().fail(("b",))
+        outcome = run_tasks(tasks_for("a", "b", "c", "d"), double,
+                            workers=2, fault_plan=plan, retry=NO_RETRY)
+        assert outcome.results == {("a",): "aa", ("c",): "cc", ("d",): "dd"}
+        assert [f.key for f in outcome.failures] == [("b",)]
+
+    def test_real_worker_crash_isolated(self):
+        """An os._exit in a worker kills exactly one attempt, not the
+        sweep -- the acceptance criterion for crash isolation."""
+        plan = FaultPlan().fail(("b",), kind=CRASH)
+        outcome = run_tasks(tasks_for("a", "b", "c", "d"), double,
+                            workers=2, fault_plan=plan, retry=NO_RETRY)
+        assert outcome.results == {("a",): "aa", ("c",): "cc", ("d",): "dd"}
+        failure = outcome.failures.failures[0]
+        assert failure.key == ("b",)
+        assert failure.kind == "crash"
+
+    def test_crash_then_clean_retry_recovers_everything(self):
+        plan = FaultPlan().fail(("b",), attempt=1, kind=CRASH)
+        outcome = run_tasks(
+            tasks_for("a", "b", "c", "d"), double, workers=2,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0))
+        assert outcome.failures.ok
+        assert outcome.results == {("a",): "aa", ("b",): "bb",
+                                   ("c",): "cc", ("d",): "dd"}
+
+    def test_failures_reported_in_task_order(self):
+        plan = FaultPlan().fail(("d",)).fail(("a",))
+        outcome = run_tasks(tasks_for("a", "b", "c", "d"), double,
+                            workers=2, fault_plan=plan, retry=NO_RETRY)
+        assert [f.key for f in outcome.failures] == [("a",), ("d",)]

@@ -1,0 +1,74 @@
+"""Unit tests for the JSONL checkpoint journal."""
+
+import json
+
+import pytest
+
+from repro.exec import Journal, new_run_id, runs_root
+
+
+class TestRunsRoot:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert runs_root() == tmp_path
+
+    def test_explicit_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", "/elsewhere")
+        assert runs_root(tmp_path) == tmp_path
+
+    def test_run_ids_unique(self):
+        assert new_run_id() != new_run_id()
+
+
+class TestJournal:
+    def test_create_writes_meta(self, tmp_path):
+        journal = Journal.create(run_id="r1", root=tmp_path,
+                                 meta={"policies": ["LRU"]})
+        journal.close()
+        state = Journal.open("r1", root=tmp_path).load()
+        assert state.meta == {"policies": ["LRU"]}
+
+    def test_result_roundtrip(self, tmp_path):
+        with Journal.create(run_id="r1", root=tmp_path) as journal:
+            journal.record_result(("t", "LRU", 0.001), {"misses": 3})
+            journal.record_result(("t", "FIFO", 0.1), {"misses": 9})
+        state = Journal.open("r1", root=tmp_path).load()
+        assert state.results[("t", "LRU", 0.001)] == {"misses": 3}
+        assert state.results[("t", "FIFO", 0.1)] == {"misses": 9}
+
+    def test_last_result_wins(self, tmp_path):
+        with Journal.create(run_id="r1", root=tmp_path) as journal:
+            journal.record_result(("t",), {"misses": 1})
+            journal.record_result(("t",), {"misses": 2})
+        state = Journal.open("r1", root=tmp_path).load()
+        assert state.results[("t",)] == {"misses": 2}
+
+    def test_failures_recorded_but_not_skipped(self, tmp_path):
+        with Journal.create(run_id="r1", root=tmp_path) as journal:
+            journal.record_failure(("t",), attempts=3, failure_kind="crash",
+                                   error="boom")
+        state = Journal.open("r1", root=tmp_path).load()
+        assert state.results == {}
+        assert state.failures[0]["failure_kind"] == "crash"
+
+    def test_torn_final_line_ignored(self, tmp_path):
+        journal = Journal.create(run_id="r1", root=tmp_path)
+        journal.record_result(("t",), {"misses": 1})
+        journal.close()
+        with journal.path.open("a") as handle:
+            handle.write('{"kind": "result", "key": ["u"], "payl')  # torn
+        state = journal.load()
+        assert state.results == {("t",): {"misses": 1}}
+
+    def test_open_missing_run_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no-such-run"):
+            Journal.open("no-such-run", root=tmp_path)
+
+    def test_lines_are_valid_json(self, tmp_path):
+        with Journal.create(run_id="r1", root=tmp_path,
+                            meta={"a": 1}) as journal:
+            journal.record_result(("t", 0.5), {"x": 1})
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)

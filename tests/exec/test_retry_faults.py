@@ -1,0 +1,68 @@
+"""Unit tests for RetryPolicy and the deterministic FaultPlan."""
+
+import pickle
+
+import pytest
+
+from repro.exec import CRASH, ERROR, NO_RETRY, FaultPlan, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.timeout is None
+
+    def test_backoff_doubles(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.5)
+        assert policy.backoff(1) == 0.5
+        assert policy.backoff(2) == 1.0
+        assert policy.backoff(3) == 2.0
+
+    def test_no_retry_constant(self):
+        assert NO_RETRY.max_attempts == 1
+        assert NO_RETRY.backoff(1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+
+class TestFaultPlan:
+    def test_fault_for_specific_attempt(self):
+        plan = FaultPlan().fail(("a",), attempt=2)
+        assert plan.fault_for(("a",), 1) is None
+        assert plan.fault_for(("a",), 2) == ERROR
+
+    def test_fault_for_every_attempt(self):
+        plan = FaultPlan().fail(("a",), kind=CRASH)
+        assert plan.fault_for(("a",), 1) == CRASH
+        assert plan.fault_for(("a",), 7) == CRASH
+
+    def test_delay_lookup(self):
+        plan = FaultPlan().delay(("a",), 3.5, attempt=1)
+        assert plan.delay_for(("a",), 1) == 3.5
+        assert plan.delay_for(("a",), 2) == 0.0
+        assert plan.delay_for(("b",), 1) == 0.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().fail(("a",), kind="meteor")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().delay(("a",), -1.0)
+
+    def test_picklable(self):
+        plan = (FaultPlan().fail(("a",), kind=CRASH)
+                .delay(("b",), 2.0).abort_after_completions(5))
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.fault_for(("a",), 1) == CRASH
+        assert clone.delay_for(("b",), 3) == 2.0
+        assert clone.abort_after == 5

@@ -1,6 +1,5 @@
 """Unit tests for the experiment plumbing (configs, artifacts)."""
 
-import os
 
 import pytest
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.policies.belady import Belady
-from repro.policies.registry import make, names
+from repro.policies.registry import make
 from tests.conftest import drive
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.policies.lfu import LFU
-from tests.conftest import drive
 
 
 class TestLFUBasics:

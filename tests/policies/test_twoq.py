@@ -1,6 +1,5 @@
 """Unit tests for 2Q."""
 
-import pytest
 
 from repro.policies.twoq import TwoQ
 from tests.conftest import drive

@@ -2,13 +2,11 @@
 
 import math
 
-import pytest
 
-from repro.core.base import EvictionEvent
 from repro.policies.fifo import FIFO
 from repro.policies.lru import LRU
 from repro.core.clock import FIFOReinsertion
-from repro.sim.profiler import ProfileResult, profile
+from repro.sim.profiler import profile
 
 
 class TestProfile:

@@ -5,7 +5,6 @@ import pytest
 from repro.sim.runner import (
     LARGE_FRACTION,
     SMALL_FRACTION,
-    RunRecord,
     index_by,
     miss_ratio_table,
     run_matrix,

@@ -1,0 +1,153 @@
+"""Fault-tolerance tests for the sweep runner.
+
+These prove the acceptance criteria of the resilient execution layer:
+a worker crash or timeout fails one cell instead of the matrix, and an
+interrupted checkpointed sweep resumes to byte-identical results.  All
+faults come from the deterministic FaultPlan -- no sleeps, no races.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.exec import (
+    CRASH,
+    NO_RETRY,
+    FaultPlan,
+    Journal,
+    RetryPolicy,
+    SweepInterrupted,
+)
+from repro.sim.runner import (
+    SMALL_FRACTION,
+    cell_key,
+    run_matrix,
+    run_sweep,
+)
+from repro.traces.corpus import build_corpus
+
+POLICIES = ["FIFO", "LRU"]
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return build_corpus(scale=0.05, traces_per_family=1,
+                        families=["msr", "cdn"])
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_corpus):
+    """The uninterrupted sweep every degraded/resumed run must match."""
+    return run_matrix(POLICIES, tiny_corpus)
+
+
+class TestGracefulDegradation:
+    def test_injected_error_fails_one_cell_only(self, tiny_corpus, baseline):
+        bad = cell_key(tiny_corpus[0].name, "LRU", SMALL_FRACTION)
+        result = run_sweep(POLICIES, tiny_corpus,
+                           fault_plan=FaultPlan().fail(bad),
+                           retry=NO_RETRY)
+        assert len(result.records) == len(baseline) - 1
+        assert result.failures.keys() == [bad]
+        assert result.records == [r for r in baseline
+                                  if cell_key(r.trace, r.policy,
+                                              r.size_fraction) != bad]
+
+    def test_worker_crash_does_not_abort_matrix(self, tiny_corpus, baseline):
+        """A real worker-process death (os._exit) marks that cell
+        failed and every other cell's record is still returned."""
+        bad = cell_key(tiny_corpus[1].name, "FIFO", SMALL_FRACTION)
+        result = run_sweep(POLICIES, tiny_corpus, workers=2,
+                           fault_plan=FaultPlan().fail(bad, kind=CRASH),
+                           retry=NO_RETRY)
+        assert len(result.records) == len(baseline) - 1
+        failure = result.failures.failures[0]
+        assert failure.key == bad
+        assert failure.kind == "crash"
+
+    def test_per_task_timeout_fails_one_cell_only(self, tiny_corpus,
+                                                  baseline):
+        bad = cell_key(tiny_corpus[0].name, "FIFO", SMALL_FRACTION)
+        result = run_sweep(
+            POLICIES, tiny_corpus,
+            fault_plan=FaultPlan().delay(bad, 60.0),
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, timeout=1.0))
+        assert len(result.records) == len(baseline) - 1
+        assert result.failures.failures[0].kind == "timeout"
+
+    def test_transient_crash_recovers_via_retry(self, tiny_corpus, baseline):
+        bad = cell_key(tiny_corpus[0].name, "LRU", SMALL_FRACTION)
+        result = run_sweep(
+            POLICIES, tiny_corpus, workers=2,
+            fault_plan=FaultPlan().fail(bad, attempt=1, kind=CRASH),
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0))
+        assert result.ok
+        assert result.records == baseline
+
+
+class TestCheckpointResume:
+    def test_kill_then_resume_equivalence(self, tiny_corpus, baseline,
+                                          tmp_path):
+        """The headline guarantee: interrupt a checkpointed sweep
+        mid-run, resume from its journal, and the records are identical
+        to an uninterrupted run's."""
+        plan = FaultPlan().abort_after_completions(3)
+        with pytest.raises(SweepInterrupted):
+            run_sweep(POLICIES, tiny_corpus, run_id="killed",
+                      runs_dir=tmp_path, fault_plan=plan, retry=NO_RETRY)
+
+        resumed = run_sweep(POLICIES, tiny_corpus, resume="killed",
+                            runs_dir=tmp_path, retry=NO_RETRY)
+        assert resumed.resumed == 3
+        assert resumed.records == baseline
+        assert ([asdict(r) for r in resumed.records]
+                == [asdict(r) for r in baseline])
+
+    def test_resume_skips_finished_cells(self, tiny_corpus, tmp_path):
+        plan = FaultPlan().abort_after_completions(3)
+        with pytest.raises(SweepInterrupted):
+            run_sweep(POLICIES, tiny_corpus, run_id="killed",
+                      runs_dir=tmp_path, fault_plan=plan, retry=NO_RETRY)
+        run_sweep(POLICIES, tiny_corpus, resume="killed",
+                  runs_dir=tmp_path, retry=NO_RETRY)
+        # journal holds meta + 3 pre-kill results + the remaining cells,
+        # with no cell journalled twice
+        state = Journal.open("killed", root=tmp_path).load()
+        lines = (tmp_path / "killed" / "journal.jsonl").read_text()
+        total_cells = 2 * len(tiny_corpus) * len(POLICIES)
+        assert len(state.results) == total_cells
+        assert lines.count('"kind": "result"') == total_cells
+
+    def test_completed_run_resumes_to_noop(self, tiny_corpus, baseline,
+                                           tmp_path):
+        run_sweep(POLICIES, tiny_corpus, run_id="done", runs_dir=tmp_path,
+                  retry=NO_RETRY)
+        again = run_sweep(POLICIES, tiny_corpus, resume="done",
+                          runs_dir=tmp_path, retry=NO_RETRY)
+        assert again.resumed == len(baseline)
+        assert again.records == baseline
+
+    def test_resume_different_sweep_rejected(self, tiny_corpus, tmp_path):
+        run_sweep(POLICIES, tiny_corpus, run_id="r", runs_dir=tmp_path,
+                  retry=NO_RETRY)
+        with pytest.raises(ValueError, match="different sweep"):
+            run_sweep(["FIFO"], tiny_corpus, resume="r", runs_dir=tmp_path,
+                      retry=NO_RETRY)
+
+    def test_resume_unknown_run_rejected(self, tiny_corpus, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_sweep(POLICIES, tiny_corpus, resume="ghost",
+                      runs_dir=tmp_path)
+
+    def test_run_id_reported(self, tiny_corpus, tmp_path):
+        result = run_sweep(POLICIES, tiny_corpus, checkpoint=True,
+                           runs_dir=tmp_path, retry=NO_RETRY)
+        assert result.run_id
+        assert (tmp_path / result.run_id / "journal.jsonl").exists()
+
+    def test_unjournalled_sweep_writes_nothing(self, tiny_corpus, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        result = run_sweep(POLICIES, tiny_corpus, retry=NO_RETRY)
+        assert result.run_id is None
+        assert list(tmp_path.iterdir()) == []

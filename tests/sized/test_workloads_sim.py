@@ -1,6 +1,5 @@
 """Unit tests for sized workloads and the sized simulator."""
 
-import numpy as np
 import pytest
 
 from repro.sized.policies import SizedLRU

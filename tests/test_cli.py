@@ -39,18 +39,25 @@ class TestCommands:
 
     def test_simulate_unknown_policy(self, capsys):
         code = main(["simulate", "--policy", "Nope", "--scale", "0.05"])
-        assert code == 1
+        assert code == 2  # user error, not runtime failure
         assert "unknown policy" in capsys.readouterr().err
 
     def test_simulate_unknown_family(self, capsys):
         code = main(["simulate", "--policy", "LRU", "--family", "nope"])
-        assert code == 1
+        assert code == 2
         assert "unknown family" in capsys.readouterr().err
 
     def test_simulate_missing_trace_file(self, capsys, tmp_path):
         code = main(["simulate", "--policy", "LRU",
                      "--trace", str(tmp_path / "missing.csv")])
-        assert code == 1
+        assert code == 2
+
+    def test_simulate_corrupt_trace_file(self, capsys, tmp_path):
+        path = tmp_path / "corrupt.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        code = main(["simulate", "--policy", "LRU", "--trace", str(path)])
+        assert code == 2
+        assert "magic" in capsys.readouterr().err
 
     def test_simulate_from_csv(self, capsys, tmp_path, small_trace):
         from repro.traces.io import write_csv
@@ -90,6 +97,60 @@ class TestCommands:
         code = main(["experiment", "table1", "--tier", "tiny"])
         assert code == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """Interrupt and crash handling at the top-level entry point."""
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        def interrupted(args):
+            raise KeyboardInterrupt
+        monkeypatch.setattr("repro.cli._cmd_list", interrupted)
+        assert main(["list"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_unexpected_error_exits_1(self, capsys, monkeypatch):
+        def broken(args):
+            raise RuntimeError("wires crossed")
+        monkeypatch.setattr("repro.cli._cmd_list", broken)
+        assert main(["list"]) == 1
+        err = capsys.readouterr().err
+        assert "RuntimeError" in err
+        assert "wires crossed" in err
+
+
+class TestSweepFlags:
+    """Checkpoint/resume plumbing through the experiment command."""
+
+    def test_checkpoint_writes_journal(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        runs = tmp_path / "runs"
+        code = main(["experiment", "fig2", "--tier", "tiny",
+                     "--checkpoint", "--run-id", "cli-test",
+                     "--runs-dir", str(runs)])
+        assert code == 0
+        assert (runs / "cli-test" / "journal.jsonl").exists()
+        assert "cli-test" in capsys.readouterr().err
+
+    def test_resume_reuses_journal(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        runs = tmp_path / "runs"
+        main(["experiment", "fig2", "--tier", "tiny", "--checkpoint",
+              "--run-id", "cli-test", "--runs-dir", str(runs)])
+        capsys.readouterr()
+        code = main(["experiment", "fig2", "--tier", "tiny",
+                     "--resume", "cli-test", "--runs-dir", str(runs)])
+        assert code == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_resume_unknown_run_is_user_error(self, capsys, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        code = main(["experiment", "fig2", "--tier", "tiny",
+                     "--resume", "ghost",
+                     "--runs-dir", str(tmp_path / "runs")])
+        assert code == 2
+        assert "ghost" in capsys.readouterr().err
 
 
 class TestExperimentCommands:

@@ -105,6 +105,101 @@ class TestIO:
         assert bin_path.stat().st_size < csv_path.stat().st_size * 0.8
 
 
+class TestCorruptInputs:
+    """Malformed files must fail loudly with a clear message -- never
+    hang, allocate gigabytes, or silently drop requests."""
+
+    def test_csv_malformed_row_names_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("key\n1\n2\noops,0\n3\n")
+        with pytest.raises(ValueError, match=r"bad\.csv:4.*oops"):
+            read_csv(path)
+
+    def test_csv_two_header_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("key\nalso-a-header\n1\n")
+        with pytest.raises(ValueError, match=":2"):
+            read_csv(path)
+
+    def test_csv_malformed_meta_names_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text('# meta: {"name": oops\nkey\n1\n')
+        with pytest.raises(ValueError, match=r"bad\.csv:1.*meta"):
+            read_csv(path)
+
+    def test_csv_header_only_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("key\n")
+        with pytest.raises(ValueError, match="no requests"):
+            read_csv(path)
+
+    def test_binary_empty_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="truncated"):
+            read_binary(path)
+
+    def test_binary_header_shorter_than_magic(self, tmp_path):
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(b"RPTR\x01")
+        with pytest.raises(ValueError, match="truncated"):
+            read_binary(path)
+
+    def test_binary_oversized_meta_len(self, tmp_path, small_trace):
+        """A multi-gigabyte meta_len in a tiny file must be rejected
+        by header validation, not attempted as a read."""
+        path = tmp_path / "evil.bin"
+        write_binary(small_trace, path)
+        data = bytearray(path.read_bytes())
+        data[6:10] = (2 ** 31).to_bytes(4, "little")  # meta_len field
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="metadata length"):
+            read_binary(path)
+
+    def test_binary_oversized_count(self, tmp_path, small_trace):
+        """A key count far beyond the file size must be caught before
+        any allocation."""
+        path = tmp_path / "evil.bin"
+        write_binary(small_trace, path)
+        data = bytearray(path.read_bytes())
+        meta_len = int.from_bytes(data[6:10], "little")
+        count_off = 10 + meta_len
+        data[count_off:count_off + 8] = (2 ** 40).to_bytes(8, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="declares"):
+            read_binary(path)
+
+    def test_binary_garbage_metadata(self, tmp_path, small_trace):
+        path = tmp_path / "evil.bin"
+        write_binary(small_trace, path)
+        data = bytearray(path.read_bytes())
+        meta_len = int.from_bytes(data[6:10], "little")
+        data[10:10 + meta_len] = b"\xff" * meta_len
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="corrupt metadata"):
+            read_binary(path)
+
+    def test_binary_non_object_metadata(self, tmp_path):
+        import json
+        import struct
+        path = tmp_path / "evil.bin"
+        meta = json.dumps([1, 2, 3]).encode()
+        payload = struct.pack("<q", 7)
+        path.write_bytes(b"RPTR" + struct.pack("<HI", 1, len(meta))
+                         + meta + struct.pack("<Q", 1) + payload)
+        with pytest.raises(ValueError, match="JSON object"):
+            read_binary(path)
+
+    def test_binary_unsupported_version(self, tmp_path, small_trace):
+        path = tmp_path / "evil.bin"
+        write_binary(small_trace, path)
+        data = bytearray(path.read_bytes())
+        data[4:6] = (99).to_bytes(2, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version 99"):
+            read_binary(path)
+
+
 class TestStats:
     def test_compute_stats(self):
         trace = from_keys([1, 1, 1, 2, 3])

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.traces.ttl import apply_ttl, effective_objects
-from repro.traces.trace import from_keys
 
 
 class TestApplyTTL:
