@@ -39,6 +39,26 @@ def test_throughput_experiment(benchmark):
          result.ops_per_second.items()})
 
 
+def test_fast_engine_speedup(benchmark):
+    """Smoke-scale fast-vs-reference comparison: every fast engine must
+    agree with its reference bit-for-bit (asserted inside) and the
+    vectorizable FIFO must actually be faster.  The full frozen
+    workload behind BENCH_throughput.json runs via
+    check_bench_regression.py."""
+    smoke = {"num_objects": 20_000, "num_requests": 100_000,
+             "alpha": 1.5, "capacity": 10_000}
+    result = run_once(
+        benchmark, lambda: throughput.run_fast_comparison(
+            workload=smoke, repeats=1))
+    print()
+    print(result.render())
+    assert set(result.rows) == set(throughput.FAST_POLICIES)
+    assert result.speedup("FIFO") > 1.0
+    benchmark.extra_info.update(
+        {f"fast:{name}": row["speedup"]
+         for name, row in result.rows.items()})
+
+
 @pytest.mark.parametrize("policy_name", [
     "FIFO", "FIFO-Reinsertion", "2-bit-CLOCK", "SIEVE", "S3-FIFO",
     "QD-LP-FIFO", "LRU", "SLRU", "2Q", "ARC", "LIRS", "LeCaR",

@@ -1,0 +1,90 @@
+"""Benchmark regression gate for the fast simulation engines.
+
+Re-measures the frozen ``BENCH_WORKLOAD`` (see
+``repro.experiments.throughput``) and compares each policy's
+fast-vs-reference *speedup* against the committed baseline in
+``BENCH_throughput.json``.  Speedups are ratios taken on the same
+machine in the same process, so they transfer across hardware far
+better than absolute requests/second do.
+
+Exit status 1 when any policy's speedup fell more than ``--tolerance``
+(default 20 %) below its baseline.  The fresh measurement is written
+next to the results artifacts so CI uploads capture it.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py            # gate
+    python benchmarks/check_bench_regression.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = REPO_ROOT / "BENCH_throughput.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.common import results_dir          # noqa: E402
+from repro.experiments.throughput import run_fast_comparison  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, default=BASELINE,
+                        help="committed baseline JSON to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional speedup regression")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="overwrite the baseline with this "
+                             "machine's measurement instead of gating")
+    args = parser.parse_args(argv)
+
+    if args.update_baseline:
+        result = run_fast_comparison(json_path=args.baseline)
+        print(result.render())
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found; run with "
+              f"--update-baseline first", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+
+    fresh_path = results_dir() / "BENCH_throughput.json"
+    result = run_fast_comparison(workload=baseline.get("workload"),
+                                 json_path=fresh_path)
+    print(result.render())
+    print(f"fresh measurement written to {fresh_path}")
+
+    failures = []
+    for policy, base_row in baseline["policies"].items():
+        row = result.rows.get(policy)
+        if row is None:
+            failures.append(f"{policy}: missing from fresh measurement")
+            continue
+        floor = base_row["speedup"] * (1.0 - args.tolerance)
+        status = "ok" if row["speedup"] >= floor else "REGRESSED"
+        print(f"{policy:18s} baseline x{base_row['speedup']:6.2f}  "
+              f"now x{row['speedup']:6.2f}  floor x{floor:6.2f}  {status}")
+        if row["speedup"] < floor:
+            failures.append(
+                f"{policy}: speedup x{row['speedup']:.2f} fell below "
+                f"x{floor:.2f} (baseline x{base_row['speedup']:.2f} "
+                f"- {args.tolerance:.0%})")
+    if failures:
+        print("\nbenchmark regression detected:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno benchmark regression")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

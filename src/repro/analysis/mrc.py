@@ -131,16 +131,28 @@ def simulated_mrc(
     sizes: Sequence[int],
     name: str = None,
 ) -> MissRatioCurve:
-    """A policy's MRC by direct simulation at each size."""
-    keys = trace.as_list() if isinstance(trace, Trace) else list(trace)
+    """A policy's MRC by direct simulation at each size.
+
+    The trace is interned once and shared across all sizes through a
+    :class:`~repro.sim.fast.batch.BatchRunner`; policies without a
+    vectorized engine fall back to the reference simulator per size.
+    """
+    from repro.sim.fast.batch import BatchRunner
+
+    source = trace if isinstance(trace, Trace) else list(trace)
     sizes = sorted(set(int(s) for s in sizes))
+    runner = BatchRunner()
     ratios = []
     policy_name = name
     for size in sizes:
         policy = factory(size)
         if policy_name is None:
             policy_name = policy.name
-        ratios.append(simulate(policy, keys).miss_ratio)
+        outcome = runner.run_policy(policy, source)
+        if outcome is not None:
+            ratios.append(outcome.miss_ratio)
+        else:
+            ratios.append(simulate(policy, source).miss_ratio)
     return MissRatioCurve(policy=policy_name or "policy",
                           sizes=tuple(sizes), miss_ratios=tuple(ratios))
 

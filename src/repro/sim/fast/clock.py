@@ -1,0 +1,117 @@
+"""Fast CLOCK: FIFO-Reinsertion (1 bit) and k-bit CLOCK on a ring.
+
+The reference implementations rotate a linked list (pop tail, reinsert
+at head).  On a fixed circular buffer that rotation is the identity:
+the queue order is the ring order starting at the hand, a "reinsertion"
+is just the hand advancing, and an eviction reuses the victim's slot
+for the new head.  Both views visit objects in exactly the same order,
+so hit/miss sequences are bit-identical.
+
+Hits only bump a per-slot frequency counter, which vectorizes as one
+``np.add.at`` per chunk.  Frequencies are stored uncapped; every read
+caps with ``min(freq, max_freq)``, which is exact because the
+saturating cap only matters when the hand examines a slot.  When the
+hand reaches a key with pre-applied hits that lie *after* the walk
+position, the not-yet-due increments are subtracted for the decision
+(a binary search over the chunk's hit index) and re-added if the key
+survives; an evicted key's later hits are demoted via ``_inject``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.sim.fast.base import FastEngine
+
+
+class FastClock(FastEngine):
+    """Ring-buffer CLOCK with a *bits*-wide saturating counter."""
+
+    def __init__(self, capacity: int, num_unique: int,
+                 bits: int = 1) -> None:
+        super().__init__(capacity, num_unique)
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.bits = bits
+        self.max_freq = (1 << bits) - 1
+        self.name = ("FIFO-Reinsertion" if bits == 1
+                     else f"{bits}-bit-CLOCK")
+        self._slot_of = np.full(num_unique, -1, dtype=np.int64)
+        self._keys = np.empty(capacity, dtype=np.int64)
+        self._freq = np.zeros(capacity, dtype=np.int64)
+        self._hand = 0
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def _classify(self, cids):
+        slots = self._slot_of[cids]
+        return slots >= 0, slots
+
+    def _pre_apply(self, cids, known, aux) -> None:
+        self._freq += np.bincount(aux[known], minlength=self.capacity)
+
+    def _scalar_pass(self, positions: List[int],
+                     keys: List[int]) -> List[int]:
+        slot_of = self._slot_of
+        skeys = self._keys
+        freq = self._freq
+        hitpos = self._hitpos
+        capacity = self.capacity
+        max_freq = self.max_freq
+        hand = self._hand
+        size = self._size
+        deferred = self._deferred
+        warm = self._warmup - self._base
+        promotions = 0
+        extra = []
+        for p, k in self._stream(positions, keys):
+            s = slot_of.item(k)
+            if s >= 0:
+                freq[s] += 1
+                extra.append(p)
+                continue
+            if size < capacity:
+                s = size
+                size += 1
+            else:
+                while True:
+                    victim = skeys.item(hand)
+                    fut = (self._future_count(victim, p)
+                           if hitpos.item(victim) > p else 0)
+                    f = freq.item(hand) - fut
+                    if f > 0:
+                        freq[hand] = ((f if f <= max_freq else max_freq)
+                                      - 1 + fut)
+                        if p >= warm:
+                            promotions += 1
+                        hand += 1
+                        if hand == capacity:
+                            hand = 0
+                    else:
+                        slot_of[victim] = -1
+                        if fut:
+                            self._inject(victim, p)
+                        break
+                s = hand
+                hand += 1
+                if hand == capacity:
+                    hand = 0
+            skeys[s] = k
+            freq[s] = 0
+            slot_of[k] = s
+            if deferred:
+                rest = deferred.pop(k, 0)
+                if rest:
+                    freq[s] = rest
+        self._hand = hand
+        self._size = size
+        self.promotions += promotions
+        return extra
+
+    def contents(self) -> set:
+        return set(np.nonzero(self._slot_of >= 0)[0].tolist())
+
+
+__all__ = ["FastClock"]

@@ -1,0 +1,91 @@
+"""Select a fast engine for a reference policy instance.
+
+Dispatch is by *exact* type so behavioural subclasses (e.g. the
+adaptive QD variant, which resizes its segments online) never match a
+fast engine silently.  Configuration is read off the built instance --
+derived quantities such as S3-FIFO's small/main split or the QD
+wrapper's probation capacity are taken from the reference object
+itself, so both implementations always agree on parameter rounding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import EvictionPolicy
+from repro.core.clock import FIFOReinsertion, KBitClock
+from repro.core.qd import QDCache
+from repro.core.qdlpfifo import QDLPFIFO
+from repro.core.s3fifo import S3FIFO
+from repro.core.sieve import Sieve
+from repro.policies.fifo import FIFO
+from repro.policies.lru import LRU
+from repro.sim.fast.base import FastEngine
+from repro.sim.fast.clock import FastClock
+from repro.sim.fast.fifo import FastFIFO
+from repro.sim.fast.lru import FastLRU
+from repro.sim.fast.qd import FastQDLP
+from repro.sim.fast.s3fifo import FastS3FIFO
+from repro.sim.fast.sieve import FastSieve
+
+#: Registry names with a fast engine (given their default factories).
+FAST_POLICY_NAMES = frozenset({
+    "FIFO",
+    "LRU",
+    "FIFO-Reinsertion",
+    "2-bit-CLOCK",
+    "3-bit-CLOCK",
+    "SIEVE",
+    "S3-FIFO",
+    "QD-LP-FIFO",
+})
+
+
+def engine_for(policy: EvictionPolicy,
+               num_unique: int) -> Optional[FastEngine]:
+    """The fast engine mirroring *policy*, or ``None`` if unsupported.
+
+    Only fresh, unobserved policies dispatch: prior requests or
+    attached listeners mean per-request callbacks/state the chunked
+    engines cannot reproduce, so the caller must fall back to the
+    reference implementation.
+    """
+    if policy.stats.requests or len(policy) or policy._listeners:
+        return None
+    kind = type(policy)
+    capacity = policy.capacity
+    engine: Optional[FastEngine] = None
+    if kind is FIFO:
+        engine = FastFIFO(capacity, num_unique)
+    elif kind is LRU:
+        engine = FastLRU(capacity, num_unique)
+    elif kind is FIFOReinsertion:
+        engine = FastClock(capacity, num_unique, bits=1)
+    elif kind is KBitClock:
+        engine = FastClock(capacity, num_unique, bits=policy.bits)
+    elif kind is Sieve:
+        engine = FastSieve(capacity, num_unique)
+    elif kind is S3FIFO:
+        engine = FastS3FIFO(
+            capacity, num_unique,
+            small_capacity=policy.small_capacity,
+            main_capacity=policy.main_capacity,
+            ghost_entries=policy.ghost.max_entries)
+    elif kind in (QDCache, QDLPFIFO) and type(policy.main) is KBitClock:
+        engine = FastQDLP(
+            capacity, num_unique,
+            probation_capacity=policy.probation_capacity,
+            main_capacity=policy.main_capacity,
+            ghost_entries=policy.ghost.max_entries,
+            bits=policy.main.bits)
+    if engine is not None:
+        engine.name = policy.name
+    return engine
+
+
+def has_fast_engine(name: str) -> bool:
+    """Whether the registry policy *name* dispatches to a fast engine."""
+    return name in FAST_POLICY_NAMES
+
+
+__all__ = ["FAST_POLICY_NAMES", "engine_for", "has_fast_engine"]

@@ -1,0 +1,71 @@
+"""Lazy-deletion ghost queue for the fast engines.
+
+Semantically identical to :class:`repro.core.ghost.GhostQueue`
+(re-adding refreshes position; eviction drops the oldest entry), but
+O(1) per operation without OrderedDict relinking: membership is a
+plain dict of key -> monotone stamp, FIFO order is a deque of
+``(stamp, key)`` pairs where superseded pairs are left in place and
+skipped lazily when they surface at the front.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+_MISSING = object()
+
+
+class FastGhost:
+    """Bounded FIFO key set with stamp-based lazy deletion."""
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 0:
+            raise ValueError(
+                f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._stamps = {}
+        self._queue: deque = deque()
+        self._clock = 0
+        self._live = 0
+
+    def __contains__(self, key) -> bool:
+        return key in self._stamps
+
+    def __len__(self) -> int:
+        return self._live
+
+    def remove(self, key) -> bool:
+        """Forget *key*; returns whether it was present."""
+        if self._stamps.pop(key, _MISSING) is _MISSING:
+            return False
+        self._live -= 1
+        return True
+
+    def add(self, key) -> None:
+        """Record *key*, evicting the oldest live entry when full."""
+        if self.max_entries == 0:
+            return
+        stamps = self._stamps
+        stamp = self._clock
+        self._clock += 1
+        if key in stamps:
+            # Refresh: the stale (old, key) pair stays queued and is
+            # skipped when it surfaces.
+            stamps[key] = stamp
+            self._queue.append((stamp, key))
+            return
+        queue = self._queue
+        while self._live >= self.max_entries:
+            old_stamp, old_key = queue.popleft()
+            if stamps.get(old_key) == old_stamp:
+                del stamps[old_key]
+                self._live -= 1
+        stamps[key] = stamp
+        queue.append((stamp, key))
+        self._live += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FastGhost {self._live}/{self.max_entries}>"
+
+
+__all__ = ["FastGhost"]

@@ -1,0 +1,183 @@
+"""Fast LRU via recency stamps and a monotone eviction boundary.
+
+An LRU cache of capacity *C* holds exactly the *C* most recently
+requested distinct keys, so explicit list maintenance is unnecessary:
+give every request a global position stamp, track each key's latest
+stamp (``last``), mark which stamps are current (``alive``), and evict
+by advancing a boundary pointer to the oldest alive stamp.  The
+boundary only ever moves forward (stamps are never created in the
+past), so total eviction-scan work is O(N) across the whole replay.
+
+Chunking: membership is one gather (``alive[last[ids]]``).  Classified
+hits change nothing the candidate walk can observe except their key's
+recency, so re-stamping is deferred to one vectorized scatter at the
+end of the chunk (last write wins per key, matching move-to-end
+semantics).  The boundary walk reconciles lazily: when the boundary
+reaches a key that was re-accessed in the chunk, the key's true
+current stamp is its last in-chunk hit at or before the walk position
+(a binary search over the hit index).  If that stamp is newer than the
+one the boundary sits on, the key is *eagerly re-stamped* there and
+the boundary moves on -- it will be reconsidered at its true recency,
+which keeps the walk's visit order identical to the reference even
+when candidate insertions interleave.  If the stamp is already
+current, the reference evicts the key now; its later in-chunk hits (if
+any) become misses, handled by injecting the next occurrence into the
+candidate stream.
+
+Boundary scan: stamps older than the current chunk can only die *at*
+the scan cursor during a walk (classified-hit deaths are deferred to
+``_post_apply``, eager re-stamps land inside the chunk), so the scan
+harvests pre-chunk alive positions in vectorized ``nonzero`` windows
+and serves them from a queue; only once it enters the current chunk's
+position range does it fall back to scalar stepping.  The queue is
+flushed at the end of every chunk because ``_post_apply`` invalidates
+it.
+
+Promotions: the reference LRU promotes on every hit, so
+``promotions == hits`` by construction.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.fast.base import FAR, FastEngine
+
+
+class FastLRU(FastEngine):
+    """Stamp-based LRU."""
+
+    name = "LRU"
+    _TRACK = "first"
+
+    def __init__(self, capacity: int, num_unique: int) -> None:
+        super().__init__(capacity, num_unique)
+        self._last = np.full(num_unique, -1, dtype=np.int64)
+        self._alive: Optional[np.ndarray] = None   # sized to the trace
+        self._owner: Optional[np.ndarray] = None
+        self._boundary = 0
+        self._bq: List[int] = []
+        self._size = 0
+
+    def replay(self, ids: np.ndarray, warmup: int = 0) -> np.ndarray:
+        n = int(np.asarray(ids).size)
+        self._alive = np.zeros(n, dtype=np.uint8)
+        self._owner = np.empty(n, dtype=np.int64)
+        return super().replay(ids, warmup)
+
+    # ------------------------------------------------------------------
+    def _classify(self, cids):
+        stamps = self._last[cids]
+        known = stamps >= 0
+        known &= self._alive[np.maximum(stamps, 0)] != 0
+        return known, stamps
+
+    def _post_apply(self, cids, known, aux) -> None:
+        keys = cids[known]
+        if keys.size == 0:
+            return
+        positions = self._base + np.nonzero(known)[0]
+        # Each key's current stamp may be pre-chunk or an eager walk
+        # re-stamp; keys the walk evicted for good carry -1 and must
+        # stay evicted.
+        cur = self._last[keys]
+        resident = cur >= 0
+        keys = keys[resident]
+        positions = positions[resident]
+        self._alive[cur[resident]] = 0
+        self._last[keys] = positions    # duplicate keys: last write wins
+        self._owner[positions] = keys
+        self._alive[self._last[keys]] = 1   # only each key's final stamp
+
+    def _scalar_pass(self, positions: List[int],
+                     keys: List[int]) -> List[int]:
+        last = self._last
+        alive = self._alive
+        owner = self._owner
+        hitpos = self._hitpos
+        capacity = self.capacity
+        base = self._base
+        boundary = self._boundary
+        bq = self._bq
+        size = self._size
+        extra = []
+        for p, k in self._stream(positions, keys):
+            t = base + p
+            s = last.item(k)
+            if s >= 0 and alive.item(s):
+                alive[s] = 0
+                extra.append(p)
+            else:
+                if size >= capacity:
+                    while True:
+                        # Next alive scan position: queued pre-chunk
+                        # harvest first, then windowed harvest, then
+                        # scalar stepping inside the chunk.
+                        if bq:
+                            b = bq.pop()
+                        else:
+                            b = boundary
+                            while b < base:
+                                hi = base if base - b < 8192 else b + 8192
+                                w = np.nonzero(alive[b:hi])[0]
+                                boundary = hi
+                                if w.size:
+                                    bq[:] = (b + w)[::-1].tolist()
+                                    b = bq.pop()
+                                    break
+                                b = hi
+                            else:
+                                while not alive.item(b):
+                                    b += 1
+                                boundary = b
+                        victim = owner.item(b)
+                        if hitpos.item(victim) == FAR:
+                            break
+                        occ, _lo = self._occ_list(victim)
+                        done = bisect_right(occ, p)
+                        if done:
+                            tgt = base + occ[done - 1]
+                            if tgt > b:
+                                # Re-accessed since this stamp: move the
+                                # key to its true recency and continue.
+                                alive[b] = 0
+                                alive[tgt] = 1
+                                owner[tgt] = victim
+                                last[victim] = tgt
+                                continue
+                        # The stamp is the key's current recency: the
+                        # reference evicts it now; any later in-chunk
+                        # hits become misses via injection.
+                        if done < len(occ):
+                            self._inject(victim, p)
+                        break
+                    alive[b] = 0
+                    last[victim] = -1
+                else:
+                    size += 1
+            last[k] = t
+            owner[t] = k
+            alive[t] = 1
+        if bq:
+            # _post_apply is about to invalidate the harvest; rewind the
+            # frontier to the next unconsumed position and re-harvest
+            # next chunk.
+            boundary = bq[-1]
+            bq.clear()
+        self._boundary = boundary
+        self._size = size
+        return extra
+
+    def _finalise(self) -> None:
+        self.promotions = self.hits
+
+    def contents(self) -> set:
+        last = self._last
+        resident = (last >= 0) & (self._alive[np.maximum(last, 0)] != 0)
+        return set(np.nonzero(resident)[0].tolist())
+
+
+__all__ = ["FastLRU"]

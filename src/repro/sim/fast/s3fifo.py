@@ -1,0 +1,200 @@
+"""Fast S3-FIFO: small/main FIFOs over one slot pool + lazy ghost.
+
+Both queues live in one preallocated pool of ``capacity`` slots with
+shared ``prv``/``nxt`` link arrays (``prv`` toward the head).  Hits in
+either queue only bump the shared frequency counter, so one
+``np.add.at`` covers the whole chunk's classified hits; graduation
+decisions (``freq > 1``) and main-queue lazy promotion (``freq > 0``
+with the saturating cap applied at read time) run in exact scalar code
+on the candidate walk.  Not-yet-due frequency increments (hits after
+the walk position) are subtracted for each decision and re-added for
+survivors; an evicted key's later hits are demoted via ``_inject``,
+re-entering through the ghost queue exactly as the reference does.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.sim.fast.base import FastEngine
+from repro.sim.fast.ghost import FastGhost
+
+_MAX_FREQ = 3
+
+
+class FastS3FIFO(FastEngine):
+    """Array-backed S3-FIFO."""
+
+    name = "S3-FIFO"
+
+    def __init__(self, capacity: int, num_unique: int,
+                 small_capacity: int, main_capacity: int,
+                 ghost_entries: int) -> None:
+        super().__init__(capacity, num_unique)
+        if small_capacity + main_capacity != capacity:
+            raise ValueError("small + main must equal total capacity")
+        self.small_capacity = int(small_capacity)
+        self.main_capacity = int(main_capacity)
+        self.ghost = FastGhost(ghost_entries)
+        self._slot_of = np.full(num_unique, -1, dtype=np.int64)
+        self._keys = np.empty(capacity, dtype=np.int64)
+        self._freq = np.zeros(capacity, dtype=np.int64)
+        self._prv = np.empty(capacity, dtype=np.int64)
+        self._nxt = np.empty(capacity, dtype=np.int64)
+        self._free = list(range(capacity - 1, -1, -1))
+        # (head, tail, length) per queue, mutated as attributes so the
+        # nested insert/evict helpers stay in sync.
+        self._sh = -1
+        self._st = -1
+        self._sn = 0
+        self._mh = -1
+        self._mt = -1
+        self._mn = 0
+
+    # ------------------------------------------------------------------
+    def _classify(self, cids):
+        slots = self._slot_of[cids]
+        return slots >= 0, slots
+
+    def _pre_apply(self, cids, known, aux) -> None:
+        self._freq += np.bincount(aux[known], minlength=self.capacity)
+
+    def _pending(self, victim: int, position: int) -> int:
+        """Pre-applied hit increments of *victim* not yet due at
+        *position* (0 for keys with no later in-chunk hit)."""
+        if self._hitpos.item(victim) > position:
+            return self._future_count(victim, position)
+        return 0
+
+    # ------------------------------------------------------------------
+    # Queue plumbing (python scalars over the shared slot pool)
+    # ------------------------------------------------------------------
+    def _push_small(self, slot: int) -> None:
+        prv, nxt = self._prv, self._nxt
+        prv[slot] = -1
+        nxt[slot] = self._sh
+        if self._sh >= 0:
+            prv[self._sh] = slot
+        self._sh = slot
+        if self._st < 0:
+            self._st = slot
+        self._sn += 1
+
+    def _pop_small_tail(self) -> int:
+        slot = self._st
+        p = self._prv.item(slot)
+        self._st = p
+        if p >= 0:
+            self._nxt[p] = -1
+        else:
+            self._sh = -1
+        self._sn -= 1
+        return slot
+
+    def _push_main(self, slot: int) -> None:
+        prv, nxt = self._prv, self._nxt
+        prv[slot] = -1
+        nxt[slot] = self._mh
+        if self._mh >= 0:
+            prv[self._mh] = slot
+        self._mh = slot
+        if self._mt < 0:
+            self._mt = slot
+        self._mn += 1
+
+    def _pop_main_tail(self) -> int:
+        slot = self._mt
+        p = self._prv.item(slot)
+        self._mt = p
+        if p >= 0:
+            self._nxt[p] = -1
+        else:
+            self._mh = -1
+        self._mn -= 1
+        return slot
+
+    # ------------------------------------------------------------------
+    # Reference algorithm bodies
+    # ------------------------------------------------------------------
+    def _evict_from_main(self, position: int) -> None:
+        skeys, freq = self._keys, self._freq
+        while True:
+            slot = self._pop_main_tail()
+            victim = skeys.item(slot)
+            fut = self._pending(victim, position)
+            f = freq.item(slot) - fut
+            if f > 0:
+                freq[slot] = (f if f <= _MAX_FREQ else _MAX_FREQ) - 1 + fut
+                self._push_main(slot)
+                self._count_promotion(position)
+            else:
+                self._slot_of[victim] = -1
+                self._free.append(slot)
+                if fut:
+                    self._inject(victim, position)
+                return
+
+    def _evict_from_small(self, position: int) -> None:
+        slot = self._pop_small_tail()
+        victim = self._keys.item(slot)
+        fut = self._pending(victim, position)
+        f = self._freq.item(slot) - fut
+        if (f if f <= _MAX_FREQ else _MAX_FREQ) > 1:
+            # Graduation zeroes the counter; keep the not-yet-due
+            # increments pending against the main-queue residency.
+            self._freq[slot] = fut
+            while self._mn >= self.main_capacity:
+                self._evict_from_main(position)
+            self._push_main(slot)
+            self._count_promotion(position)
+        else:
+            self.ghost.add(victim)
+            self._slot_of[victim] = -1
+            self._free.append(slot)
+            if fut:
+                self._inject(victim, position)
+
+    def _admit(self, k: int, position: int) -> None:
+        if self.ghost.remove(k):
+            while self._mn >= self.main_capacity:
+                self._evict_from_main(position)
+            slot = self._free.pop()
+            self._keys[slot] = k
+            self._freq[slot] = 0
+            self._push_main(slot)
+        else:
+            while self._sn >= self.small_capacity:
+                self._evict_from_small(position)
+            slot = self._free.pop()
+            self._keys[slot] = k
+            self._freq[slot] = 0
+            self._push_small(slot)
+        self._slot_of[k] = slot
+
+    # ------------------------------------------------------------------
+    def _scalar_pass(self, positions: List[int],
+                     keys: List[int]) -> List[int]:
+        slot_of = self._slot_of
+        freq = self._freq
+        deferred = self._deferred
+        extra = []
+        for p, k in self._stream(positions, keys):
+            s = slot_of.item(k)
+            if s >= 0:
+                freq[s] += 1
+                extra.append(p)
+                continue
+            self._admit(k, p)
+            if deferred:
+                rest = deferred.pop(k, 0)
+                if rest:
+                    freq[slot_of.item(k)] += rest
+        return extra
+
+    def contents(self) -> set:
+        return set(np.nonzero(self._slot_of >= 0)[0].tolist())
+
+
+__all__ = ["FastS3FIFO"]

@@ -28,6 +28,8 @@ from repro.exec.journal import Journal
 from repro.exec.report import FailureReport
 from repro.exec.retry import NO_RETRY, RetryPolicy
 from repro.policies.registry import REGISTRY, make
+from repro.sim.fast.batch import BatchRunner
+from repro.sim.fast.dispatch import has_fast_engine
 from repro.sim.simulator import simulate
 from repro.traces.trace import Trace
 
@@ -99,6 +101,33 @@ def _run_cell(payload) -> RunRecord:
     return run_one(policy_name, trace, size_fraction, min_capacity)
 
 
+def _fast_cell(payload) -> Optional[RunRecord]:
+    """One cell through the shared-trace fast engines, or ``None``.
+
+    Produces a record identical to :func:`run_one`'s (the engines'
+    hit/miss sequences are bit-identical to the reference policies);
+    the capacity derivation matches field for field.
+    """
+    trace, policy_name, size_fraction, min_capacity = payload
+    if not has_fast_engine(policy_name):
+        return None
+    capacity = trace.cache_size(size_fraction, minimum=min_capacity)
+    capacity = max(capacity, REGISTRY[policy_name].min_capacity)
+    outcome = BatchRunner().run(policy_name, trace, capacity)
+    if outcome is None:
+        return None
+    return RunRecord(
+        policy=policy_name,
+        trace=trace.name,
+        family=trace.family,
+        group=trace.group,
+        size_fraction=size_fraction,
+        capacity=capacity,
+        requests=outcome.requests,
+        misses=outcome.misses,
+    )
+
+
 def _cell_tasks(policy_names: Sequence[str], traces: Sequence[Trace],
                 size_fractions: Sequence[float],
                 min_capacity: int) -> List[Task]:
@@ -130,13 +159,15 @@ class SweepResult:
     retries were exhausted; ``run_id`` is set when checkpointing was on
     (pass it back as ``resume=`` to continue an interrupted run);
     ``resumed`` counts cells restored from the journal rather than
-    simulated.
+    simulated; ``accelerated`` counts cells served by the vectorized
+    engines instead of the reference simulator.
     """
 
     records: List[RunRecord]
     failures: FailureReport
     run_id: Optional[str] = None
     resumed: int = 0
+    accelerated: int = 0
 
     @property
     def ok(self) -> bool:
@@ -156,8 +187,20 @@ def run_sweep(
     checkpoint: bool = False,
     runs_dir=None,
     fault_plan: Optional[FaultPlan] = None,
+    fast: bool = True,
 ) -> SweepResult:
     """Run the (policy x trace x size) matrix fault-tolerantly.
+
+    With ``fast=True`` (the default) every cell whose policy has a
+    vectorized engine is served in-process from the shared interned
+    trace first -- the trace is interned once and reused across all of
+    its (policy, size) cells, and the per-cell replay is fast enough
+    that worker-process isolation would only add overhead.  Remaining
+    cells (unsupported policies) go through the execution layer as
+    before.  Fast cells are journalled like any other completed cell,
+    so checkpoint/resume semantics are unchanged.  Fault injection
+    plans disable the fast path: faults target the execution layer, so
+    every cell must actually flow through it.
 
     ``workers > 1`` gives each cell attempt its own worker process --
     simulation is pure CPU-bound Python, so threads would not help, and
@@ -200,7 +243,19 @@ def run_sweep(
     elif checkpoint or run_id:
         journal = Journal.create(run_id=run_id, root=runs_dir, meta=meta)
 
+    accelerated = 0
     try:
+        if fast and fault_plan is None:
+            for task in tasks:
+                if task.key in completed:
+                    continue
+                record = _fast_cell(task.payload)
+                if record is None:
+                    continue
+                completed[task.key] = record
+                accelerated += 1
+                if journal is not None:
+                    journal.record_result(task.key, _record_to_json(record))
         outcome = run_tasks(
             tasks, _run_cell,
             workers=workers,
@@ -220,7 +275,8 @@ def run_sweep(
         records=records,
         failures=outcome.failures,
         run_id=journal.run_id if journal is not None else None,
-        resumed=outcome.resumed,
+        resumed=outcome.resumed - accelerated,
+        accelerated=accelerated,
     )
 
 

@@ -4,11 +4,18 @@ The simulator replays a request sequence through an
 :class:`~repro.core.base.EvictionPolicy` and reports hit/miss counts.
 Offline policies (Belady) are transparently supplied with the full
 trace via :meth:`~repro.core.base.OfflinePolicy.prepare` before replay.
+
+``fast=True`` routes the replay through the vectorized engines in
+:mod:`repro.sim.fast` when the policy has one (bit-identical hit/miss
+sequences, order-of-magnitude faster) and falls back to the reference
+request loop otherwise -- offline policies, attached listeners, or a
+policy with prior state always take the reference path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
@@ -52,11 +59,31 @@ def _materialise(trace: Union[Trace, Sequence, Iterable, np.ndarray]) -> List:
     return list(trace)
 
 
+def _simulate_fast(policy: EvictionPolicy, trace, warmup: int,
+                   ) -> Optional[SimResult]:
+    """One cell through the vectorized engines; ``None`` on fallback."""
+    from repro.sim.fast.dispatch import engine_for
+    from repro.sim.fast.intern import intern_trace
+
+    interned = intern_trace(trace)
+    engine = engine_for(policy, interned.num_unique)
+    if engine is None:
+        return None
+    engine.replay(interned.ids, warmup=warmup)
+    return SimResult(
+        policy=policy.name,
+        requests=engine.requests,
+        hits=engine.hits,
+        misses=engine.misses,
+    )
+
+
 def simulate(
     policy: EvictionPolicy,
     trace: Union[Trace, Sequence, Iterable, np.ndarray],
     warmup: int = 0,
     listeners: Optional[List[CacheListener]] = None,
+    fast: bool = False,
 ) -> SimResult:
     """Replay *trace* through *policy* and return the hit/miss outcome.
 
@@ -64,10 +91,26 @@ def simulate(
     reported statistics (the cache state they build is kept).
     Listeners, if given, are attached for the duration of the run and
     observe *all* requests including warmup.
+
+    ``fast=True`` dispatches to the policy's vectorized engine when one
+    exists (the result is bit-identical); unsupported policies, offline
+    policies, listeners, or prior policy state silently fall back to
+    the reference loop.  The fast path leaves *policy* untouched -- use
+    the reference path when the final cache contents matter.
     """
-    keys = _materialise(trace)
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
+
+    # One-shot iterables stay on the reference path: a failed dispatch
+    # must leave the trace unconsumed for the fallback below.
+    if (fast and not listeners
+            and not isinstance(policy, OfflinePolicy)
+            and isinstance(trace, (Trace, list, tuple, np.ndarray))):
+        result = _simulate_fast(policy, trace, warmup)
+        if result is not None:
+            return result
+
+    keys = _materialise(trace)
     if warmup > len(keys):
         raise ValueError(
             f"warmup ({warmup}) exceeds trace length ({len(keys)})")
@@ -80,10 +123,11 @@ def simulate(
         policy.add_listener(listener)
     try:
         request = policy.request  # bind once: this loop dominates runtime
-        for key in keys[:warmup]:
+        it = iter(keys)
+        for key in islice(it, warmup):
             request(key)
         policy.stats.reset()
-        for key in keys[warmup:]:
+        for key in it:
             request(key)
     finally:
         for listener in attached:

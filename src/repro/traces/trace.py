@@ -35,6 +35,8 @@ class Trace:
     params: Dict[str, object] = field(default_factory=dict)
     _uniques: int = field(default=-1, repr=False, compare=False)
     _as_list: List[int] = field(default=None, repr=False, compare=False)
+    #: cached repro.sim.fast.intern.InternedTrace (set on first intern)
+    _interned: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.group not in GROUPS:
