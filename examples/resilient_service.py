@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: a fault-tolerant cache service in front of a flaky backend.
+
+Wraps QD-LP-FIFO (the paper's lazy-promotion + quick-demotion design)
+in a :class:`repro.service.CacheService` and drives it through a total
+backend outage on a virtual clock — no real sleeps, fully
+deterministic.  Shows request coalescing, retry with backoff, the
+circuit breaker opening and recovering, and serve-stale degradation
+keeping availability up while the backend is down.
+
+Run:  python examples/resilient_service.py
+"""
+
+import numpy as np
+
+from repro.exec import RetryPolicy, VirtualClock
+from repro.policies.registry import make
+from repro.service import (
+    BackendFaultPlan,
+    BreakerConfig,
+    CacheService,
+    FaultInjectedBackend,
+    InMemoryBackend,
+    ServiceConfig,
+    run_load,
+)
+from repro.traces.synthetic import zipf_trace
+
+NUM_OBJECTS = 500
+NUM_REQUESTS = 5000
+TICK = 0.01                       # virtual seconds between requests
+DURATION = NUM_REQUESTS * TICK    # 50 virtual seconds
+
+
+def main() -> None:
+    clock = VirtualClock()
+
+    # A backend that goes completely dark for the middle 30% of the run
+    # and charges 2ms per fetch the rest of the time.
+    plan = (BackendFaultPlan()
+            .base_latency(0.002)
+            .outage(0.4 * DURATION, 0.7 * DURATION))
+    backend = FaultInjectedBackend(InMemoryBackend(), plan, clock)
+
+    service = CacheService(
+        make("QD-LP-FIFO", capacity=NUM_OBJECTS // 10),
+        backend,
+        ServiceConfig(
+            ttl=0.10 * DURATION,          # entries go stale after 5s
+            stale_ttl=0.35 * DURATION,    # ... but stay servable 17.5s more
+            negative_ttl=0.01 * DURATION,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.005,
+                              timeout=None),
+            breaker=BreakerConfig(failure_threshold=5, reset_timeout=2.0),
+        ),
+        clock=clock,
+    )
+
+    rng = np.random.default_rng(7)
+    keys = zipf_trace(NUM_OBJECTS, NUM_REQUESTS, 1.0, rng).tolist()
+
+    print(f"Replaying {NUM_REQUESTS} Zipf requests; backend dark "
+          f"{0.4 * DURATION:.0f}s..{0.7 * DURATION:.0f}s of "
+          f"{DURATION:.0f}s (virtual)...\n")
+    report = run_load(service, keys, threads=1, tick=TICK)
+    report.check_accounting()
+    print(report.render())
+
+    print("\nBreaker transitions (virtual time):")
+    for when, src, dst in report.breaker_transitions:
+        print(f"  t={when:6.2f}s  {src:>9s} -> {dst}")
+
+    stale = report.outcomes["stale"]
+    print(f"\nDuring the outage the service answered {stale} requests "
+          f"from stale cache entries instead of erroring;")
+    print(f"availability stayed at {report.availability:.1%} despite the "
+          f"backend being down for 30% of the run.")
+
+
+if __name__ == "__main__":
+    main()

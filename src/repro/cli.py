@@ -6,6 +6,7 @@ Four subcommands::
     repro simulate ...              # one policy x one trace
     repro corpus ...                # materialise the synthetic corpus
     repro experiment <id> ...       # regenerate a paper table/figure
+    repro loadgen ...               # hammer the cache service layer
 
 Examples::
 
@@ -15,6 +16,8 @@ Examples::
     repro experiment fig5 --tier quick
     repro experiment fig5 --tier full --checkpoint --retries 3
     repro experiment fig5 --tier full --resume 20260806-101500-ab12cd
+    repro experiment outage --tier quick
+    repro loadgen --policy QD-LP-FIFO --threads 8 --requests 20000
 
 Exit codes::
 
@@ -157,7 +160,7 @@ def _exec_options(args: argparse.Namespace):
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
-        ablations, extensions, fig2, fig3, fig5, table1, throughput)
+        ablations, extensions, fig2, fig3, fig5, outage, table1, throughput)
 
     config = _TIERS[args.tier]
     try:
@@ -172,6 +175,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
               f"--resume/--checkpoint/--run-id are ignored",
               file=sys.stderr)
     runners = {
+        "outage": lambda: outage.run(config),
         "table1": lambda: table1.run(config),
         "fig2": lambda: fig2.run(config, workers=args.workers,
                                  options=options),
@@ -200,6 +204,53 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if failures:
         # partial results were rendered; signal the loss to scripts
         return EXIT_RUNTIME
+    return EXIT_OK
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.experiments.common import write_result
+    from repro.policies.registry import REGISTRY, make
+    from repro.service import (
+        CacheService,
+        InMemoryBackend,
+        LoadInterrupted,
+        ServiceConfig,
+        run_load,
+    )
+    from repro.traces.synthetic import zipf_trace
+
+    if args.policy not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY))
+        print(f"error: unknown policy {args.policy!r}; known: {known}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        config = ServiceConfig(ttl=args.ttl, max_inflight=args.max_inflight)
+        capacity = max(REGISTRY[args.policy].min_capacity,
+                       int(args.objects * args.size))
+        service = CacheService(make(args.policy, capacity),
+                               InMemoryBackend(), config)
+        if args.requests < 1 or args.threads < 1:
+            raise ValueError("--requests and --threads must be >= 1")
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    rng = np.random.default_rng(args.seed)
+    keys = zipf_trace(args.objects, args.requests, args.alpha, rng).tolist()
+    try:
+        report = run_load(service, keys, threads=args.threads)
+    except LoadInterrupted as exc:
+        # Exit-code contract from PR 1: Ctrl-C means 130 -- but flush
+        # the partial metrics first so the run wasn't for nothing.
+        path = write_result("loadgen_partial", exc.report.render())
+        print(f"interrupted; partial metrics written to {path}",
+              file=sys.stderr)
+        return EXIT_INTERRUPT
+    report.check_accounting()
+    print(report.render())
+    write_result("loadgen", report.render())
     return EXIT_OK
 
 
@@ -236,7 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("id", choices=(
         "table1", "fig2", "fig3", "table2", "fig5", "throughput",
         "ablation-probation", "ablation-ghost", "ablation-clockbits",
-        "extensions"))
+        "extensions", "outage"))
     exp.add_argument("--tier", choices=tuple(_TIERS), default="quick")
     exp.add_argument("--workers", type=int, default=0,
                      help="sweep worker processes (0 = half the cores)")
@@ -257,6 +308,24 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="per-cell wall-clock budget (default unbounded)")
 
+    load = sub.add_parser(
+        "loadgen",
+        help="closed-loop load test of the cache service layer")
+    load.add_argument("--policy", default="QD-LP-FIFO")
+    load.add_argument("--threads", type=int, default=4)
+    load.add_argument("--requests", type=int, default=20000)
+    load.add_argument("--objects", type=int, default=2000,
+                      help="distinct keys in the synthetic workload")
+    load.add_argument("--alpha", type=float, default=1.0,
+                      help="Zipf skew of the synthetic workload")
+    load.add_argument("--size", type=float, default=0.1,
+                      help="cache capacity as a fraction of --objects")
+    load.add_argument("--ttl", type=float, default=None,
+                      help="value freshness lifetime in seconds")
+    load.add_argument("--max-inflight", type=int, default=None,
+                      help="shed misses beyond this many concurrent fetches")
+    load.add_argument("--seed", type=int, default=42)
+
     return parser
 
 
@@ -268,6 +337,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "corpus": _cmd_corpus,
         "experiment": _cmd_experiment,
+        "loadgen": _cmd_loadgen,
     }[args.command]
     try:
         return handler(args)

@@ -126,9 +126,25 @@ class EvictionPolicy(ABC):
     name: str = "abstract"
 
     def __init__(self, capacity: int) -> None:
-        if capacity < 1:
+        # Validate eagerly with a precise message: a bad capacity used
+        # to surface only deep inside the simulation loop (or worse,
+        # silently truncate -- capacity=2.7 meant capacity=2).
+        if isinstance(capacity, bool):
+            raise TypeError(
+                f"capacity must be an integer >= 1, got {capacity!r}")
+        try:
+            as_int = int(capacity)
+        except (TypeError, ValueError):
+            raise TypeError(
+                f"capacity must be an integer >= 1, "
+                f"got {capacity!r}") from None
+        if as_int != capacity:
+            raise ValueError(
+                f"capacity must be a whole number of objects, "
+                f"got {capacity!r}")
+        if as_int < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
-        self.capacity = int(capacity)
+        self.capacity = as_int
         self.stats = CacheStats()
         self._listeners: List[CacheListener] = []
 

@@ -11,8 +11,13 @@ This package makes those sweeps survivable:
 * :mod:`repro.exec.retry` -- the :class:`RetryPolicy` knobs.
 * :mod:`repro.exec.faults` -- deterministic fault injection for tests.
 * :mod:`repro.exec.report` -- structured :class:`FailureReport`.
+* :mod:`repro.exec.clock` -- the :class:`Clock` abstraction
+  (:class:`SystemClock` / :class:`VirtualClock`) shared with
+  :mod:`repro.service` so timeout, backoff and TTL logic is testable
+  without real sleeps.
 """
 
+from repro.exec.clock import Clock, SystemClock, VirtualClock
 from repro.exec.executor import ExecutionOutcome, Task, run_tasks
 from repro.exec.faults import (
     CRASH,
@@ -30,6 +35,7 @@ from repro.exec.retry import NO_RETRY, RetryPolicy
 
 __all__ = [
     "CRASH",
+    "Clock",
     "ERROR",
     "ExecOptions",
     "ExecutionOutcome",
@@ -41,9 +47,11 @@ __all__ = [
     "NO_RETRY",
     "RetryPolicy",
     "SweepInterrupted",
+    "SystemClock",
     "Task",
     "TaskFailure",
     "TaskTimeout",
+    "VirtualClock",
     "WorkerCrash",
     "new_run_id",
     "run_tasks",

@@ -1,0 +1,84 @@
+"""Clock abstraction shared by the executor and the service layer.
+
+Deterministic failure-path tests must never sleep: a suite that waits
+out real backoffs, TTLs or outage windows is slow at best and flaky at
+worst.  Both fault-tolerant layers in this repo -- the sweep executor
+(:mod:`repro.exec.executor`) and the cache service
+(:mod:`repro.service`) -- therefore run against a :class:`Clock`
+interface instead of the ``time`` module:
+
+* :class:`SystemClock` is the production implementation
+  (``time.monotonic`` / ``time.sleep``).
+* :class:`VirtualClock` is a manually-advanced clock: ``sleep`` simply
+  moves time forward, so retries back off, TTLs expire, circuit
+  breakers reset and outage windows open and close instantly and
+  deterministically.
+
+:class:`VirtualClock` is thread-safe so multi-threaded service tests
+can share one timeline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Monotonic time source with an injectable notion of sleeping."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Block (or pretend to block) for *seconds*."""
+
+
+class SystemClock(Clock):
+    """The real wall clock: ``time.monotonic`` and ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if seconds:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """A deterministic clock that only moves when told to.
+
+    ``sleep(s)`` advances time by *s* instead of blocking, so code
+    written against :class:`Clock` runs its timeout/backoff/TTL logic
+    unchanged while tests complete in microseconds.  ``advance`` is the
+    test-side control for modelling elapsed time between requests.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by *seconds*; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+
+__all__ = ["Clock", "SystemClock", "VirtualClock"]

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.exec.clock import VirtualClock
 from repro.exec.faults import (
     CRASH,
     ERROR,
@@ -163,13 +164,19 @@ class _Run:
 
 def _run_serial(tasks: Sequence[Task], fn: Callable[[Any], Any],
                 run: _Run, sleep: Callable[[float], None]) -> None:
+    # Injected delays advance a shared virtual clock (the same utility
+    # the service layer uses), so per-attempt budgets are enforced
+    # deterministically without any real waiting.
+    vclock = VirtualClock()
     for task in tasks:
         attempt = 1
         while True:
             try:
-                virtual = _apply_faults(task.key, attempt, run.plan,
-                                        in_process=True)
+                started = vclock.now()
+                vclock.advance(_apply_faults(task.key, attempt, run.plan,
+                                             in_process=True))
                 result = fn(task.payload)
+                virtual = vclock.now() - started
                 if run.over_virtual_budget(virtual):
                     raise TaskTimeout(
                         f"{task.key} took {virtual:.3f}s (virtual) with a "

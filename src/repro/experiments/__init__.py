@@ -7,6 +7,8 @@
 * :mod:`repro.experiments.ablations` -- A1-A3 design-choice sweeps.
 * :mod:`repro.experiments.extensions` -- X2, S3-FIFO and SIEVE.
 * :mod:`repro.experiments.throughput` -- X1, the throughput argument.
+* :mod:`repro.experiments.outage` -- X3, availability across a backend
+  outage through the service layer.
 """
 
 from repro.experiments import (
@@ -18,6 +20,7 @@ from repro.experiments import (
     fig2,
     fig3,
     fig5,
+    outage,
     table1,
     throughput,
 )
@@ -32,6 +35,7 @@ __all__ = [
     "fig2",
     "fig3",
     "fig5",
+    "outage",
     "table1",
     "throughput",
     "FULL",

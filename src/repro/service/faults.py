@@ -1,0 +1,139 @@
+"""Deterministic backend fault injection for the service layer.
+
+The service-layer sibling of :class:`repro.exec.faults.FaultPlan`.  A
+:class:`BackendFaultPlan` *declares* how a backend misbehaves -- "the
+third fetch of key 7 errors", "every fetch takes 80 virtual
+milliseconds", "the whole backend is down between t=10s and t=25s" --
+and :class:`~repro.service.backend.FaultInjectedBackend` consults it on
+every fetch.  Latencies and outage windows are expressed against a
+:class:`~repro.exec.clock.Clock`, so under a
+:class:`~repro.exec.clock.VirtualClock` every failure path of
+:class:`~repro.service.service.CacheService` (retry, deadline, breaker
+trip, serve-stale, negative cache) is exercised without one real sleep.
+
+Fault kinds:
+
+* ``ERROR`` -- the fetch raises :class:`InjectedBackendError`.
+* ``TIMEOUT`` -- the fetch consumes the whole per-request deadline (or
+  the scheduled latency if larger) and raises :class:`BackendTimeout`,
+  modelling a hung origin cut off by the client's deadline.
+* latency -- the fetch succeeds after advancing the clock, letting the
+  service's own deadline enforcement trip deterministically.
+* outage windows -- any fetch whose start time falls inside
+  ``[start, end)`` raises :class:`BackendOutage` after the scheduled
+  latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+ERROR = "error"
+TIMEOUT = "timeout"
+_KINDS = (ERROR, TIMEOUT)
+
+
+class BackendError(RuntimeError):
+    """Base class for backend fetch failures."""
+
+
+class InjectedBackendError(BackendError):
+    """The fault plan injected a fetch error."""
+
+
+class BackendTimeout(BackendError):
+    """A fetch exceeded its deadline (injected or enforced)."""
+
+
+class BackendOutage(BackendError):
+    """The fetch started during a scheduled backend outage window."""
+
+
+@dataclass
+class BackendFaultPlan:
+    """A deterministic schedule of backend faults.
+
+    Per-key faults are keyed by ``(key, call-or-None)`` where *call* is
+    the 1-based index of the fetch *for that key*; ``None`` makes the
+    fault fire on every call.  Outage windows are half-open intervals
+    on the service clock and apply to every key.
+    """
+
+    #: (key, call-or-None) -> fault kind
+    failures: Dict[Tuple[object, Optional[int]], str] = field(
+        default_factory=dict)
+    #: (key, call-or-None) -> virtual seconds the fetch takes
+    latencies: Dict[Tuple[object, Optional[int]], float] = field(
+        default_factory=dict)
+    #: [start, end) windows during which every fetch fails
+    outages: List[Tuple[float, float]] = field(default_factory=list)
+    #: latency applied when no per-key latency is scheduled
+    default_latency: float = 0.0
+
+    # -- builders ------------------------------------------------------
+    def fail(self, key, call: Optional[int] = None,
+             kind: str = ERROR) -> "BackendFaultPlan":
+        """Make fetches of *key* fail on *call* (``None`` = every call)."""
+        if kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; use one of {_KINDS}")
+        if call is not None and call < 1:
+            raise ValueError(f"call must be >= 1 or None, got {call}")
+        self.failures[(key, call)] = kind
+        return self
+
+    def latency(self, key, seconds: float,
+                call: Optional[int] = None) -> "BackendFaultPlan":
+        """Give fetches of *key* a virtual duration of *seconds*."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if call is not None and call < 1:
+            raise ValueError(f"call must be >= 1 or None, got {call}")
+        self.latencies[(key, call)] = seconds
+        return self
+
+    def outage(self, start: float, end: float) -> "BackendFaultPlan":
+        """Fail every fetch whose start time lies in ``[start, end)``."""
+        if end <= start:
+            raise ValueError(
+                f"outage window must have end > start, got [{start}, {end})")
+        self.outages.append((float(start), float(end)))
+        return self
+
+    def base_latency(self, seconds: float) -> "BackendFaultPlan":
+        """Set the latency applied when no per-key latency matches."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.default_latency = float(seconds)
+        return self
+
+    # -- queries -------------------------------------------------------
+    def fault_for(self, key, call: int) -> Optional[str]:
+        """The fault kind scheduled for (key, call), if any."""
+        kind = self.failures.get((key, call))
+        if kind is None:
+            kind = self.failures.get((key, None))
+        return kind
+
+    def latency_for(self, key, call: int) -> float:
+        """The virtual duration scheduled for (key, call)."""
+        seconds = self.latencies.get((key, call))
+        if seconds is None:
+            seconds = self.latencies.get((key, None), self.default_latency)
+        return seconds
+
+    def in_outage(self, now: float) -> bool:
+        """Whether *now* falls inside a scheduled outage window."""
+        return any(start <= now < end for start, end in self.outages)
+
+
+__all__ = [
+    "ERROR",
+    "TIMEOUT",
+    "BackendError",
+    "BackendFaultPlan",
+    "BackendOutage",
+    "BackendTimeout",
+    "InjectedBackendError",
+]

@@ -1,0 +1,205 @@
+"""Closed-loop multi-threaded load harness for the cache service.
+
+``run_load`` replays a key sequence through a
+:class:`~repro.service.service.CacheService` from ``threads`` worker
+threads (closed loop: each thread issues its next request only after
+the previous one resolved), and returns a :class:`LoadReport` with
+per-outcome counts, latency percentiles, throughput, and the breaker's
+state transitions.
+
+Keys are dealt round-robin across threads, so with ``threads=1`` the
+replay is exactly the input order -- which is how the deterministic
+virtual-clock tests and the outage experiment use it.  A per-request
+``tick`` advances a :class:`~repro.exec.clock.VirtualClock` between
+requests to model request interarrival time; it must be left at 0 for
+real multi-threaded runs on the system clock.
+
+The harness is interrupt-safe: on ``KeyboardInterrupt`` the stop flag
+is set, worker threads wind down at their next request boundary, and
+the partial :class:`LoadReport` is attached to the re-raised
+:class:`LoadInterrupted` so callers (the CLI) can flush what was
+measured before exiting with code 130.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exec.clock import VirtualClock
+from repro.service.service import OUTCOMES, CacheService
+
+
+class LoadInterrupted(KeyboardInterrupt):
+    """Ctrl-C during a load run; carries the partial report."""
+
+    def __init__(self, report: "LoadReport") -> None:
+        super().__init__("load run interrupted")
+        self.report = report
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (0.0 for an empty input)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured."""
+
+    requests: int
+    outcomes: Dict[str, int]
+    coalesced: int
+    fetch_attempts: int
+    fetch_failures: int
+    latency_p50: float
+    latency_p90: float
+    latency_p99: float
+    elapsed: float                 # wall seconds (real clock)
+    threads: int
+    breaker_transitions: List[Tuple[float, str, str]] = field(
+        default_factory=list)
+    interrupted: bool = False
+
+    @property
+    def throughput(self) -> float:
+        """Requests per wall second (0.0 for an instant run)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.requests / self.elapsed
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that got a value (hit, miss or stale)."""
+        if self.requests == 0:
+            return 0.0
+        served = (self.outcomes["hit"] + self.outcomes["miss"]
+                  + self.outcomes["stale"])
+        return served / self.requests
+
+    def check_accounting(self) -> None:
+        """Assert the invariant sum(outcomes) == requests."""
+        accounted = sum(self.outcomes.values())
+        if accounted != self.requests:
+            raise AssertionError(
+                f"outcome accounting broken: {accounted} accounted "
+                f"vs {self.requests} requests ({self.outcomes})")
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"requests      : {self.requests} over {self.threads} thread(s)"
+            + (" [interrupted]" if self.interrupted else ""),
+            f"outcomes      : " + "  ".join(
+                f"{name}={self.outcomes[name]}" for name in OUTCOMES),
+            f"coalesced     : {self.coalesced}",
+            f"backend       : {self.fetch_attempts} fetch(es), "
+            f"{self.fetch_failures} failed",
+            f"availability  : {self.availability:.2%}",
+            f"latency       : p50={self.latency_p50 * 1e3:.3f}ms "
+            f"p90={self.latency_p90 * 1e3:.3f}ms "
+            f"p99={self.latency_p99 * 1e3:.3f}ms",
+            f"elapsed       : {self.elapsed:.3f}s "
+            f"({self.throughput:.0f} req/s)",
+        ]
+        if self.breaker_transitions:
+            moves = ", ".join(f"{src}->{dst}@{ts:.2f}s"
+                              for ts, src, dst in self.breaker_transitions)
+            lines.append(f"breaker       : {moves}")
+        return "\n".join(lines)
+
+
+def _report(service: CacheService, elapsed: float, threads: int,
+            interrupted: bool) -> LoadReport:
+    snap = service.metrics.snapshot()
+    latencies = service.metrics.latencies()
+    return LoadReport(
+        requests=snap["requests"],
+        outcomes={name: snap[name] for name in OUTCOMES},
+        coalesced=snap["coalesced"],
+        fetch_attempts=snap["fetch_attempts"],
+        fetch_failures=snap["fetch_failures"],
+        latency_p50=percentile(latencies, 0.50),
+        latency_p90=percentile(latencies, 0.90),
+        latency_p99=percentile(latencies, 0.99),
+        elapsed=elapsed,
+        threads=threads,
+        breaker_transitions=service.breaker_transitions(),
+        interrupted=interrupted,
+    )
+
+
+def run_load(
+    service: CacheService,
+    keys: Sequence,
+    threads: int = 1,
+    tick: float = 0.0,
+) -> LoadReport:
+    """Replay *keys* through *service* and measure what happened.
+
+    ``tick`` > 0 advances the service's :class:`VirtualClock` by that
+    many virtual seconds before each request (single-threaded
+    deterministic mode only -- with real threads a shared virtual
+    advance would be racy in *meaning*, not just in memory).
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if tick < 0:
+        raise ValueError(f"tick must be >= 0, got {tick}")
+    if tick > 0 and threads != 1:
+        raise ValueError("tick-based virtual time requires threads=1")
+    if tick > 0 and not isinstance(service.clock, VirtualClock):
+        raise ValueError("tick requires the service to run on a "
+                         "VirtualClock")
+
+    stop = threading.Event()
+    started = time.perf_counter()
+
+    def worker(slice_keys: Sequence) -> None:
+        for key in slice_keys:
+            if stop.is_set():
+                return
+            if tick:
+                service.clock.advance(tick)
+            service.get(key)
+
+    if threads == 1:
+        try:
+            worker(keys)
+        except KeyboardInterrupt:
+            raise LoadInterrupted(_report(
+                service, time.perf_counter() - started, threads,
+                interrupted=True)) from None
+        return _report(service, time.perf_counter() - started, threads,
+                       interrupted=False)
+
+    slices = [list(keys[t::threads]) for t in range(threads)]
+    pool = [threading.Thread(target=worker, args=(s,), daemon=True)
+            for s in slices]
+    for thread in pool:
+        thread.start()
+    try:
+        for thread in pool:
+            # Join with a timeout so the main thread stays interruptible.
+            while thread.is_alive():
+                thread.join(timeout=0.1)
+    except KeyboardInterrupt:
+        stop.set()
+        for thread in pool:
+            thread.join(timeout=5.0)
+        raise LoadInterrupted(_report(
+            service, time.perf_counter() - started, threads,
+            interrupted=True)) from None
+    return _report(service, time.perf_counter() - started, threads,
+                   interrupted=False)
+
+
+__all__ = ["LoadInterrupted", "LoadReport", "percentile", "run_load"]

@@ -1,0 +1,503 @@
+"""A thread-safe, fault-tolerant read-through cache service.
+
+:class:`CacheService` puts any :class:`~repro.core.base.EvictionPolicy`
+in front of a :class:`~repro.service.backend.Backend` and serves
+concurrent ``get(key)`` traffic with production-grade failure handling:
+
+* **Request coalescing (single-flight)** -- concurrent misses on one
+  key share a single backend fetch; one caller becomes the *leader*,
+  the rest block on its flight and inherit its outcome.  A flash crowd
+  on a cold key issues exactly one origin fetch.
+* **Retry with exponential backoff and deadlines** -- backend fetches
+  reuse :class:`~repro.exec.retry.RetryPolicy`; per-fetch elapsed time
+  over ``deadline`` counts as a timeout.  All waiting goes through the
+  shared :class:`~repro.exec.clock.Clock`, so tests never sleep.
+* **Circuit breaker** -- consecutive backend failures trip a
+  :class:`~repro.service.breaker.CircuitBreaker`; while open, misses
+  degrade instantly instead of queueing on a dead origin.
+* **Graceful degradation** -- on fetch failure the service serves a
+  stale copy if one exists within ``ttl + stale_ttl`` (bounded
+  staleness), negative-caches the error for ``negative_ttl`` seconds
+  so repeated misses don't re-hammer the origin, and sheds load when
+  more than ``max_inflight`` fetches are already in flight.
+
+Every request resolves to exactly one outcome -- ``hit``, ``miss``
+(fetched), ``stale``, ``shed`` or ``error`` -- and the accounting
+invariant ``hits + misses + stale + shed + errors == requests`` holds
+under arbitrary concurrency (the stress tests hammer it).
+
+The eviction policy's own structures are guarded by one service lock,
+matching the paper's §2 model of a production cache: every promotion a
+policy performs on the hit path happens inside the critical section,
+which is exactly why lazy-promotion policies serve concurrent traffic
+better than LRU.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.core.base import CacheListener, EvictionPolicy
+from repro.exec.clock import Clock, SystemClock
+from repro.exec.retry import NO_RETRY, RetryPolicy
+from repro.service.backend import Backend
+from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service.faults import BackendTimeout
+
+Key = Hashable
+
+HIT = "hit"        # fresh value served from the cache
+MISS = "miss"      # value fetched from the backend (or coalesced onto one)
+STALE = "stale"    # expired value served because the backend is failing
+SHED = "shed"      # rejected: too many fetches already in flight
+ERROR = "error"    # no value: backend failed and nothing to degrade to
+
+OUTCOMES = (HIT, MISS, STALE, SHED, ERROR)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for :class:`CacheService` (validated eagerly).
+
+    * ``ttl`` -- seconds a fetched value counts as fresh; ``None``
+      means values never expire.
+    * ``stale_ttl`` -- extra seconds past ``ttl`` during which an
+      expired value may still be served *if the backend is failing*
+      (bounded staleness; 0 disables serve-stale).
+    * ``negative_ttl`` -- seconds a backend failure is remembered;
+      requests within the window fail fast without touching the
+      backend (0 disables negative caching).
+    * ``max_inflight`` -- cap on concurrent backend fetches; misses
+      beyond it are shed.  ``None`` means unlimited.
+    * ``deadline`` -- per-fetch time budget; a slower fetch counts as
+      a timeout failure even if it eventually returned.
+    * ``retry`` -- backoff schedule for failed fetches
+      (:data:`~repro.exec.retry.NO_RETRY` by default).
+    * ``breaker`` -- circuit-breaker configuration, or ``None`` to
+      disable the breaker entirely.
+    """
+
+    ttl: Optional[float] = None
+    stale_ttl: float = 0.0
+    negative_ttl: float = 0.0
+    max_inflight: Optional[int] = None
+    deadline: Optional[float] = None
+    retry: RetryPolicy = NO_RETRY
+    breaker: Optional[BreakerConfig] = field(default_factory=BreakerConfig)
+
+    def __post_init__(self) -> None:
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError(
+                f"ttl must be > 0 seconds or None (never expire), "
+                f"got {self.ttl}")
+        if self.stale_ttl < 0:
+            raise ValueError(
+                f"stale_ttl must be >= 0 seconds, got {self.stale_ttl}")
+        if self.negative_ttl < 0:
+            raise ValueError(
+                f"negative_ttl must be >= 0 seconds, "
+                f"got {self.negative_ttl}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1 or None (unlimited), "
+                f"got {self.max_inflight}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(
+                f"deadline must be > 0 seconds or None (unbounded), "
+                f"got {self.deadline}")
+        if not isinstance(self.retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy, got {type(self.retry).__name__}")
+        if self.breaker is not None and not isinstance(self.breaker,
+                                                       BreakerConfig):
+            raise TypeError(
+                f"breaker must be a BreakerConfig or None, "
+                f"got {type(self.breaker).__name__}")
+
+
+@dataclass
+class GetResult:
+    """What one ``get`` resolved to."""
+
+    key: Key
+    value: Any
+    outcome: str           # one of OUTCOMES
+    coalesced: bool        # served by another request's fetch
+    latency: float         # seconds on the service clock
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether a value (fresh or stale) was served."""
+        return self.outcome in (HIT, MISS, STALE)
+
+
+class ServiceMetrics:
+    """Thread-safe per-outcome accounting for one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counts: Dict[str, int] = {outcome: 0 for outcome in OUTCOMES}
+        self.coalesced = 0
+        self.fetch_attempts = 0
+        self.fetch_failures = 0
+        self.negative_hits = 0
+        self._latencies: Dict[str, List[float]] = {
+            outcome: [] for outcome in OUTCOMES}
+
+    def record(self, outcome: str, latency: float,
+               coalesced: bool) -> None:
+        """Account one finished request."""
+        with self._lock:
+            self.counts[outcome] += 1
+            self._latencies[outcome].append(latency)
+            if coalesced:
+                self.coalesced += 1
+
+    def record_fetch(self, ok: bool) -> None:
+        """Account one backend fetch attempt."""
+        with self._lock:
+            self.fetch_attempts += 1
+            if not ok:
+                self.fetch_failures += 1
+
+    def record_negative_hit(self) -> None:
+        """Account one request answered from the negative cache."""
+        with self._lock:
+            self.negative_hits += 1
+
+    # -- views ---------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return sum(self.counts.values())
+
+    def count(self, outcome: str) -> int:
+        with self._lock:
+            return self.counts[outcome]
+
+    @property
+    def accounted(self) -> int:
+        """hits + misses + stale + shed + errors (== requests, always)."""
+        return self.requests
+
+    def latencies(self, outcome: Optional[str] = None) -> List[float]:
+        """Recorded latencies, for one outcome or all of them."""
+        with self._lock:
+            if outcome is not None:
+                return list(self._latencies[outcome])
+            merged: List[float] = []
+            for values in self._latencies.values():
+                merged.extend(values)
+            return merged
+
+    def snapshot(self) -> Dict[str, int]:
+        """A consistent copy of every counter."""
+        with self._lock:
+            snap = dict(self.counts)
+            snap["requests"] = sum(self.counts.values())
+            snap["coalesced"] = self.coalesced
+            snap["fetch_attempts"] = self.fetch_attempts
+            snap["fetch_failures"] = self.fetch_failures
+            snap["negative_hits"] = self.negative_hits
+            return snap
+
+
+@dataclass
+class _Entry:
+    """A cached value plus the freshness metadata TTLs need."""
+
+    value: Any
+    fetched_at: float
+
+
+class _Flight:
+    """One in-progress backend fetch that followers can latch onto."""
+
+    __slots__ = ("event", "outcome", "value", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.outcome: str = ERROR
+        self.value: Any = None
+        self.error: Optional[str] = None
+        self.waiters = 0
+
+
+class _StoreReaper(CacheListener):
+    """Drop the value store's entry when the policy evicts a key.
+
+    Runs inside the service lock (all policy calls are made under it),
+    so the plain dict mutation is safe.
+    """
+
+    def __init__(self, store: Dict[Key, _Entry]) -> None:
+        self._store = store
+
+    def on_evict(self, key: Key) -> None:
+        self._store.pop(key, None)
+
+
+class CacheService:
+    """Thread-safe read-through cache over a policy and a backend.
+
+    The single public operation is :meth:`get`; everything else --
+    coalescing, retries, breaker, degradation -- happens behind it.
+    ``clock`` defaults to the real :class:`~repro.exec.clock.SystemClock`;
+    tests inject a :class:`~repro.exec.clock.VirtualClock` and drive
+    TTLs, backoffs, outages and breaker cooldowns deterministically.
+    """
+
+    #: real-time cap on waiting for another request's fetch; a safety
+    #: net only -- leaders always settle their flight, even on error.
+    FOLLOWER_WAIT = 30.0
+
+    def __init__(
+        self,
+        policy: EvictionPolicy,
+        backend: Backend,
+        config: Optional[ServiceConfig] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if not isinstance(policy, EvictionPolicy):
+            raise TypeError(
+                f"policy must be an EvictionPolicy, "
+                f"got {type(policy).__name__}")
+        if not hasattr(backend, "fetch"):
+            raise TypeError(
+                f"backend must provide fetch(key), "
+                f"got {type(backend).__name__}")
+        self.policy = policy
+        self.backend = backend
+        self.config = config or ServiceConfig()
+        self.clock = clock or SystemClock()
+        self.metrics = ServiceMetrics()
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(self.config.breaker, self.clock)
+            if self.config.breaker is not None else None)
+        self._lock = threading.Lock()
+        self._store: Dict[Key, _Entry] = {}
+        self._negative: Dict[Key, tuple] = {}   # key -> (error, expires_at)
+        self._flights: Dict[Key, _Flight] = {}
+        policy.add_listener(_StoreReaper(self._store))
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def get(self, key: Key) -> GetResult:
+        """Serve one request for *key* (thread-safe)."""
+        t0 = self.clock.now()
+        flight: Optional[_Flight] = None
+        is_leader = False
+        with self._lock:
+            # Fresh cached value: the fast path.
+            entry = self._store.get(key)
+            if entry is not None and key in self.policy:
+                age = t0 - entry.fetched_at
+                if self.config.ttl is None or age <= self.config.ttl:
+                    self.policy.request(key)  # hit: policy may promote
+                    return self._finish(key, entry.value, HIT, False, t0)
+            # Recent backend failure: fail fast without a fetch.
+            negative = self._negative.get(key)
+            if negative is not None:
+                error, expires_at = negative
+                if t0 < expires_at:
+                    self.metrics.record_negative_hit()
+                    return self._finish(
+                        key, None, ERROR, False, t0,
+                        error=f"negative-cached: {error}")
+                del self._negative[key]
+            # Someone is already fetching this key: join their flight.
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.waiters += 1
+            else:
+                # Load shedding: refuse to queue more backend work.
+                if (self.config.max_inflight is not None
+                        and len(self._flights) >= self.config.max_inflight):
+                    stale = self._stale_entry(key, t0)
+                    if stale is not None:
+                        return self._finish(key, stale.value, STALE,
+                                            False, t0,
+                                            error="load shed; served stale")
+                    return self._finish(
+                        key, None, SHED, False, t0,
+                        error=f"load shed: {len(self._flights)} fetches "
+                              f"in flight (max {self.config.max_inflight})")
+                # Open breaker: degrade instantly, no flight.
+                if self.breaker is not None and not self.breaker.allow():
+                    stale = self._stale_entry(key, t0)
+                    if stale is not None:
+                        return self._finish(key, stale.value, STALE,
+                                            False, t0,
+                                            error="circuit open; served stale")
+                    return self._finish(key, None, ERROR, False, t0,
+                                        error="circuit breaker open")
+                flight = _Flight()
+                self._flights[key] = flight
+                is_leader = True
+
+        if not is_leader:
+            return self._follow(key, flight, t0)
+        return self._lead(key, flight, t0)
+
+    #: alias so the service can stand in where a callable is expected
+    __call__ = get
+
+    def contains_fresh(self, key: Key) -> bool:
+        """Whether a fresh (non-expired) value for *key* is cached."""
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None or key not in self.policy:
+                return False
+            if self.config.ttl is None:
+                return True
+            return self.clock.now() - entry.fetched_at <= self.config.ttl
+
+    def breaker_transitions(self) -> List[tuple]:
+        """Breaker state transitions so far (empty without a breaker)."""
+        if self.breaker is None:
+            return []
+        return list(self.breaker.transitions)
+
+    # ------------------------------------------------------------------
+    # Leader / follower paths
+    # ------------------------------------------------------------------
+    def _follow(self, key: Key, flight: _Flight, t0: float) -> GetResult:
+        """Wait for the in-flight fetch and inherit its outcome."""
+        if not flight.event.wait(self.FOLLOWER_WAIT):  # pragma: no cover
+            return self._finish(key, None, ERROR, True, t0,
+                                error="timed out waiting for the "
+                                      "coalesced fetch")
+        return self._finish(key, flight.value, flight.outcome, True, t0,
+                            error=flight.error)
+
+    def _lead(self, key: Key, flight: _Flight, t0: float) -> GetResult:
+        """Run the backend fetch (with retries) and settle the flight."""
+        retry = self.config.retry
+        attempt = 1
+        error: Optional[str] = None
+        # Attempt 1 was authorised by the allow() that created the
+        # flight (or the breaker is disabled).
+        allowed = True
+        try:
+            while True:
+                if not allowed:
+                    error = error or "circuit breaker open"
+                    break
+                fetched, error = self._attempt_fetch(key)
+                if error is None:
+                    self._settle(key, flight, MISS, fetched, None)
+                    return self._finish(key, fetched, MISS, False, t0)
+                if attempt >= retry.max_attempts:
+                    break
+                self.clock.sleep(retry.backoff(attempt))
+                attempt += 1
+                allowed = (self.breaker.allow()
+                           if self.breaker is not None else True)
+            # All attempts failed (or the breaker cut the retries off):
+            # degrade -- negative-cache the error, serve stale if allowed.
+            with self._lock:
+                now = self.clock.now()
+                if self.config.negative_ttl > 0:
+                    self._negative[key] = (
+                        error, now + self.config.negative_ttl)
+                stale = self._stale_entry(key, now)
+            if stale is not None:
+                self._settle(key, flight, STALE, stale.value, error)
+                return self._finish(key, stale.value, STALE, False, t0,
+                                    error=error)
+            self._settle(key, flight, ERROR, None, error)
+            return self._finish(key, None, ERROR, False, t0, error=error)
+        finally:
+            # Whatever happened -- including an unexpected exception --
+            # the flight must be released or followers deadlock.
+            self._release(key, flight)
+
+    def _attempt_fetch(self, key: Key) -> tuple:
+        """One backend fetch attempt; returns ``(value, error-or-None)``.
+
+        On success the value is stored and admitted into the policy.
+        """
+        start = self.clock.now()
+        try:
+            value = self.backend.fetch(key)
+            elapsed = self.clock.now() - start
+            if (self.config.deadline is not None
+                    and elapsed > self.config.deadline):
+                raise BackendTimeout(
+                    f"fetch of {key!r} took {elapsed:.3f}s with a "
+                    f"{self.config.deadline}s deadline")
+        except Exception as exc:
+            self.metrics.record_fetch(ok=False)
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            return None, f"{type(exc).__name__}: {exc}"
+        self.metrics.record_fetch(ok=True)
+        if self.breaker is not None:
+            self.breaker.record_success()
+        with self._lock:
+            # Admit first (evictions fire the reaper), then store the
+            # value: the admitted key itself is never evicted by its
+            # own admission.
+            self.policy.request(key)
+            self._store[key] = _Entry(value, self.clock.now())
+            self._negative.pop(key, None)
+        return value, None
+
+    def _settle(self, key: Key, flight: _Flight, outcome: str,
+                value: Any, error: Optional[str]) -> None:
+        """Publish the flight's outcome (before waking followers)."""
+        flight.outcome = outcome
+        flight.value = value
+        flight.error = error
+
+    def _release(self, key: Key, flight: _Flight) -> None:
+        with self._lock:
+            if self._flights.get(key) is flight:
+                del self._flights[key]
+        flight.event.set()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _stale_entry(self, key: Key, now: float) -> Optional[_Entry]:
+        """The bounded-staleness fallback entry, if serving it is allowed.
+
+        Callers hold or have just released the service lock; reading
+        the dict without it is safe under CPython, and staleness is
+        re-derived from timestamps so a racing refresh only makes the
+        answer fresher.
+        """
+        if self.config.stale_ttl <= 0:
+            return None
+        entry = self._store.get(key)
+        if entry is None or key not in self.policy:
+            return None
+        budget = (self.config.ttl or 0.0) + self.config.stale_ttl
+        if now - entry.fetched_at <= budget:
+            return entry
+        return None
+
+    def _finish(self, key: Key, value: Any, outcome: str, coalesced: bool,
+                t0: float, error: Optional[str] = None) -> GetResult:
+        latency = self.clock.now() - t0
+        self.metrics.record(outcome, latency, coalesced)
+        return GetResult(key=key, value=value, outcome=outcome,
+                         coalesced=coalesced, latency=latency, error=error)
+
+
+__all__ = [
+    "ERROR",
+    "HIT",
+    "MISS",
+    "OUTCOMES",
+    "SHED",
+    "STALE",
+    "CacheService",
+    "GetResult",
+    "ServiceConfig",
+    "ServiceMetrics",
+]

@@ -1,0 +1,90 @@
+"""The shared Clock abstraction (repro.exec.clock)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exec import RetryPolicy, Task, run_tasks
+from repro.exec.clock import SystemClock, VirtualClock
+from repro.exec.faults import FaultPlan
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = VirtualClock(start=10.0)
+        clock.sleep(5.0)
+        assert clock.now() == 15.0
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start=-1.0)
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+        with pytest.raises(ValueError):
+            clock.sleep(-0.1)
+
+    def test_thread_safe_advances(self):
+        clock = VirtualClock()
+
+        def spin():
+            for _ in range(1000):
+                clock.advance(0.001)
+
+        pool = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert clock.now() == pytest.approx(4.0)
+
+
+class TestSystemClock:
+    def test_now_is_monotonic(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SystemClock().sleep(-1.0)
+
+    def test_sleep_zero_is_free(self):
+        SystemClock().sleep(0.0)  # must not raise or block
+
+
+class TestExecutorUsesVirtualTime:
+    """The serial executor's timeout budget runs on the virtual clock."""
+
+    def test_injected_delay_times_out_without_sleeping(self):
+        plan = FaultPlan().delay(("slow",), seconds=10.0)
+        outcome = run_tasks(
+            [Task(key=("slow",), payload=1)],
+            lambda payload: payload,
+            retry=RetryPolicy(max_attempts=1, base_delay=0.0, timeout=1.0),
+            fault_plan=plan,
+            sleep=lambda _: None,
+        )
+        assert not outcome.failures.ok
+        assert outcome.failures.failures[0].kind == "timeout"
+
+    def test_delay_under_budget_passes(self):
+        plan = FaultPlan().delay(("fast",), seconds=0.5)
+        outcome = run_tasks(
+            [Task(key=("fast",), payload=7)],
+            lambda payload: payload,
+            retry=RetryPolicy(max_attempts=1, base_delay=0.0, timeout=1.0),
+            fault_plan=plan,
+            sleep=lambda _: None,
+        )
+        assert outcome.failures.ok
+        assert outcome.results[("fast",)] == 7

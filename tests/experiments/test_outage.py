@@ -1,0 +1,92 @@
+"""The X4 backend-outage experiment (deterministic, virtual clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import outage
+from repro.experiments.common import TINY
+
+
+@pytest.fixture(scope="module")
+def tiny_result(tmp_path_factory):
+    # Built once per module: three policies x 2000 requests is cheap
+    # but not free.
+    import os
+
+    old = os.environ.get("REPRO_RESULTS_DIR")
+    os.environ["REPRO_RESULTS_DIR"] = str(
+        tmp_path_factory.mktemp("outage-results"))
+    try:
+        yield outage.run(TINY)
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_RESULTS_DIR", None)
+        else:
+            os.environ["REPRO_RESULTS_DIR"] = old
+
+
+class TestScenarioValidation:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="outage window"):
+            outage.OutageScenario(outage_start=0.7, outage_end=0.4)
+
+    def test_rejects_bad_cache_fraction(self):
+        with pytest.raises(ValueError, match="cache_fraction"):
+            outage.OutageScenario(cache_fraction=0.0)
+
+    def test_rejects_bad_ttl_fractions(self):
+        with pytest.raises(ValueError, match="ttl_fraction"):
+            outage.OutageScenario(ttl_fraction=0.0)
+
+    def test_window_scales_with_duration(self):
+        scenario = outage.OutageScenario(num_requests=1000,
+                                         outage_start=0.5,
+                                         outage_end=0.75)
+        start, end = scenario.window()
+        assert start == pytest.approx(0.5 * scenario.duration)
+        assert end == pytest.approx(0.75 * scenario.duration)
+
+
+class TestOutageRun:
+    def test_covers_all_three_policies(self, tiny_result):
+        assert [row.policy for row in tiny_result.rows] == [
+            "LRU", "FIFO-Reinsertion", "QD-LP-FIFO"]
+
+    def test_outage_produces_errors_and_stale_serves(self, tiny_result):
+        for row in tiny_result.rows:
+            assert row.report.outcomes["error"] > 0     # outage is visible
+            assert row.report.outcomes["stale"] > 0     # degradation works
+            assert 0.0 < row.availability < 1.0
+
+    def test_breaker_tripped_during_outage(self, tiny_result):
+        for row in tiny_result.rows:
+            opens = [dst for _, _, dst in row.report.breaker_transitions
+                     if dst == "open"]
+            assert opens, f"{row.policy}: breaker never opened"
+
+    def test_accounting_invariant_per_policy(self, tiny_result):
+        for row in tiny_result.rows:
+            row.report.check_accounting()
+            counts = row.report.outcomes
+            assert sum(counts.values()) == row.report.requests
+
+    def test_effective_beats_fresh_hit_ratio(self, tiny_result):
+        # Stale serves only add to the effective ratio.
+        for row in tiny_result.rows:
+            assert row.effective_hit_ratio >= row.fresh_hit_ratio
+
+    def test_render_and_row_lookup(self, tiny_result):
+        text = tiny_result.render()
+        assert "availability" in text
+        assert "QD-LP-FIFO" in text
+        assert tiny_result.row("LRU").policy == "LRU"
+        with pytest.raises(KeyError):
+            tiny_result.row("Nope")
+
+    def test_deterministic_across_runs(self, tiny_result):
+        again = outage.run(TINY)
+        for first, second in zip(tiny_result.rows, again.rows):
+            assert first.report.outcomes == second.report.outcomes
+            assert first.report.breaker_transitions == \
+                second.report.breaker_transitions

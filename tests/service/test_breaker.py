@@ -1,0 +1,112 @@
+"""Circuit breaker state machine on a virtual clock (no sleeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.clock import VirtualClock
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+
+def make_breaker(threshold=3, reset=10.0, probes=1, clock=None):
+    clock = clock or VirtualClock()
+    config = BreakerConfig(failure_threshold=threshold,
+                           reset_timeout=reset,
+                           half_open_probes=probes)
+    return CircuitBreaker(config, clock), clock
+
+
+class TestConfigValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerConfig(failure_threshold=0)
+
+    def test_rejects_bad_reset_timeout(self):
+        with pytest.raises(ValueError, match="reset_timeout"):
+            BreakerConfig(reset_timeout=0.0)
+
+    def test_rejects_bad_probe_count(self):
+        with pytest.raises(ValueError, match="half_open_probes"):
+            BreakerConfig(half_open_probes=0)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak broken, never reached 3
+
+    def test_half_open_after_cooldown(self):
+        breaker, clock = make_breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.999)
+        assert breaker.state == OPEN
+        clock.advance(0.001)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_grants_limited_probes(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0, probes=2)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # both probe slots consumed
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0)
+        breaker.record_failure()     # open at t=0
+        clock.advance(5.0)           # half-open at t=5
+        assert breaker.allow()
+        breaker.record_failure()     # re-open at t=5
+        assert breaker.state == OPEN
+        clock.advance(4.5)
+        assert breaker.state == OPEN     # new cooldown, not the old one
+        clock.advance(0.6)
+        assert breaker.state == HALF_OPEN
+
+    def test_full_cycle_transitions_recorded_with_timestamps(self):
+        breaker, clock = make_breaker(threshold=2, reset=10.0)
+        breaker.record_failure()
+        breaker.record_failure()         # -> open at t=0
+        clock.advance(10.0)
+        assert breaker.allow()           # -> half-open at t=10
+        breaker.record_success()         # -> closed at t=10
+        assert breaker.transitions == [
+            (0.0, CLOSED, OPEN),
+            (10.0, OPEN, HALF_OPEN),
+            (10.0, HALF_OPEN, CLOSED),
+        ]

@@ -1,0 +1,107 @@
+"""BackendFaultPlan and the fault-injected backend (deterministic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.clock import VirtualClock
+from repro.service.backend import FaultInjectedBackend, InMemoryBackend
+from repro.service.faults import (
+    TIMEOUT,
+    BackendFaultPlan,
+    BackendOutage,
+    BackendTimeout,
+    InjectedBackendError,
+)
+
+
+class TestPlanBuilders:
+    def test_rejects_unknown_fault_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            BackendFaultPlan().fail("k", kind="segfault")
+
+    def test_rejects_bad_call_index(self):
+        with pytest.raises(ValueError, match="call must be >= 1"):
+            BackendFaultPlan().fail("k", call=0)
+        with pytest.raises(ValueError, match="call must be >= 1"):
+            BackendFaultPlan().latency("k", 1.0, call=-1)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            BackendFaultPlan().latency("k", -0.5)
+        with pytest.raises(ValueError, match=">= 0"):
+            BackendFaultPlan().base_latency(-1.0)
+
+    def test_rejects_empty_outage_window(self):
+        with pytest.raises(ValueError, match="end > start"):
+            BackendFaultPlan().outage(5.0, 5.0)
+
+    def test_queries_fall_back_to_every_call(self):
+        plan = (BackendFaultPlan()
+                .fail("k", call=2)
+                .fail("always", kind=TIMEOUT)
+                .latency("k", 0.25)
+                .base_latency(0.01))
+        assert plan.fault_for("k", 1) is None
+        assert plan.fault_for("k", 2) == "error"
+        assert plan.fault_for("always", 9) == "timeout"
+        assert plan.latency_for("k", 3) == 0.25
+        assert plan.latency_for("other", 1) == 0.01
+        assert plan.in_outage(1.0) is False
+
+
+class TestFaultInjectedBackend:
+    def test_error_on_scheduled_call_only(self):
+        clock = VirtualClock()
+        backend = FaultInjectedBackend(
+            InMemoryBackend(), BackendFaultPlan().fail("k", call=1), clock)
+        with pytest.raises(InjectedBackendError):
+            backend.fetch("k")
+        assert backend.fetch("k") == "value:k"
+        assert backend.calls("k") == 2
+
+    def test_timeout_fault_raises_backend_timeout(self):
+        clock = VirtualClock()
+        backend = FaultInjectedBackend(
+            InMemoryBackend(),
+            BackendFaultPlan().fail("k", kind=TIMEOUT), clock)
+        with pytest.raises(BackendTimeout):
+            backend.fetch("k")
+
+    def test_latency_advances_the_virtual_clock(self):
+        clock = VirtualClock()
+        backend = FaultInjectedBackend(
+            InMemoryBackend(), BackendFaultPlan().latency("k", 1.5), clock)
+        assert backend.fetch("k") == "value:k"
+        assert clock.now() == 1.5
+
+    def test_outage_window_is_half_open_on_start_time(self):
+        clock = VirtualClock()
+        plan = BackendFaultPlan().outage(10.0, 20.0)
+        backend = FaultInjectedBackend(InMemoryBackend(), plan, clock)
+        backend.fetch("before")          # t=0: fine
+        clock.advance(10.0)
+        with pytest.raises(BackendOutage):
+            backend.fetch("during")      # t=10: window is inclusive
+        clock.advance(10.0)
+        backend.fetch("after")           # t=20: window is exclusive
+
+    def test_outage_checked_against_fetch_start(self):
+        # A fetch that *starts* before the outage but whose latency
+        # crosses into it still succeeds: the request was accepted.
+        clock = VirtualClock()
+        plan = (BackendFaultPlan()
+                .outage(1.0, 2.0)
+                .latency("k", 1.5))
+        backend = FaultInjectedBackend(InMemoryBackend(), plan, clock)
+        assert backend.fetch("k") == "value:k"
+        assert clock.now() == 1.5
+
+    def test_inner_backend_untouched_on_injected_fault(self):
+        clock = VirtualClock()
+        origin = InMemoryBackend()
+        backend = FaultInjectedBackend(
+            origin, BackendFaultPlan().fail("k"), clock)
+        with pytest.raises(InjectedBackendError):
+            backend.fetch("k")
+        assert origin.fetch_count("k") == 0

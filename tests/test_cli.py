@@ -172,3 +172,72 @@ class TestExperimentCommands:
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
         assert main(["experiment", "extensions", "--tier", "tiny"]) == 0
         assert "S3-FIFO" in capsys.readouterr().out
+
+    def test_experiment_outage(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["experiment", "outage", "--tier", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "QD-LP-FIFO" in out
+        assert (tmp_path / "outage.txt").exists()
+
+
+class TestLoadgenCommand:
+    """The service-layer load test command (and its ^C contract)."""
+
+    def test_loadgen_happy_path(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        code = main(["loadgen", "--policy", "LRU", "--threads", "2",
+                     "--requests", "2000", "--objects", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "p99" in out
+        assert (tmp_path / "loadgen.txt").exists()
+
+    def test_loadgen_unknown_policy(self, capsys):
+        code = main(["loadgen", "--policy", "Nope"])
+        assert code == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_loadgen_bad_config_is_user_error(self, capsys):
+        code = main(["loadgen", "--ttl", "-5"])
+        assert code == 2
+        assert "ttl" in capsys.readouterr().err
+
+    def test_loadgen_bad_request_count(self, capsys):
+        code = main(["loadgen", "--requests", "0"])
+        assert code == 2
+        assert "--requests" in capsys.readouterr().err
+
+    def test_loadgen_interrupt_exits_130_and_flushes(self, capsys,
+                                                     tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro.service.loadgen import LoadInterrupted, LoadReport
+
+        def interrupted(service, keys, threads=1, tick=0.0):
+            report = LoadReport(
+                requests=7,
+                outcomes={"hit": 3, "miss": 4, "stale": 0, "shed": 0,
+                          "error": 0},
+                coalesced=0, fetch_attempts=4, fetch_failures=0,
+                latency_p50=0.0, latency_p90=0.0, latency_p99=0.0,
+                elapsed=0.1, threads=threads, interrupted=True)
+            raise LoadInterrupted(report)
+
+        monkeypatch.setattr("repro.service.run_load", interrupted)
+        code = main(["loadgen", "--requests", "100"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "partial metrics" in err
+        partial = tmp_path / "loadgen_partial.txt"
+        assert partial.exists()
+        assert "requests      : 7" in partial.read_text()
+
+    def test_loadgen_interrupt_before_run_still_exits_130(self, capsys,
+                                                          monkeypatch):
+        def boom(args):
+            raise KeyboardInterrupt
+        monkeypatch.setattr("repro.cli._cmd_loadgen", boom)
+        assert main(["loadgen"]) == 130
