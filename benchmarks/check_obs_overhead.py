@@ -1,0 +1,107 @@
+"""Observability overhead gate for the fast simulation path.
+
+The telemetry subsystem (``repro.obs``) is opt-in, but when a caller
+*does* pass ``SimOptions(metrics=...)`` the fast path must stay fast:
+the per-cell recording is a handful of counter updates, not per-request
+work.  This gate replays the frozen ``BENCH_WORKLOAD`` (the workload
+behind ``BENCH_throughput.json``) through ``simulate`` on the
+vectorized path, with and without a live :class:`MetricsRegistry`, and
+fails when instrumented throughput drops more than ``--tolerance``
+(default 5 %) below the uninstrumented run.
+
+Exit status 1 on regression, 0 when within tolerance.
+
+Usage::
+
+    python benchmarks/check_obs_overhead.py
+    python benchmarks/check_obs_overhead.py --tolerance 0.10 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np                                        # noqa: E402
+
+from repro.experiments.throughput import BENCH_WORKLOAD   # noqa: E402
+from repro.obs import MetricsRegistry                     # noqa: E402
+from repro.policies.registry import make                  # noqa: E402
+from repro.sim import SimOptions, simulate                # noqa: E402
+from repro.traces import from_keys                        # noqa: E402
+from repro.traces.synthetic import zipf_trace             # noqa: E402
+
+#: Fast-engine policies representative of the benchmark's spread.
+POLICIES = ("FIFO", "LRU", "QD-LP-FIFO")
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed fractional throughput loss with "
+                             "instrumentation enabled (default 5%%)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per variant (best-of)")
+    args = parser.parse_args(argv)
+
+    spec = BENCH_WORKLOAD
+    rng = np.random.default_rng(int(spec["seed"]))
+    keys = zipf_trace(int(spec["num_objects"]), int(spec["num_requests"]),
+                      float(spec["alpha"]), rng)
+    trace = from_keys(keys.tolist(), name="obs-overhead")
+    capacity = int(spec["capacity"])
+    n = len(keys)
+
+    failures = []
+    print(f"obs overhead gate: {n} requests, capacity {capacity}, "
+          f"tolerance {args.tolerance:.0%}")
+    for name in POLICIES:
+        plain_opts = SimOptions(fast=True)
+
+        def run_plain(name=name, opts=plain_opts):
+            simulate(make(name, capacity), trace, opts)
+
+        def run_instrumented(name=name):
+            # A fresh registry per run: steady-state cost, not re-use
+            # of already-created metric objects from a previous run.
+            opts = SimOptions(fast=True, metrics=MetricsRegistry())
+            simulate(make(name, capacity), trace, opts)
+
+        t_plain = _best_of(args.repeats, run_plain)
+        t_obs = _best_of(args.repeats, run_instrumented)
+        ratio = t_plain / t_obs  # instrumented throughput / plain
+        floor = 1.0 - args.tolerance
+        status = "ok" if ratio >= floor else "REGRESSED"
+        print(f"{name:14s} plain {n / t_plain / 1e6:6.2f} M req/s  "
+              f"instrumented {n / t_obs / 1e6:6.2f} M req/s  "
+              f"ratio {ratio:5.3f}  floor {floor:.3f}  {status}")
+        if ratio < floor:
+            failures.append(
+                f"{name}: instrumented throughput is {ratio:.1%} of "
+                f"plain (floor {floor:.0%})")
+
+    if failures:
+        print("\nobs overhead gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("obs overhead within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

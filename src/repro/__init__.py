@@ -20,6 +20,8 @@ Package map:
   profiler.
 * :mod:`repro.exec` -- fault-tolerant sweep execution: crash-isolated
   workers, retries, checkpointed resume (see docs/robustness.md).
+* :mod:`repro.obs` -- zero-dependency metrics registry, cache event
+  tracer and exporters (see docs/observability.md).
 * :mod:`repro.traces` -- synthetic workload generators and the Table 1
   corpus.
 * :mod:`repro.analysis` -- miss-ratio reductions, win fractions, tables.
@@ -54,16 +56,19 @@ from repro.policies import (
     SOTA_NAMES,
     make,
 )
+from repro.policies.registry import canonical_name, resolve
 from repro.exec import (
     ExecOptions,
     FailureReport,
     FaultPlan,
     RetryPolicy,
 )
+from repro.obs import CacheTracer, MetricsRegistry
 from repro.sim import (
     LARGE_FRACTION,
     SMALL_FRACTION,
     RunRecord,
+    SimOptions,
     SimResult,
     SweepResult,
     miss_ratio,
@@ -101,13 +106,18 @@ __all__ = [
     "LRU",
     "SOTA_NAMES",
     "make",
+    "resolve",
+    "canonical_name",
     "ExecOptions",
     "FailureReport",
     "FaultPlan",
     "RetryPolicy",
+    "CacheTracer",
+    "MetricsRegistry",
     "LARGE_FRACTION",
     "SMALL_FRACTION",
     "RunRecord",
+    "SimOptions",
     "SimResult",
     "SweepResult",
     "miss_ratio",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -103,7 +103,7 @@ class MissRatioCurve:
 
 
 def lru_mrc(trace: Union[Trace, Sequence[int]],
-            sizes: Sequence[int] = None) -> MissRatioCurve:
+            sizes: Optional[Sequence[int]] = None) -> MissRatioCurve:
     """The exact LRU miss-ratio curve from one reuse-distance pass."""
     keys = trace.as_list() if isinstance(trace, Trace) else list(trace)
     distances = reuse_distances(keys)
@@ -129,7 +129,7 @@ def simulated_mrc(
     factory: PolicyFactory,
     trace: Union[Trace, Sequence[int]],
     sizes: Sequence[int],
-    name: str = None,
+    name: Optional[str] = None,
 ) -> MissRatioCurve:
     """A policy's MRC by direct simulation at each size.
 
@@ -159,7 +159,7 @@ def simulated_mrc(
 
 def shards_mrc(
     trace: Union[Trace, Sequence[int]],
-    sizes: Sequence[int] = None,
+    sizes: Optional[Sequence[int]] = None,
     sample_rate: float = 0.01,
     seed: int = 0,
 ) -> MissRatioCurve:

@@ -88,24 +88,24 @@ def _load_trace(args: argparse.Namespace):
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.policies.registry import REGISTRY, make
+    from repro.policies.registry import make, resolve
     from repro.sim.simulator import simulate
 
     trace = _load_trace(args)
     if trace is None:
         return EXIT_USAGE
-    if args.policy not in REGISTRY:
-        known = ", ".join(sorted(REGISTRY))
-        print(f"error: unknown policy {args.policy!r}; known: {known}",
-              file=sys.stderr)
+    try:
+        spec = resolve(args.policy)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
         return EXIT_USAGE
     capacity = trace.cache_size(args.size)
-    capacity = max(capacity, REGISTRY[args.policy].min_capacity)
-    policy = make(args.policy, capacity)
+    capacity = max(capacity, spec.min_capacity)
+    policy = make(spec.name, capacity)
     result = simulate(policy, trace)
     print(f"trace       : {trace.name} ({trace.num_requests} requests, "
           f"{trace.num_unique} objects)")
-    print(f"policy      : {args.policy}")
+    print(f"policy      : {spec.name}")
     print(f"capacity    : {capacity} objects "
           f"({args.size:.3%} of unique objects)")
     print(f"miss ratio  : {result.miss_ratio:.4f}")
@@ -210,8 +210,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from repro.experiments.common import write_result
-    from repro.policies.registry import REGISTRY, make
+    from repro.experiments.common import results_dir, write_result
+    from repro.obs import MetricsRegistry, write_jsonl
+    from repro.policies.registry import make, resolve
     from repro.service import (
         CacheService,
         InMemoryBackend,
@@ -221,17 +222,18 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     )
     from repro.traces.synthetic import zipf_trace
 
-    if args.policy not in REGISTRY:
-        known = ", ".join(sorted(REGISTRY))
-        print(f"error: unknown policy {args.policy!r}; known: {known}",
-              file=sys.stderr)
+    try:
+        spec = resolve(args.policy)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
         return EXIT_USAGE
+    registry = MetricsRegistry()
     try:
         config = ServiceConfig(ttl=args.ttl, max_inflight=args.max_inflight)
-        capacity = max(REGISTRY[args.policy].min_capacity,
-                       int(args.objects * args.size))
-        service = CacheService(make(args.policy, capacity),
-                               InMemoryBackend(), config)
+        capacity = max(spec.min_capacity, int(args.objects * args.size))
+        service = CacheService(make(spec.name, capacity),
+                               InMemoryBackend(), config,
+                               registry=registry)
         if args.requests < 1 or args.threads < 1:
             raise ValueError("--requests and --threads must be >= 1")
     except (TypeError, ValueError) as exc:
@@ -251,6 +253,55 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     report.check_accounting()
     print(report.render())
     write_result("loadgen", report.render())
+    metrics_path = results_dir() / "loadgen_metrics.jsonl"
+    write_jsonl(registry, metrics_path)
+    print(f"metrics snapshot: {metrics_path} "
+          f"(render with `repro metrics {metrics_path}`)", file=sys.stderr)
+    return EXIT_OK
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        read_jsonl,
+        render_metrics_table,
+        to_jsonl,
+        to_prometheus,
+    )
+
+    if bool(args.source) == bool(args.run):
+        print("error: pass a metrics .jsonl file or --run RUN_ID "
+              "(exactly one)", file=sys.stderr)
+        return EXIT_USAGE
+    if args.run:
+        from repro.exec.journal import Journal
+
+        try:
+            state = Journal.open(args.run, root=args.runs_dir).load()
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if state.metrics is None:
+            print(f"error: run {args.run!r} recorded no metrics snapshot "
+                  f"(sweeps record one when run with SimOptions(metrics=...))",
+                  file=sys.stderr)
+            return EXIT_RUNTIME
+        rows, title = state.metrics, f"run {args.run}"
+    else:
+        try:
+            rows = read_jsonl(args.source)
+        except FileNotFoundError:
+            print(f"error: no such file: {args.source}", file=sys.stderr)
+            return EXIT_USAGE
+        title = args.source
+    if not rows:
+        print("error: no metric rows found", file=sys.stderr)
+        return EXIT_RUNTIME
+    if args.format == "prom":
+        print(to_prometheus(rows), end="")
+    elif args.format == "jsonl":
+        print(to_jsonl(rows), end="")
+    else:
+        print(render_metrics_table(rows, title=title))
     return EXIT_OK
 
 
@@ -326,6 +377,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="shed misses beyond this many concurrent fetches")
     load.add_argument("--seed", type=int, default=42)
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a recorded observability snapshot")
+    metrics.add_argument("source", nargs="?",
+                         help="metrics .jsonl file (e.g. "
+                              "results/loadgen_metrics.jsonl)")
+    metrics.add_argument("--run", metavar="RUN_ID",
+                         help="read the snapshot from a checkpointed "
+                              "sweep's journal instead")
+    metrics.add_argument("--runs-dir",
+                         help="journal root (default $REPRO_RUNS_DIR "
+                              "or runs/)")
+    metrics.add_argument("--format", choices=("table", "prom", "jsonl"),
+                         default="table",
+                         help="output format (default table)")
+
     return parser
 
 
@@ -338,6 +405,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "corpus": _cmd_corpus,
         "experiment": _cmd_experiment,
         "loadgen": _cmd_loadgen,
+        "metrics": _cmd_metrics,
     }[args.command]
     try:
         return handler(args)

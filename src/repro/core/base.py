@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Hashable, Iterable, List
+from typing import Hashable, Iterable, List, Optional
 
 Key = Hashable
 
@@ -106,6 +106,22 @@ class CacheListener:
     def on_hit(self, key: Key) -> None:
         """Called when a request for *key* hits."""
 
+    def on_promote(self, key: Key) -> None:
+        """Called on a structural reordering of *key* (see CacheStats).
+
+        ``key`` is the reordered object when the policy knows it cheaply
+        (queue rotations, probation graduations) and ``None`` for bulk
+        or anonymous reorderings.
+        """
+
+    def on_ghost_hit(self, key: Key) -> None:
+        """Called when a miss for *key* was found in a ghost queue.
+
+        Fired by quick-demotion policies (QDCache, S3-FIFO, 2Q) when a
+        previously demoted object returns and is readmitted directly
+        into the main cache.
+        """
+
 
 class EvictionPolicy(ABC):
     """Abstract base for all eviction algorithms.
@@ -190,13 +206,29 @@ class EvictionPolicy(ABC):
         for listener in self._listeners:
             listener.on_hit(key)
 
+    def _notify_ghost_hit(self, key: Key) -> None:
+        for listener in self._listeners:
+            listener.on_ghost_hit(key)
+
     def _record(self, hit: bool) -> None:
         """Record a request outcome and fire the hit event if needed."""
         self.stats.record(hit)
 
-    def _promoted(self, count: int = 1) -> None:
-        """Record *count* structural reorderings (see CacheStats)."""
+    def _promoted(self, count: int = 1, key: Optional[Key] = None) -> None:
+        """Record *count* structural reorderings (see CacheStats).
+
+        Fires ``on_promote`` *count* times per listener with the
+        reordered *key* (``None`` when the call site cannot name it
+        cheaply), so a tracer's promote total matches
+        ``stats.promotions`` exactly.  The listener loop is guarded so
+        uninstrumented policies pay only the counter increment on the
+        hot path.
+        """
         self.stats.promotions += count
+        if self._listeners:
+            for listener in self._listeners:
+                for _ in range(count):
+                    listener.on_promote(key)
 
     @property
     def promotion_count(self) -> int:

@@ -67,7 +67,7 @@ class FIFOReinsertion(EvictionPolicy):
             if node.visited:
                 node.visited = False
                 self._queue.push_head_node(node)
-                self._promoted()
+                self._promoted(key=node.key)
             else:
                 self._notify_evict(node.key)
                 return
@@ -122,7 +122,7 @@ class KBitClock(EvictionPolicy):
             if node.freq > 0:
                 node.freq -= 1
                 self._queue.push_head_node(node)
-                self._promoted()
+                self._promoted(key=node.key)
             else:
                 self._notify_evict(node.key)
                 return

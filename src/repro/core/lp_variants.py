@@ -49,7 +49,7 @@ class PeriodicPromotionLRU(EvictionPolicy):
             if self._clock - last_promoted >= self.period:
                 self._queue.move_to_head(key)
                 node.extra = self._clock
-                self._promoted()
+                self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True
@@ -102,7 +102,7 @@ class PromoteOldOnlyLRU(EvictionPolicy):
             if self._is_old(node):
                 self._queue.move_to_head(key)
                 node.extra = self._clock
-                self._promoted()
+                self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True

@@ -116,6 +116,7 @@ class QDCache(EvictionPolicy):
         if self.ghost.remove(key):
             # Seen (and demoted) before: admit straight into the main
             # cache -- the quick-demotion filter was wrong about it once.
+            self._notify_ghost_hit(key)
             self.main.request(key)
             self._notify_admit(key)
             return False
@@ -136,7 +137,7 @@ class QDCache(EvictionPolicy):
         node = self._probation.pop_tail()
         if node.visited:
             self.main.request(node.key)
-            self._promoted()
+            self._promoted(key=node.key)
         else:
             self.ghost.add(node.key)
             self._notify_evict(node.key)

@@ -74,6 +74,7 @@ class S3FIFO(EvictionPolicy):
 
         self._record(False)
         if self.ghost.remove(key):
+            self._notify_ghost_hit(key)
             self._insert_main(key)
         else:
             self._insert_small(key)
@@ -99,7 +100,7 @@ class S3FIFO(EvictionPolicy):
             while len(self._main) >= self.main_capacity:
                 self._evict_from_main()
             self._main.push_head_node(node)
-            self._promoted()
+            self._promoted(key=node.key)
         else:
             self.ghost.add(node.key)
             self._notify_evict(node.key)
@@ -111,7 +112,7 @@ class S3FIFO(EvictionPolicy):
             if node.freq > 0:
                 node.freq -= 1
                 self._main.push_head_node(node)
-                self._promoted()
+                self._promoted(key=node.key)
             else:
                 self._notify_evict(node.key)
                 return

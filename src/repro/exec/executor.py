@@ -54,6 +54,7 @@ from repro.exec.faults import (
 from repro.exec.journal import Journal
 from repro.exec.report import FailureReport, TaskFailure
 from repro.exec.retry import NO_RETRY, RetryPolicy
+from repro.obs.metrics import DEFAULT_DURATION_BUCKETS, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -128,14 +129,36 @@ class _Run:
 
     def __init__(self, retry: RetryPolicy, journal: Optional[Journal],
                  plan: Optional[FaultPlan],
-                 encode: Callable[[Any], Any]):
+                 encode: Callable[[Any], Any],
+                 registry: Optional[MetricsRegistry] = None):
         self.retry = retry
         self.journal = journal
         self.plan = plan
         self.encode = encode
+        self.registry = registry
         self.results: Dict[Tuple, Any] = {}
         self.failed: Dict[Tuple, TaskFailure] = {}
         self.completions = 0
+        if registry is not None:
+            self._obs_attempts = registry.counter(
+                "exec_attempts_total", "Task attempts started")
+            self._obs_retries = registry.counter(
+                "exec_retries_total", "Attempts beyond a task's first")
+            self._obs_task_seconds = registry.histogram(
+                "exec_task_seconds", "Wall time of successful attempts",
+                DEFAULT_DURATION_BUCKETS)
+
+    def note_attempt(self, attempt: int) -> None:
+        """Account one attempt being started."""
+        if self.registry is not None:
+            self._obs_attempts.inc()
+            if attempt > 1:
+                self._obs_retries.inc()
+
+    def note_duration(self, seconds: float) -> None:
+        """Account a successful attempt's wall time."""
+        if self.registry is not None:
+            self._obs_task_seconds.observe(seconds)
 
     def succeed(self, task: Task, result: Any) -> None:
         self.results[task.key] = result
@@ -156,6 +179,10 @@ class _Run:
         if self.journal is not None:
             self.journal.record_failure(task.key, attempt, kind,
                                         failure.error)
+        if self.registry is not None:
+            self.registry.counter(
+                "exec_failures_total", "Tasks whose retries were exhausted",
+                kind=kind).inc()
 
     def over_virtual_budget(self, virtual: float) -> bool:
         return (self.retry.timeout is not None
@@ -172,10 +199,13 @@ def _run_serial(tasks: Sequence[Task], fn: Callable[[Any], Any],
         attempt = 1
         while True:
             try:
+                run.note_attempt(attempt)
                 started = vclock.now()
+                wall_started = time.perf_counter()
                 vclock.advance(_apply_faults(task.key, attempt, run.plan,
                                              in_process=True))
                 result = fn(task.payload)
+                wall_elapsed = time.perf_counter() - wall_started
                 virtual = vclock.now() - started
                 if run.over_virtual_budget(virtual):
                     raise TaskTimeout(
@@ -191,6 +221,7 @@ def _run_serial(tasks: Sequence[Task], fn: Callable[[Any], Any],
                 sleep(run.retry.backoff(attempt))
                 attempt += 1
             else:
+                run.note_duration(wall_elapsed)
                 run.succeed(task, result)
                 break
 
@@ -202,6 +233,7 @@ class _Inflight:
     proc: multiprocessing.process.BaseProcess
     conn: Any
     deadline: Optional[float]
+    started: float = 0.0   # monotonic launch time, for the obs histogram
 
 
 @dataclass
@@ -238,8 +270,10 @@ def _run_parallel(tasks: Sequence[Task], fn: Callable[[Any], Any],
         child_conn.close()
         deadline = (time.monotonic() + run.retry.timeout
                     if run.retry.timeout is not None else None)
+        run.note_attempt(entry.attempt)
         inflight[entry.task.key] = _Inflight(
-            entry.task, entry.attempt, proc, parent_conn, deadline)
+            entry.task, entry.attempt, proc, parent_conn, deadline,
+            started=time.monotonic())
 
     def attempt_failed(entry: _Inflight, exc: BaseException,
                        error: str) -> None:
@@ -275,6 +309,7 @@ def _run_parallel(tasks: Sequence[Task], fn: Callable[[Any], Any],
                     f"a {run.retry.timeout}s budget")
                 attempt_failed(entry, exc, str(exc))
             else:
+                run.note_duration(time.monotonic() - entry.started)
                 run.succeed(entry.task, result)
         else:
             attempt_failed(entry, InjectedFault("worker error"),
@@ -346,6 +381,7 @@ def run_tasks(
     fault_plan: Optional[FaultPlan] = None,
     encode: Callable[[Any], Any] = lambda result: result,
     sleep: Callable[[float], None] = time.sleep,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ExecutionOutcome:
     """Execute *tasks* with fault isolation, retries and checkpointing.
 
@@ -354,7 +390,9 @@ def run_tasks(
     keys to already-known results (from a resumed journal); those tasks
     are skipped.  ``encode`` converts a result to the JSON-serializable
     payload the journal stores.  ``sleep`` is injectable so tests can
-    observe backoff without waiting (serial mode only).
+    observe backoff without waiting (serial mode only).  ``registry``
+    opts into observability: attempt/retry counters, per-kind failure
+    counters, and a wall-time histogram of successful attempts.
 
     Task failures never raise; they are collected into the outcome's
     :class:`FailureReport`.  ``KeyboardInterrupt`` and
@@ -367,7 +405,7 @@ def run_tasks(
     retry = retry or NO_RETRY
     completed = completed or {}
 
-    run = _Run(retry, journal, fault_plan, encode)
+    run = _Run(retry, journal, fault_plan, encode, registry)
     resumed = 0
     for task in tasks:
         if task.key in completed:

@@ -11,10 +11,13 @@ Line kinds::
     {"kind": "result",  "key": [...], "payload": {...}}  # completed cell
     {"kind": "failure", "key": [...], "attempts": N,
      "failure_kind": "...", "error": "..."}              # exhausted cell
+    {"kind": "metrics", "rows": [...]}                   # obs snapshot
 
 ``result`` lines win by-key over earlier lines (re-runs overwrite);
 ``failure`` lines are informational -- a resumed run retries failed
-cells rather than skipping them.
+cells rather than skipping them.  ``metrics`` lines carry a
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` taken at the end of
+the run; the last one wins and is what ``repro metrics --run`` renders.
 """
 
 from __future__ import annotations
@@ -60,6 +63,8 @@ class JournalState:
     results: Dict[Tuple, dict] = field(default_factory=dict)
     #: raw ``failure`` lines, in file order
     failures: List[dict] = field(default_factory=list)
+    #: snapshot rows of the last ``metrics`` line, or None
+    metrics: Optional[List[dict]] = None
 
 
 def _key_to_json(key: Tuple) -> list:
@@ -129,6 +134,10 @@ class Journal:
                      "attempts": attempts, "failure_kind": failure_kind,
                      "error": error})
 
+    def record_metrics(self, rows: List[dict]) -> None:
+        """Checkpoint an observability snapshot (last line wins)."""
+        self.append({"kind": "metrics", "rows": rows})
+
     def close(self) -> None:
         """Close the append handle (safe to call twice)."""
         if self._handle is not None:
@@ -167,6 +176,8 @@ class Journal:
                     state.results[_key_from_json(obj["key"])] = obj["payload"]
                 elif kind == "failure":
                     state.failures.append(obj)
+                elif kind == "metrics":
+                    state.metrics = obj.get("rows")
         return state
 
 

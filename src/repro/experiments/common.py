@@ -23,6 +23,8 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.exec import ExecOptions
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.options import SimOptions
 from repro.sim.runner import SweepResult, run_sweep
 from repro.traces.corpus import build_corpus
 from repro.traces.trace import Trace
@@ -92,6 +94,7 @@ def run_experiment_sweep(
     min_capacity: int = 50,
     workers: int = 0,
     options: Optional[ExecOptions] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SweepResult:
     """Run an experiment's matrix through the fault-tolerant runner.
 
@@ -106,7 +109,7 @@ def run_experiment_sweep(
     options = options or ExecOptions()
     result = run_sweep(
         policy_names, traces,
-        min_capacity=min_capacity,
+        options=SimOptions(min_capacity=min_capacity, metrics=metrics),
         workers=workers or default_workers(),
         **options.sweep_kwargs(),
     )

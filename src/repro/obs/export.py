@@ -1,0 +1,201 @@
+"""Metric exporters: JSON-lines, Prometheus text format, ASCII table.
+
+Every exporter consumes the same snapshot rows
+(:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`), so the values a
+Prometheus scrape reports and the values a JSONL artifact records can
+never diverge -- the snapshot tests assert it.  The row format::
+
+    {"type": "counter",   "name": ..., "labels": {...}, "value": N}
+    {"type": "gauge",     "name": ..., "labels": {...}, "value": X}
+    {"type": "histogram", "name": ..., "labels": {...},
+     "buckets": [[le, cumulative], ...], "sum": S, "count": N}
+
+JSON-lines is the storage format (one metric per line -- append-safe,
+mirrors the checkpoint journal); the Prometheus text format is the
+scrape/export format; :func:`render_metrics_table` is what the
+``repro metrics`` CLI shows humans.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+PathLike = Union[str, Path]
+
+Rows = List[dict]
+
+
+def _as_rows(source: Union[MetricsRegistry, Sequence[dict]]) -> Rows:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return list(source)
+
+
+# ----------------------------------------------------------------------
+# JSON-lines
+# ----------------------------------------------------------------------
+
+def to_jsonl(source: Union[MetricsRegistry, Sequence[dict]]) -> str:
+    """Snapshot rows as JSON-lines text (one metric per line)."""
+    return "\n".join(json.dumps(row, sort_keys=True)
+                     for row in _as_rows(source)) + "\n"
+
+
+def write_jsonl(source: Union[MetricsRegistry, Sequence[dict]],
+                path: PathLike) -> Path:
+    """Write the JSONL snapshot to *path*; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_jsonl(source))
+    return path
+
+
+def read_jsonl(path: PathLike) -> Rows:
+    """Load snapshot rows back from a JSONL file.
+
+    Blank and torn (unparseable) lines are skipped, mirroring the
+    checkpoint journal's crash-tolerant reader.
+    """
+    rows: Rows = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(row, dict) and {"type", "name"} <= row.keys():
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+
+def _prom_labels(labels: Dict[str, str], extra: Optional[dict] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_prom_escape(str(value))}"'
+        for key, value in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _prom_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(source: Union[MetricsRegistry, Sequence[dict]]) -> str:
+    """Snapshot rows in the Prometheus exposition (text) format."""
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for row in _as_rows(source):
+        name, kind, labels = row["name"], row["type"], row["labels"]
+        if seen_types.get(name) != kind:
+            lines.append(f"# TYPE {name} {kind}")
+            seen_types[name] = kind
+        if kind in ("counter", "gauge"):
+            lines.append(
+                f"{name}{_prom_labels(labels)} {_prom_number(row['value'])}")
+        elif kind == "histogram":
+            for bound, cumulative in row["buckets"]:
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels(labels, {'le': _prom_number(bound)})}"
+                    f" {cumulative}")
+            lines.append(
+                f"{name}_bucket{_prom_labels(labels, {'le': '+Inf'})}"
+                f" {row['count']}")
+            lines.append(
+                f"{name}_sum{_prom_labels(labels)} "
+                f"{_prom_number(row['sum'])}")
+            lines.append(
+                f"{name}_count{_prom_labels(labels)} {row['count']}")
+        else:
+            raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_values(text: str) -> Dict[str, float]:
+    """``name{labels} -> value`` from Prometheus text (tests only)."""
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, value = line.rsplit(" ", 1)
+        out[series] = float("inf") if value == "+Inf" else float(value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Human-readable table
+# ----------------------------------------------------------------------
+
+def render_metrics_table(source: Union[MetricsRegistry, Sequence[dict]],
+                         title: str = "metrics") -> str:
+    """One aligned ASCII table over all metric rows.
+
+    Histograms render as count/sum plus coarse p50/p99 estimates from
+    the cumulative buckets.
+    """
+    # Imported here: repro.analysis pulls in the sim layer, which this
+    # low-level module must not import at module scope (cycle).
+    from repro.analysis.tables import render_table
+
+    body: List[List] = []
+    for row in _as_rows(source):
+        labels = ",".join(f"{k}={v}"
+                          for k, v in sorted(row["labels"].items()))
+        if row["type"] in ("counter", "gauge"):
+            body.append([row["name"], labels, row["type"],
+                         row["value"], None, None])
+        else:
+            count = row["count"]
+            body.append([row["name"], labels, row["type"], count,
+                         row["sum"],
+                         _bucket_quantile(row, 0.99) if count else None])
+    return render_table(
+        ["metric", "labels", "type", "value/count", "sum", "~p99"],
+        body, title=title, precision=4)
+
+
+def _bucket_quantile(row: dict, q: float) -> float:
+    """Coarse quantile from a snapshot histogram row."""
+    total = row["count"]
+    if total == 0:
+        return 0.0
+    rank = q * total
+    largest = 0.0
+    for bound, cumulative in row["buckets"]:
+        largest = bound
+        if cumulative >= rank:
+            return bound
+    return largest  # the overflow bucket: clamp to the largest bound
+
+
+__all__ = [
+    "parse_prometheus_values",
+    "read_jsonl",
+    "render_metrics_table",
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+]

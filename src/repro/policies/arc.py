@@ -39,13 +39,13 @@ class ARC(EvictionPolicy):
         if key in self._t1:
             del self._t1[key]
             self._t2[key] = None
-            self._promoted()
+            self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True
         if key in self._t2:
             self._t2.move_to_end(key)
-            self._promoted()
+            self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True

@@ -129,7 +129,7 @@ class CACHEUS(EvictionPolicy):
         if key in self._present:
             self._srlru.hit(key)
             self._crlfu.bump(key)
-            self._promoted(2)  # both expert structures are updated
+            self._promoted(2, key=key)  # both expert structures are updated
             self._window_hits += 1
             self._end_of_window()
             self._record(True)

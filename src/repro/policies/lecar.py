@@ -59,7 +59,7 @@ class LeCaR(EvictionPolicy):
         if key in self._lru:
             self._lru.move_to_end(key)
             self._lfu.bump(key)
-            self._promoted(2)  # both expert structures are updated
+            self._promoted(2, key=key)  # both expert structures are updated
             self._record(True)
             self._notify_hit(key)
             return True

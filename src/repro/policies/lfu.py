@@ -41,7 +41,7 @@ class LFU(EvictionPolicy):
     def request(self, key: Key) -> bool:
         if key in self._freq_of:
             self._bump(key)
-            self._promoted()
+            self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True

@@ -73,14 +73,14 @@ class LIRS(EvictionPolicy):
         state = self._state.get(key)
         if state == _LIR:
             self._stack.move_to_head(key)
-            self._promoted()
+            self._promoted(key=key)
             self._prune()
             self._record(True)
             self._notify_hit(key)
             return True
         if state == _HIR_RES:
             self._hit_resident_hir(key)
-            self._promoted()
+            self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True

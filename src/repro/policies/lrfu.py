@@ -51,7 +51,7 @@ class LRFU(EvictionPolicy):
             new_weight = math.log2(1.0 + crf_now) + self.lambda_ * t
             self._weight[key] = new_weight
             heapq.heappush(self._heap, (new_weight, key))
-            self._promoted()
+            self._promoted(key=key)
             self._maybe_compact()
             self._record(True)
             self._notify_hit(key)

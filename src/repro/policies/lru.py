@@ -31,7 +31,7 @@ class LRU(EvictionPolicy):
     def request(self, key: Key) -> bool:
         if key in self._queue:
             self._queue.move_to_end(key)
-            self._promoted()
+            self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True

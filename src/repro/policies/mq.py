@@ -84,7 +84,7 @@ class MQ(EvictionPolicy):
             freq, _, idx = meta
             del self._queues[idx][key]
             self._place(key, freq + 1)
-            self._promoted()
+            self._promoted(key=key)
             self._adjust()
             self._record(True)
             self._notify_hit(key)

@@ -5,12 +5,27 @@ to constructors, so experiments, benchmarks, tests and the command-line
 examples all agree on spelling and configuration.  QD-enhanced variants
 of the five state-of-the-art algorithms are registered with a ``QD-``
 prefix, mirroring the paper's QD-ARC / QD-LIRS / ... naming.
+
+:func:`make` is the stable public constructor (see docs/api.md):
+
+* **Parameter passthrough** -- ``make("2-bit-CLOCK", 100)`` uses the
+  paper's configuration; ``make("QD-LP-FIFO", 100,
+  probation_fraction=0.05)`` forwards keyword parameters to the
+  policy's constructor.  Unknown parameters raise ``TypeError`` naming
+  the policy.
+* **Alias resolution** -- lookups are case-insensitive and ignore
+  separators (``"sieve"``, ``"fifo-reinsertion"``, ``"2bit-clock"``,
+  ``"s3fifo"`` all resolve), plus a small table of spelled-out aliases
+  (``"clock2"``, ``"second-chance"``, ``"optimal"``...).
+* **Did-you-mean** -- a typo raises ``KeyError`` suggesting the
+  closest registered names.
 """
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.core.base import EvictionPolicy
 from repro.core.adaptive_qd import AdaptiveQDLPFIFO
@@ -37,7 +52,8 @@ from repro.policies.slru import SLRU
 from repro.policies.twoq import TwoQ
 from repro.policies.wtinylfu import WTinyLFU
 
-Factory = Callable[[int], EvictionPolicy]
+#: Policy constructor: ``factory(capacity, **params)``.
+Factory = Callable[..., EvictionPolicy]
 
 
 @dataclass(frozen=True)
@@ -50,9 +66,26 @@ class PolicySpec:
     min_capacity: int = 1
 
 
-def _qd(factory: Factory) -> Factory:
-    """Wrap a main-cache factory in the paper's QD configuration."""
-    return lambda capacity: QDCache(capacity, factory)
+def _qd(factory: Callable[[int], EvictionPolicy]) -> Factory:
+    """Wrap a main-cache factory in the paper's QD configuration.
+
+    The returned factory forwards ``probation_fraction`` and
+    ``ghost_factor`` overrides to :class:`~repro.core.qd.QDCache`.
+    """
+
+    def build(capacity: int, **params: float) -> QDCache:
+        return QDCache(capacity, factory, **params)
+
+    return build
+
+
+def _kbit_clock(default_bits: int) -> Factory:
+    """CLOCK factory whose ``bits`` default matches the registered name."""
+
+    def build(capacity: int, bits: int = default_bits) -> KBitClock:
+        return KBitClock(capacity, bits=bits)
+
+    return build
 
 
 _SPECS: List[PolicySpec] = [
@@ -68,8 +101,8 @@ _SPECS: List[PolicySpec] = [
     PolicySpec("Hyperbolic", Hyperbolic, "baseline"),
     # Lazy-Promotion FIFO family (the paper's §3)
     PolicySpec("FIFO-Reinsertion", FIFOReinsertion, "lp-fifo"),
-    PolicySpec("2-bit-CLOCK", lambda c: KBitClock(c, bits=2), "lp-fifo"),
-    PolicySpec("3-bit-CLOCK", lambda c: KBitClock(c, bits=3), "lp-fifo"),
+    PolicySpec("2-bit-CLOCK", _kbit_clock(2), "lp-fifo"),
+    PolicySpec("3-bit-CLOCK", _kbit_clock(3), "lp-fifo"),
     PolicySpec("PeriodicPromotion-LRU", PeriodicPromotionLRU, "lp-fifo"),
     PolicySpec("PromoteOldOnly-LRU", PromoteOldOnlyLRU, "lp-fifo"),
     # State of the art (the five algorithms QD-enhanced in Fig. 5)
@@ -100,28 +133,104 @@ REGISTRY: Dict[str, PolicySpec] = {spec.name: spec for spec in _SPECS}
 #: The five state-of-the-art algorithms of the paper's Fig. 5.
 SOTA_NAMES = ["ARC", "LIRS", "CACHEUS", "LeCaR", "LHD"]
 
+#: Spelled-out aliases whose normalised form differs from any canonical
+#: name.  Normalisation (lowercase, separators stripped) already covers
+#: spellings like "sieve", "fifo-reinsertion", "2bit-clock" or "s3fifo".
+ALIASES: Dict[str, str] = {
+    "clock": "2-bit-CLOCK",
+    "clock2": "2-bit-CLOCK",
+    "clock3": "3-bit-CLOCK",
+    "secondchance": "FIFO-Reinsertion",
+    "1bitclock": "FIFO-Reinsertion",
+    "fiforeinsert": "FIFO-Reinsertion",
+    "opt": "Belady",
+    "optimal": "Belady",
+    "min": "Belady",
+    "tinylfu": "W-TinyLFU",
+    "qdlpfifo": "QD-LP-FIFO",
+    "rand": "Random",
+}
 
-def make(name: str, capacity: int) -> EvictionPolicy:
+_SEPARATORS = str.maketrans("", "", "-_ ./")
+
+
+def _normalize(name: str) -> str:
+    """Canonicalise a lookup key: lowercase, separators stripped."""
+    return name.lower().translate(_SEPARATORS)
+
+
+_LOOKUP: Dict[str, PolicySpec] = {}
+for _spec in _SPECS:
+    _LOOKUP[_normalize(_spec.name)] = _spec
+for _alias, _target in ALIASES.items():
+    _LOOKUP.setdefault(_normalize(_alias), REGISTRY[_target])
+
+
+def resolve(name: str) -> PolicySpec:
+    """Look up *name* (canonical, any case/separator variant, or alias).
+
+    Raises ``KeyError`` with did-you-mean suggestions on a typo.
+    """
+    spec = _LOOKUP.get(_normalize(name))
+    if spec is not None:
+        return spec
+    close = difflib.get_close_matches(_normalize(name), _LOOKUP, n=3,
+                                      cutoff=0.6)
+    suggestions = sorted({_LOOKUP[c].name for c in close})
+    hint = (f"; did you mean {' or '.join(repr(s) for s in suggestions)}?"
+            if suggestions else "")
+    known = ", ".join(sorted(REGISTRY))
+    raise KeyError(
+        f"unknown policy {name!r}{hint} (known policies: {known})")
+
+
+def canonical_name(name: str) -> str:
+    """The registered name *name* resolves to (e.g. ``clock2`` -> ``2-bit-CLOCK``)."""
+    return resolve(name).name
+
+
+def make(name: str, capacity: int, **params: object) -> EvictionPolicy:
     """Instantiate the policy registered under *name*.
 
-    Raises ``KeyError`` with the list of known names on a typo, and
-    ``ValueError`` when *capacity* is below the policy's minimum.
+    *name* may be a canonical name, any case/separator variant of one,
+    or an alias from :data:`ALIASES`.  Keyword *params* are forwarded to
+    the policy's constructor (e.g. ``bits`` for the CLOCK family,
+    ``probation_fraction``/``ghost_factor`` for the QD family).
+
+    Raises ``KeyError`` with did-you-mean suggestions on a typo,
+    ``ValueError`` when *capacity* is below the policy's minimum, and
+    ``TypeError`` naming the policy when it rejects a parameter.
     """
-    spec = REGISTRY.get(name)
-    if spec is None:
-        known = ", ".join(sorted(REGISTRY))
-        raise KeyError(f"unknown policy {name!r}; known policies: {known}")
+    spec = resolve(name)
     if capacity < spec.min_capacity:
         raise ValueError(
-            f"{name} needs capacity >= {spec.min_capacity}, got {capacity}")
-    return spec.factory(capacity)
+            f"{spec.name} needs capacity >= {spec.min_capacity}, "
+            f"got {capacity}")
+    try:
+        return spec.factory(capacity, **params)
+    except TypeError as exc:
+        if params:
+            raise TypeError(
+                f"policy {spec.name!r} rejected parameters "
+                f"{sorted(params)}: {exc}") from exc
+        raise
 
 
-def names(category: str = None) -> List[str]:
+def names(category: Optional[str] = None) -> List[str]:
     """All registered names, optionally filtered by category."""
     if category is None:
         return [spec.name for spec in _SPECS]
     return [spec.name for spec in _SPECS if spec.category == category]
 
 
-__all__ = ["PolicySpec", "REGISTRY", "SOTA_NAMES", "make", "names", "Factory"]
+__all__ = [
+    "PolicySpec",
+    "REGISTRY",
+    "ALIASES",
+    "SOTA_NAMES",
+    "make",
+    "resolve",
+    "canonical_name",
+    "names",
+    "Factory",
+]

@@ -47,14 +47,14 @@ class SLRU(EvictionPolicy):
     def request(self, key: Key) -> bool:
         if key in self._protected:
             self._protected.move_to_end(key)
-            self._promoted()
+            self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True
         if key in self._probationary:
             del self._probationary[key]
             self._promote(key)
-            self._promoted()
+            self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True

@@ -51,7 +51,7 @@ class TwoQ(EvictionPolicy):
     def request(self, key: Key) -> bool:
         if key in self._am:
             self._am.move_to_end(key)
-            self._promoted()
+            self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True
@@ -64,6 +64,7 @@ class TwoQ(EvictionPolicy):
         self._record(False)
         if key in self._a1out:
             self._a1out.remove(key)
+            self._notify_ghost_hit(key)
             self._reclaim()
             self._am[key] = None
         else:

@@ -113,13 +113,13 @@ class WTinyLFU(EvictionPolicy):
         self._count(key)
         if key in self._window:
             self._window.move_to_end(key)
-            self._promoted()
+            self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True
         if key in self._main:
             self._main.hit(key)
-            self._promoted()
+            self._promoted(key=key)
             self._record(True)
             self._notify_hit(key)
             return True
@@ -135,7 +135,7 @@ class WTinyLFU(EvictionPolicy):
         candidate, _ = self._window.popitem(last=False)
         if len(self._main) < self.main_capacity:
             self._main.insert(candidate)
-            self._promoted()
+            self._promoted(key=candidate)
             return
         victim = self._main.victim()
         # The TinyLFU duel: admit only if the candidate's estimated
@@ -144,7 +144,7 @@ class WTinyLFU(EvictionPolicy):
             self._main.pop_victim()
             self._notify_evict(victim)
             self._main.insert(candidate)
-            self._promoted()
+            self._promoted(key=candidate)
         else:
             self._notify_evict(candidate)
 

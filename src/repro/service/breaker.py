@@ -21,13 +21,17 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.exec.clock import Clock, SystemClock
 
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
+
+#: Numeric encoding of breaker states for the ``service_breaker_state``
+#: gauge (0 = closed, 1 = half-open, 2 = open).
+STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
 
 
 @dataclass(frozen=True)
@@ -74,11 +78,17 @@ class CircuitBreaker:
         self._probes = 0          # in-flight probes while half-open
         #: (timestamp, from-state, to-state), oldest first
         self.transitions: List[Tuple[float, str, str]] = []
+        #: Called as ``on_transition(from_state, to_state, now)`` after
+        #: every state change, while the breaker lock is held -- keep it
+        #: cheap and re-entrancy-free (a gauge update, not a fetch).
+        self.on_transition: Optional[Callable[[str, str, float], None]] = None
 
     # ------------------------------------------------------------------
     def _move(self, to_state: str, now: float) -> None:
         self.transitions.append((now, self._state, to_state))
-        self._state = to_state
+        from_state, self._state = self._state, to_state
+        if self.on_transition is not None:
+            self.on_transition(from_state, to_state, now)
 
     def _refresh(self, now: float) -> None:
         """Open -> half-open once the cooldown has elapsed."""
@@ -148,6 +158,7 @@ __all__ = [
     "CLOSED",
     "HALF_OPEN",
     "OPEN",
+    "STATE_VALUES",
     "BreakerConfig",
     "CircuitBreaker",
 ]

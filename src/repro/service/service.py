@@ -42,8 +42,13 @@ from typing import Any, Dict, Hashable, List, Optional
 from repro.core.base import CacheListener, EvictionPolicy
 from repro.exec.clock import Clock, SystemClock
 from repro.exec.retry import NO_RETRY, RetryPolicy
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from repro.service.backend import Backend
-from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service.breaker import (
+    STATE_VALUES,
+    BreakerConfig,
+    CircuitBreaker,
+)
 from repro.service.faults import BackendTimeout
 
 Key = Hashable
@@ -135,9 +140,20 @@ class GetResult:
 
 
 class ServiceMetrics:
-    """Thread-safe per-outcome accounting for one service instance."""
+    """Thread-safe per-outcome accounting for one service instance.
 
-    def __init__(self) -> None:
+    With a :class:`~repro.obs.metrics.MetricsRegistry` supplied, every
+    event is mirrored into registry counters and latency histograms
+    (``service_requests_total{outcome=}``,
+    ``service_request_latency_seconds{outcome=}``,
+    ``service_coalesced_total``, ``service_fetch_attempts_total``,
+    ``service_fetch_failures_total``, ``service_negative_hits_total``)
+    so the run can be exported via :mod:`repro.obs.export`.  The raw
+    per-outcome counts and latency lists stay authoritative: the load
+    generator's percentile report reads exact samples, not buckets.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
         self.counts: Dict[str, int] = {outcome: 0 for outcome in OUTCOMES}
         self.coalesced = 0
@@ -146,6 +162,29 @@ class ServiceMetrics:
         self.negative_hits = 0
         self._latencies: Dict[str, List[float]] = {
             outcome: [] for outcome in OUTCOMES}
+        self.registry = registry
+        if registry is not None:
+            self._obs_requests = {
+                outcome: registry.counter(
+                    "service_requests_total", "Requests by outcome",
+                    outcome=outcome)
+                for outcome in OUTCOMES}
+            self._obs_latency = {
+                outcome: registry.histogram(
+                    "service_request_latency_seconds",
+                    "Request latency by outcome",
+                    DEFAULT_LATENCY_BUCKETS, outcome=outcome)
+                for outcome in OUTCOMES}
+            self._obs_coalesced = registry.counter(
+                "service_coalesced_total",
+                "Requests served by another request's fetch")
+            self._obs_fetch_attempts = registry.counter(
+                "service_fetch_attempts_total", "Backend fetch attempts")
+            self._obs_fetch_failures = registry.counter(
+                "service_fetch_failures_total", "Failed backend fetches")
+            self._obs_negative_hits = registry.counter(
+                "service_negative_hits_total",
+                "Requests answered from the negative cache")
 
     def record(self, outcome: str, latency: float,
                coalesced: bool) -> None:
@@ -155,6 +194,11 @@ class ServiceMetrics:
             self._latencies[outcome].append(latency)
             if coalesced:
                 self.coalesced += 1
+        if self.registry is not None:
+            self._obs_requests[outcome].inc()
+            self._obs_latency[outcome].observe(latency)
+            if coalesced:
+                self._obs_coalesced.inc()
 
     def record_fetch(self, ok: bool) -> None:
         """Account one backend fetch attempt."""
@@ -162,11 +206,17 @@ class ServiceMetrics:
             self.fetch_attempts += 1
             if not ok:
                 self.fetch_failures += 1
+        if self.registry is not None:
+            self._obs_fetch_attempts.inc()
+            if not ok:
+                self._obs_fetch_failures.inc()
 
     def record_negative_hit(self) -> None:
         """Account one request answered from the negative cache."""
         with self._lock:
             self.negative_hits += 1
+        if self.registry is not None:
+            self._obs_negative_hits.inc()
 
     # -- views ---------------------------------------------------------
     @property
@@ -260,6 +310,7 @@ class CacheService:
         backend: Backend,
         config: Optional[ServiceConfig] = None,
         clock: Optional[Clock] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not isinstance(policy, EvictionPolicy):
             raise TypeError(
@@ -273,10 +324,16 @@ class CacheService:
         self.backend = backend
         self.config = config or ServiceConfig()
         self.clock = clock or SystemClock()
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(registry)
         self.breaker: Optional[CircuitBreaker] = (
             CircuitBreaker(self.config.breaker, self.clock)
             if self.config.breaker is not None else None)
+        if registry is not None and self.breaker is not None:
+            gauge = registry.gauge("service_breaker_state",
+                                   "0=closed, 1=half-open, 2=open")
+            gauge.set(STATE_VALUES[self.breaker.state])
+            self.breaker.on_transition = (
+                lambda _old, new, _now: gauge.set(STATE_VALUES[new]))
         self._lock = threading.Lock()
         self._store: Dict[Key, _Entry] = {}
         self._negative: Dict[Key, tuple] = {}   # key -> (error, expires_at)

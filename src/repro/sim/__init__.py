@@ -1,5 +1,6 @@
 """Trace-driven simulation substrate."""
 
+from repro.sim.options import SimOptions
 from repro.sim.profiler import ProfileResult, profile
 from repro.sim.request import Request
 from repro.sim.runner import (
@@ -14,6 +15,7 @@ from repro.sim.runner import (
 from repro.sim.simulator import SimResult, miss_ratio, simulate
 
 __all__ = [
+    "SimOptions",
     "ProfileResult",
     "profile",
     "Request",

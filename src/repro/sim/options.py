@@ -1,0 +1,110 @@
+"""Shared simulation options: the consolidated knob set for the sim layer.
+
+:func:`~repro.sim.simulator.simulate` and
+:func:`~repro.sim.runner.run_sweep` historically grew overlapping
+keyword arguments (``warmup``, ``listeners``, ``fast``,
+``min_capacity``).  :class:`SimOptions` consolidates them into one
+frozen dataclass that both entry points accept as their ``options``
+parameter; the old keywords still work but emit a
+``DeprecationWarning`` (once per keyword per process).
+
+``fast=None`` means "use the subsystem default": ``simulate`` defaults
+to the reference loop (``False``), ``run_sweep`` to the vectorized
+engines (``True``).  ``metrics`` optionally supplies a
+:class:`~repro.obs.metrics.MetricsRegistry` that the sim layer records
+summary counters and timings into (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+from repro.core.base import CacheListener
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Options shared by ``simulate`` and ``run_sweep``.
+
+    Parameters
+    ----------
+    warmup:
+        Requests replayed before statistics collection starts
+        (``simulate`` only; ``run_sweep`` rejects a nonzero value).
+    fast:
+        ``True``/``False`` forces the vectorized or reference path;
+        ``None`` keeps the entry point's default (``simulate``: ``False``,
+        ``run_sweep``: ``True``).
+    listeners:
+        :class:`~repro.core.base.CacheListener` instances attached for
+        the duration of the run (``simulate`` only).  Attaching a
+        listener forces the reference path.
+    min_capacity:
+        Cache-size floor when sizes are derived from a fraction of a
+        trace's unique objects (``run_sweep`` only).
+    metrics:
+        Optional registry receiving simulation counters and timings.
+    """
+
+    warmup: int = 0
+    fast: Optional[bool] = None
+    listeners: Tuple[CacheListener, ...] = ()
+    min_capacity: int = 10
+    metrics: Optional[MetricsRegistry] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.min_capacity < 1:
+            raise ValueError(
+                f"min_capacity must be >= 1, got {self.min_capacity}")
+        # Accept any iterable of listeners, store an immutable tuple.
+        object.__setattr__(self, "listeners", tuple(self.listeners))
+
+    def resolved_fast(self, default: bool) -> bool:
+        """The effective ``fast`` flag given the entry point's *default*."""
+        return default if self.fast is None else self.fast
+
+
+# ----------------------------------------------------------------------
+# Deprecated-keyword plumbing
+# ----------------------------------------------------------------------
+
+_warned: Set[Tuple[str, str]] = set()
+
+
+def warn_deprecated_kwarg(func: str, kwarg: str, replacement: str) -> None:
+    """Emit a ``DeprecationWarning`` for *func(kwarg=...)* once per process."""
+    key = (func, kwarg)
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(
+        f"{func}({kwarg}=...) is deprecated; pass {replacement} instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def _reset_deprecation_warnings() -> None:
+    """Forget which deprecation warnings fired (test hook)."""
+    _warned.clear()
+
+
+def reject_mixed_options(func: str, options: object, legacy: dict) -> None:
+    """Raise when both ``options=`` and a legacy keyword were given."""
+    given = sorted(k for k, v in legacy.items() if v is not None)
+    if options is not None and given:
+        raise ValueError(
+            f"{func}() got both options= and legacy keyword(s) "
+            f"{given}; pass one or the other")
+
+
+__all__ = [
+    "SimOptions",
+    "warn_deprecated_kwarg",
+    "reject_mixed_options",
+]

@@ -19,17 +19,24 @@ analysis layer consumes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.exec.executor import Task, run_tasks
 from repro.exec.faults import FaultPlan
 from repro.exec.journal import Journal
 from repro.exec.report import FailureReport
 from repro.exec.retry import NO_RETRY, RetryPolicy
-from repro.policies.registry import REGISTRY, make
+from repro.obs.metrics import DEFAULT_DURATION_BUCKETS, MetricsRegistry
+from repro.policies.registry import make, resolve
 from repro.sim.fast.batch import BatchRunner
 from repro.sim.fast.dispatch import has_fast_engine
+from repro.sim.options import (
+    SimOptions,
+    reject_mixed_options,
+    warn_deprecated_kwarg,
+)
 from repro.sim.simulator import simulate
 from repro.traces.trace import Trace
 
@@ -69,12 +76,12 @@ def run_one(policy_name: str, trace: Trace, size_fraction: float,
             min_capacity: int = 10) -> RunRecord:
     """Simulate one policy over one trace at one relative cache size."""
     capacity = trace.cache_size(size_fraction, minimum=min_capacity)
-    spec = REGISTRY[policy_name]
+    spec = resolve(policy_name)
     capacity = max(capacity, spec.min_capacity)
-    policy = make(policy_name, capacity)
+    policy = make(spec.name, capacity)
     result = simulate(policy, trace)
     return RunRecord(
-        policy=policy_name,
+        policy=spec.name,
         trace=trace.name,
         family=trace.family,
         group=trace.group,
@@ -112,7 +119,7 @@ def _fast_cell(payload) -> Optional[RunRecord]:
     if not has_fast_engine(policy_name):
         return None
     capacity = trace.cache_size(size_fraction, minimum=min_capacity)
-    capacity = max(capacity, REGISTRY[policy_name].min_capacity)
+    capacity = max(capacity, resolve(policy_name).min_capacity)
     outcome = BatchRunner().run(policy_name, trace, capacity)
     if outcome is None:
         return None
@@ -168,6 +175,9 @@ class SweepResult:
     run_id: Optional[str] = None
     resumed: int = 0
     accelerated: int = 0
+    #: the registry passed via ``SimOptions.metrics``, after the sweep
+    #: recorded its counters/timings into it (None when not supplied)
+    metrics: Optional["MetricsRegistry"] = None
 
     @property
     def ok(self) -> bool:
@@ -175,11 +185,44 @@ class SweepResult:
         return self.failures.ok
 
 
+def _resolve_sweep_options(
+    options, min_capacity: Optional[int], fast: Optional[bool],
+) -> SimOptions:
+    """Merge ``run_sweep``'s options with its deprecated keywords."""
+    if isinstance(options, int) and not isinstance(options, bool):
+        # Legacy positional min_capacity: run_sweep(names, traces, sizes, 20).
+        warn_deprecated_kwarg("run_sweep", "min_capacity",
+                              "SimOptions(min_capacity=...)")
+        if min_capacity is not None:
+            raise TypeError("run_sweep() got min_capacity both positionally "
+                            "and by keyword")
+        min_capacity, options = options, None
+    reject_mixed_options("run_sweep", options, {
+        "min_capacity": min_capacity, "fast": fast})
+    if isinstance(options, SimOptions):
+        if options.warmup:
+            raise ValueError("run_sweep does not support warmup")
+        if options.listeners:
+            raise ValueError("run_sweep does not support listeners")
+        return options
+    if options is not None:
+        raise TypeError(
+            f"options must be a SimOptions, got {type(options).__name__}")
+    for kwarg, value in (("min_capacity", min_capacity), ("fast", fast)):
+        if value is not None:
+            warn_deprecated_kwarg("run_sweep", kwarg,
+                                  f"SimOptions({kwarg}=...)")
+    return SimOptions(
+        min_capacity=min_capacity if min_capacity is not None else 10,
+        fast=fast,
+    )
+
+
 def run_sweep(
     policy_names: Sequence[str],
     traces: Iterable[Trace],
     size_fractions: Sequence[float] = (SMALL_FRACTION, LARGE_FRACTION),
-    min_capacity: int = 10,
+    options: Union[SimOptions, int, None] = None,
     workers: int = 1,
     retry: Optional[RetryPolicy] = None,
     resume: Optional[str] = None,
@@ -187,9 +230,16 @@ def run_sweep(
     checkpoint: bool = False,
     runs_dir=None,
     fault_plan: Optional[FaultPlan] = None,
-    fast: bool = True,
+    min_capacity: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> SweepResult:
     """Run the (policy x trace x size) matrix fault-tolerantly.
+
+    *options* is a :class:`~repro.sim.options.SimOptions`; its
+    ``min_capacity`` and ``fast`` fields replace the deprecated
+    keywords of the same names (which still work but warn).  Policy
+    names accept the registry's aliases ("sieve", "clock2", ...) and
+    are canonicalised before the matrix is built.
 
     With ``fast=True`` (the default) every cell whose policy has a
     vectorized engine is served in-process from the shared interned
@@ -214,9 +264,10 @@ def run_sweep(
     the sweep's shape (policies, traces, sizes, min_capacity) matches
     the journal's; a mismatch raises ``ValueError``.
     """
-    unknown = [n for n in policy_names if n not in REGISTRY]
-    if unknown:
-        raise KeyError(f"unknown policies: {unknown}")
+    opts = _resolve_sweep_options(options, min_capacity, fast)
+    min_capacity = opts.min_capacity
+    fast = opts.resolved_fast(True)
+    policy_names = [resolve(n).name for n in policy_names]
     trace_list = list(traces)
     fractions = [float(f) for f in size_fractions]
     tasks = _cell_tasks(policy_names, trace_list, fractions, min_capacity)
@@ -243,17 +294,35 @@ def run_sweep(
     elif checkpoint or run_id:
         journal = Journal.create(run_id=run_id, root=runs_dir, meta=meta)
 
+    registry = opts.metrics
+    fast_cell_seconds = None
+    cells_total = None
+    if registry is not None:
+        fast_cell_seconds = registry.histogram(
+            "sweep_cell_seconds", "Wall time of vectorized sweep cells",
+            DEFAULT_DURATION_BUCKETS, path="fast")
+        cells_total = {
+            path: registry.counter(
+                "sweep_cells_total", "Sweep cells completed by path",
+                path=path)
+            for path in ("fast", "exec", "resumed")}
+        cells_total["resumed"].inc(len(completed))
+
     accelerated = 0
     try:
         if fast and fault_plan is None:
             for task in tasks:
                 if task.key in completed:
                     continue
+                started = time.perf_counter()
                 record = _fast_cell(task.payload)
                 if record is None:
                     continue
                 completed[task.key] = record
                 accelerated += 1
+                if registry is not None:
+                    fast_cell_seconds.observe(time.perf_counter() - started)
+                    cells_total["fast"].inc()
                 if journal is not None:
                     journal.record_result(task.key, _record_to_json(record))
         outcome = run_tasks(
@@ -264,7 +333,12 @@ def run_sweep(
             completed=completed,
             fault_plan=fault_plan,
             encode=_record_to_json,
+            registry=registry,
         )
+        if cells_total is not None:
+            cells_total["exec"].inc(outcome.executed - len(outcome.failures))
+        if registry is not None and journal is not None:
+            journal.record_metrics(registry.snapshot())
     finally:
         if journal is not None:
             journal.close()
@@ -277,6 +351,7 @@ def run_sweep(
         run_id=journal.run_id if journal is not None else None,
         resumed=outcome.resumed - accelerated,
         accelerated=accelerated,
+        metrics=registry,
     )
 
 
@@ -284,7 +359,7 @@ def run_matrix(
     policy_names: Sequence[str],
     traces: Iterable[Trace],
     size_fractions: Sequence[float] = (SMALL_FRACTION, LARGE_FRACTION),
-    min_capacity: int = 10,
+    options: Union[SimOptions, int, None] = None,
     workers: int = 1,
     **sweep_kwargs,
 ) -> List[RunRecord]:
@@ -292,13 +367,13 @@ def run_matrix(
 
     Convenience wrapper over :func:`run_sweep`; extra keyword arguments
     (``retry``, ``resume``, ``run_id``, ``checkpoint``, ``runs_dir``,
-    ``fault_plan``) pass straight through.  On cell failure the
-    remaining records are still returned (graceful degradation) -- use
-    :func:`run_sweep` when the caller needs the
-    :class:`~repro.exec.report.FailureReport`.
+    ``fault_plan``, plus the deprecated ``min_capacity``/``fast``) pass
+    straight through.  On cell failure the remaining records are still
+    returned (graceful degradation) -- use :func:`run_sweep` when the
+    caller needs the :class:`~repro.exec.report.FailureReport`.
     """
     return run_sweep(policy_names, traces, size_fractions=size_fractions,
-                     min_capacity=min_capacity, workers=workers,
+                     options=options, workers=workers,
                      **sweep_kwargs).records
 
 

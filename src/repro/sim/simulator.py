@@ -21,6 +21,11 @@ from typing import Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.base import CacheListener, EvictionPolicy, OfflinePolicy
+from repro.sim.options import (
+    SimOptions,
+    reject_mixed_options,
+    warn_deprecated_kwarg,
+)
 from repro.traces.trace import Trace
 
 
@@ -78,14 +83,53 @@ def _simulate_fast(policy: EvictionPolicy, trace, warmup: int,
     )
 
 
+def _resolve_sim_options(
+    options: Union[SimOptions, int, None],
+    warmup: Optional[int],
+    listeners: Optional[List[CacheListener]],
+    fast: Optional[bool],
+) -> SimOptions:
+    """Merge the ``options`` parameter with the deprecated keywords."""
+    if isinstance(options, int) and not isinstance(options, bool):
+        # Legacy positional warmup: simulate(policy, trace, 5).
+        warn_deprecated_kwarg("simulate", "warmup", "SimOptions(warmup=...)")
+        if warmup is not None:
+            raise TypeError("simulate() got warmup both positionally and "
+                            "by keyword")
+        warmup, options = options, None
+    reject_mixed_options("simulate", options, {
+        "warmup": warmup, "listeners": listeners, "fast": fast})
+    if isinstance(options, SimOptions):
+        return options
+    if options is not None:
+        raise TypeError(
+            f"options must be a SimOptions, got {type(options).__name__}")
+    for kwarg, value in (("warmup", warmup), ("listeners", listeners),
+                         ("fast", fast)):
+        if value is not None:
+            warn_deprecated_kwarg("simulate", kwarg,
+                                  f"SimOptions({kwarg}=...)")
+    return SimOptions(
+        warmup=warmup if warmup is not None else 0,
+        listeners=tuple(listeners) if listeners else (),
+        fast=fast,
+    )
+
+
 def simulate(
     policy: EvictionPolicy,
     trace: Union[Trace, Sequence, Iterable, np.ndarray],
-    warmup: int = 0,
+    options: Union[SimOptions, int, None] = None,
+    warmup: Optional[int] = None,
     listeners: Optional[List[CacheListener]] = None,
-    fast: bool = False,
+    fast: Optional[bool] = None,
 ) -> SimResult:
     """Replay *trace* through *policy* and return the hit/miss outcome.
+
+    *options* is a :class:`~repro.sim.options.SimOptions` bundling the
+    run configuration.  The individual ``warmup``/``listeners``/``fast``
+    keywords are deprecated shims (a ``DeprecationWarning`` fires once
+    per keyword); mixing them with *options* raises ``ValueError``.
 
     ``warmup`` requests are replayed first and excluded from the
     reported statistics (the cache state they build is kept).
@@ -97,9 +141,16 @@ def simulate(
     policies, listeners, or prior policy state silently fall back to
     the reference loop.  The fast path leaves *policy* untouched -- use
     the reference path when the final cache contents matter.
+
+    With ``options.metrics`` set, summary counters
+    (``sim_requests_total`` / ``sim_hits_total`` / ``sim_misses_total``,
+    labelled by policy) are recorded after the run -- no per-request
+    overhead.
     """
-    if warmup < 0:
-        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    opts = _resolve_sim_options(options, warmup, listeners, fast)
+    warmup = opts.warmup
+    listeners = list(opts.listeners)
+    fast = opts.resolved_fast(False)
 
     # One-shot iterables stay on the reference path: a failed dispatch
     # must leave the trace unconsumed for the fallback below.
@@ -108,7 +159,7 @@ def simulate(
             and isinstance(trace, (Trace, list, tuple, np.ndarray))):
         result = _simulate_fast(policy, trace, warmup)
         if result is not None:
-            return result
+            return _record_sim_metrics(result, opts)
 
     keys = _materialise(trace)
     if warmup > len(keys):
@@ -134,12 +185,25 @@ def simulate(
             policy.remove_listener(listener)
 
     stats = policy.stats
-    return SimResult(
+    return _record_sim_metrics(SimResult(
         policy=policy.name,
         requests=stats.requests,
         hits=stats.hits,
         misses=stats.misses,
-    )
+    ), opts)
+
+
+def _record_sim_metrics(result: SimResult, opts: SimOptions) -> SimResult:
+    """Record the run's summary counters into ``opts.metrics``, if any."""
+    registry = opts.metrics
+    if registry is not None:
+        registry.counter("sim_requests_total", "Requests simulated",
+                         policy=result.policy).inc(result.requests)
+        registry.counter("sim_hits_total", "Simulated cache hits",
+                         policy=result.policy).inc(result.hits)
+        registry.counter("sim_misses_total", "Simulated cache misses",
+                         policy=result.policy).inc(result.misses)
+    return result
 
 
 def miss_ratio(policy: EvictionPolicy, trace) -> float:
@@ -147,4 +211,4 @@ def miss_ratio(policy: EvictionPolicy, trace) -> float:
     return simulate(policy, trace).miss_ratio
 
 
-__all__ = ["SimResult", "simulate", "miss_ratio"]
+__all__ = ["SimResult", "SimOptions", "simulate", "miss_ratio"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.sized.base import Key, SizedEvictionPolicy
 from repro.utils.linkedlist import KeyedList
@@ -55,7 +55,7 @@ class SizedFIFO(SizedEvictionPolicy):
         while self.used_bytes + size > self.capacity_bytes:
             self._evict_one()
 
-    def _evict_one(self, skip: Key = None) -> None:
+    def _evict_one(self, skip: Optional[Key] = None) -> None:
         for victim in self._queue:
             if victim != skip:
                 break
@@ -154,7 +154,7 @@ class SizedClock(SizedEvictionPolicy):
         self.used_bytes += size
         return False
 
-    def _make_room(self, size: int, skip: Key = None) -> None:
+    def _make_room(self, size: int, skip: Optional[Key] = None) -> None:
         while self.used_bytes + size > self.capacity_bytes:
             if skip is not None and len(self._queue) == 1:
                 # Only the resized object remains and it no longer

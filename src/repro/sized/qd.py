@@ -15,7 +15,7 @@ Fig. 4 exactly, with two size-specific rules:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.sized.base import Key, SizedEvictionPolicy
 from repro.sized.policies import SizedClock
@@ -125,7 +125,8 @@ class SizedQDCache(SizedEvictionPolicy):
         self._sync_used()
         return False
 
-    def _drain_probation(self, incoming: int, skip: Key = None) -> None:
+    def _drain_probation(self, incoming: int,
+                         skip: Optional[Key] = None) -> None:
         """Demote from the probation tail until *incoming* bytes fit."""
         while self._probation_used + incoming > self.probation_bytes:
             node = self._probation.pop_tail()

@@ -20,7 +20,7 @@ import csv
 import json
 import struct
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -48,7 +48,7 @@ def write_csv(trace: Trace, path: PathLike) -> None:
             writer.writerow([key])
 
 
-def read_csv(path: PathLike, name: str = None) -> Trace:
+def read_csv(path: PathLike, name: Optional[str] = None) -> Trace:
     """Read a trace from CSV.
 
     Accepts files with or without the ``# meta:`` comment and header
@@ -201,7 +201,8 @@ def write_oracle_general(trace: Trace, path: PathLike,
             handle.write(_ORACLE_RECORD.pack(i, key, size, next_access[i]))
 
 
-def read_oracle_general(path: PathLike, name: str = None) -> Trace:
+def read_oracle_general(path: PathLike,
+                        name: Optional[str] = None) -> Trace:
     """Read a libCacheSim oracleGeneral trace (keys only).
 
     Sizes and oracle fields are ignored -- the uniform-size study only

@@ -11,7 +11,7 @@ social-network datasets favour 2-bit over 1-bit CLOCK).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -68,7 +68,7 @@ class FamilyStats:
 
 def aggregate_by_family(
     traces: Iterable[Trace],
-    cache_types: Dict[str, str] = None,
+    cache_types: Optional[Dict[str, str]] = None,
 ) -> List[FamilyStats]:
     """Aggregate per-trace stats into per-family Table 1 rows."""
     per_family: Dict[str, List[TraceStats]] = {}

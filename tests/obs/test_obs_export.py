@@ -1,0 +1,88 @@
+"""Exporters: JSONL round-trip, Prometheus parity, CLI table rendering."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus_values,
+    read_jsonl,
+    render_metrics_table,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+
+
+def populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("service_requests_total", outcome="hit").inc(42)
+    reg.counter("service_requests_total", outcome="miss").inc(17)
+    reg.counter("coalesced_total").inc(3)
+    reg.gauge("breaker_state").set(1)
+    hist = reg.histogram("latency_seconds", "", (0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    return reg
+
+
+class TestJsonl:
+    def test_round_trip_preserves_rows(self, tmp_path):
+        reg = populated_registry()
+        path = write_jsonl(reg, tmp_path / "metrics.jsonl")
+        assert read_jsonl(path) == reg.snapshot()
+
+    def test_reader_skips_blank_and_torn_lines(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(to_jsonl(reg) + "\n{torn json...\n")
+        assert read_jsonl(path) == reg.snapshot()
+
+
+class TestPrometheusParity:
+    def test_counter_values_identical_across_exporters(self, tmp_path):
+        """Acceptance: Prometheus and JSONL report the same counters."""
+        reg = populated_registry()
+        path = write_jsonl(reg, tmp_path / "metrics.jsonl")
+        rows = read_jsonl(path)
+
+        prom = parse_prometheus_values(to_prometheus(rows))
+        assert prom['service_requests_total{outcome="hit"}'] == 42
+        assert prom['service_requests_total{outcome="miss"}'] == 17
+        assert prom["coalesced_total"] == 3
+
+        # Every registry counter appears in the Prometheus text with the
+        # same value (label syntax differs: prom quotes values).
+        for key, value in reg.counter_values().items():
+            prom_key = key.replace("=", '="').replace(",", '",') \
+                .replace("}", '"}') if "{" in key else key
+            assert prom[prom_key] == value
+
+    def test_histogram_exposition_shape(self):
+        prom = parse_prometheus_values(to_prometheus(populated_registry()))
+        assert prom['latency_seconds_bucket{le="0.01"}'] == 1
+        assert prom['latency_seconds_bucket{le="1"}'] == 3
+        assert prom['latency_seconds_bucket{le="+Inf"}'] == 4
+        assert prom["latency_seconds_count"] == 4
+        assert prom["latency_seconds_sum"] == pytest.approx(5.555)
+
+    def test_type_lines_emitted_once_per_metric(self):
+        text = to_prometheus(populated_registry())
+        type_lines = [line for line in text.splitlines()
+                      if line.startswith("# TYPE service_requests_total")]
+        assert type_lines == ["# TYPE service_requests_total counter"]
+
+
+class TestTable:
+    def test_render_accepts_registry_and_rows(self):
+        reg = populated_registry()
+        from_registry = render_metrics_table(reg, title="svc")
+        from_rows = render_metrics_table(reg.snapshot(), title="svc")
+        assert from_registry == from_rows
+        assert "svc" in from_registry
+        assert "service_requests_total" in from_registry
+        assert "outcome=hit" in from_registry
+
+    def test_table_shows_histogram_digest(self):
+        table = render_metrics_table(populated_registry())
+        assert "latency_seconds" in table
+        assert "histogram" in table

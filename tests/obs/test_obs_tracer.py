@@ -1,0 +1,126 @@
+"""CacheTracer: event streams, ring bounds, eviction ages, registry feed."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    ADMIT,
+    EVENT_KINDS,
+    EVICT,
+    GHOST_HIT,
+    PROMOTE,
+    CacheTracer,
+    MetricsRegistry,
+)
+from repro.core.qd import QDCache
+from repro.policies.lru import LRU
+from repro.policies.registry import make
+from repro.sim.simulator import simulate
+
+from tests.conftest import drive
+
+
+class TestEventStreams:
+    def test_promote_stream_matches_policy_stats(self, zipf_keys):
+        tracer = CacheTracer()
+        policy = LRU(100)
+        policy.add_listener(tracer)
+        drive(policy, zipf_keys)
+        assert tracer.counts[PROMOTE] == policy.stats.promotions
+        assert tracer.counts[ADMIT] == policy.stats.misses
+        # Every eviction came from an earlier admission.
+        assert tracer.counts[EVICT] <= tracer.counts[ADMIT]
+
+    def test_ghost_hits_traced_for_qd_policies(self, zipf_keys):
+        tracer = CacheTracer()
+        policy = QDCache(50, LRU)
+        policy.add_listener(tracer)
+        drive(policy, zipf_keys)
+        assert tracer.counts[GHOST_HIT] > 0
+        assert all(ev.kind == GHOST_HIT for ev in tracer.events(GHOST_HIT))
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(KeyError):
+            CacheTracer().events("warm-up")
+
+
+class TestRingBounds:
+    def test_ring_caps_retained_events_but_not_counts(self, zipf_keys):
+        tracer = CacheTracer(ring=16)
+        policy = make("FIFO", 50)
+        policy.add_listener(tracer)
+        drive(policy, zipf_keys)
+        assert tracer.counts[EVICT] > 16
+        retained = tracer.events(EVICT)
+        assert len(retained) == 16
+        # Ring keeps the newest events, oldest first.
+        times = [ev.time for ev in retained]
+        assert times == sorted(times)
+        assert times[-1] <= tracer.now
+
+    def test_ring_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CacheTracer(ring=0)
+
+
+class TestEvictionAges:
+    def test_ages_split_by_tenure_hits(self):
+        tracer = CacheTracer()
+        policy = LRU(2)
+        policy.add_listener(tracer)
+        # "a" hits once before being evicted; "b" never hits.
+        drive(policy, ["a", "b", "a", "c", "d"])
+        all_ages = tracer.eviction_ages()
+        zero_hit = tracer.eviction_ages(zero_hit_only=True)
+        assert len(all_ages) == tracer.counts[EVICT]
+        assert 0 < len(zero_hit) < len(all_ages)
+        assert all(age >= 0 for age in all_ages)
+
+    def test_mean_age_nan_before_first_eviction(self):
+        tracer = CacheTracer()
+        assert math.isnan(tracer.mean_eviction_age())
+
+    def test_summary_keys(self, zipf_keys):
+        tracer = CacheTracer()
+        policy = LRU(100)
+        policy.add_listener(tracer)
+        drive(policy, zipf_keys)
+        summary = tracer.summary()
+        for kind in EVENT_KINDS:
+            assert summary[f"{kind}s"] == float(tracer.counts[kind])
+        assert summary["requests"] == float(len(zipf_keys))
+        assert summary["mean_eviction_age"] > 0
+
+
+class TestRegistryFeed:
+    def test_counters_and_age_histogram_mirror_tracer(self, zipf_keys):
+        registry = MetricsRegistry()
+        tracer = CacheTracer(registry=registry)
+        policy = make("QD-LP-FIFO", 50)
+        policy.add_listener(tracer)
+        drive(policy, zipf_keys)
+
+        values = registry.counter_values()
+        for kind in EVENT_KINDS:
+            expected = tracer.counts[kind]
+            got = values.get(f"cache_events_total{{event={kind}}}", 0)
+            assert got == expected
+        hist_count = sum(
+            row["count"] for row in registry.snapshot()
+            if row["name"] == "cache_eviction_age_requests")
+        assert hist_count == tracer.counts[EVICT]
+
+
+class TestSimulateIntegration:
+    def test_tracer_via_sim_options_listeners(self, small_trace):
+        from repro.sim.options import SimOptions
+
+        registry = MetricsRegistry()
+        tracer = CacheTracer(registry=registry)
+        policy = make("SIEVE", 60)
+        result = simulate(policy, small_trace,
+                          SimOptions(listeners=(tracer,), metrics=registry))
+        assert tracer.counts[ADMIT] == result.misses
+        values = registry.counter_values()
+        assert values["sim_requests_total{policy=SIEVE}"] == len(small_trace)

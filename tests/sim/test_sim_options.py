@@ -1,0 +1,127 @@
+"""SimOptions consolidation: equivalence, deprecation shims, rejection."""
+
+import warnings
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.policies.registry import make
+from repro.sim.options import SimOptions, _reset_deprecation_warnings
+from repro.sim.runner import run_sweep
+from repro.sim.simulator import simulate
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    """Each test observes the warn-once state from a clean slate."""
+    _reset_deprecation_warnings()
+    yield
+    _reset_deprecation_warnings()
+
+
+class TestSimOptionsValidation:
+    def test_defaults(self):
+        opts = SimOptions()
+        assert opts.warmup == 0
+        assert opts.fast is None
+        assert opts.listeners == ()
+        assert opts.min_capacity == 10
+        assert opts.metrics is None
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            SimOptions(warmup=-1)
+
+    def test_min_capacity_floor(self):
+        with pytest.raises(ValueError):
+            SimOptions(min_capacity=0)
+
+    def test_listeners_coerced_to_tuple(self):
+        opts = SimOptions(listeners=[])
+        assert opts.listeners == ()
+
+    def test_resolved_fast(self):
+        assert SimOptions().resolved_fast(True) is True
+        assert SimOptions().resolved_fast(False) is False
+        assert SimOptions(fast=False).resolved_fast(True) is False
+        assert SimOptions(fast=True).resolved_fast(False) is True
+
+    def test_metrics_excluded_from_equality(self):
+        assert SimOptions(metrics=MetricsRegistry()) == SimOptions()
+
+
+class TestSimulateShims:
+    def test_options_and_legacy_kwargs_equivalent(self, small_trace):
+        via_options = simulate(make("LRU", 50), small_trace,
+                               SimOptions(warmup=500))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_legacy = simulate(make("LRU", 50), small_trace, warmup=500)
+        assert via_legacy.hits == via_options.hits
+        assert via_legacy.misses == via_options.misses
+
+    def test_legacy_kwarg_warns_once_per_process(self, small_trace):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            simulate(make("FIFO", 50), small_trace, warmup=10)
+            simulate(make("FIFO", 50), small_trace, warmup=10)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "warmup" in str(deprecations[0].message)
+        assert "SimOptions" in str(deprecations[0].message)
+
+    def test_legacy_positional_warmup_int(self, small_trace):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = simulate(make("LRU", 50), small_trace, 500)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        modern = simulate(make("LRU", 50), small_trace,
+                          SimOptions(warmup=500))
+        assert legacy.hits == modern.hits
+
+    def test_mixing_options_and_legacy_rejected(self, small_trace):
+        with pytest.raises(ValueError, match="legacy keyword"):
+            simulate(make("LRU", 50), small_trace, SimOptions(), warmup=5)
+
+    def test_positional_int_plus_keyword_warmup_rejected(self, small_trace):
+        with pytest.raises(TypeError):
+            simulate(make("LRU", 50), small_trace, 500, warmup=5)
+
+
+class TestRunSweepShims:
+    def test_options_and_legacy_min_capacity_equivalent(self, small_trace):
+        via_options = run_sweep(["FIFO"], [small_trace], [0.1],
+                                SimOptions(min_capacity=20))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_legacy = run_sweep(["FIFO"], [small_trace], [0.1],
+                                   min_capacity=20)
+        modern = {(r.policy, r.trace): r.miss_ratio
+                  for r in via_options.records}
+        legacy = {(r.policy, r.trace): r.miss_ratio
+                  for r in via_legacy.records}
+        assert modern == legacy
+
+    def test_legacy_positional_min_capacity_int(self, small_trace):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_sweep(["FIFO"], [small_trace], [0.1], 20)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert len(result.records) == 1
+
+    def test_run_sweep_rejects_warmup_and_listeners(self, small_trace):
+        with pytest.raises(ValueError, match="warmup"):
+            run_sweep(["FIFO"], [small_trace], [0.1],
+                      SimOptions(warmup=100))
+
+    def test_alias_names_canonicalized_in_records(self, small_trace):
+        result = run_sweep(["clock2"], [small_trace], [0.1])
+        assert {r.policy for r in result.records} == {"2-bit-CLOCK"}
+
+    def test_mixing_options_and_legacy_rejected(self, small_trace):
+        with pytest.raises(ValueError, match="legacy keyword"):
+            run_sweep(["FIFO"], [small_trace], [0.1], SimOptions(),
+                      min_capacity=20)

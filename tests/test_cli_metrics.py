@@ -1,0 +1,98 @@
+"""The `repro metrics` subcommand: sources, formats, error paths."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exec.journal import Journal
+from repro.obs import MetricsRegistry, write_jsonl
+
+
+@pytest.fixture
+def metrics_file(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("service_requests_total", outcome="hit").inc(9)
+    registry.counter("service_requests_total", outcome="miss").inc(4)
+    registry.histogram("latency_seconds", "", (0.1, 1.0)).observe(0.05)
+    return write_jsonl(registry, tmp_path / "metrics.jsonl")
+
+
+@pytest.fixture
+def journalled_run(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("sweep_cells_total", path="fast").inc(2)
+    with Journal.create(run_id="r-obs", root=tmp_path) as journal:
+        journal.record_metrics(registry.snapshot())
+    return "r-obs", tmp_path
+
+
+class TestSources:
+    def test_table_from_file(self, metrics_file, capsys):
+        assert main(["metrics", str(metrics_file)]) == 0
+        out = capsys.readouterr().out
+        assert "service_requests_total" in out
+        assert "outcome=hit" in out
+        assert "latency_seconds" in out
+
+    def test_table_from_run_journal(self, journalled_run, capsys):
+        run_id, root = journalled_run
+        code = main(["metrics", "--run", run_id, "--runs-dir", str(root)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep_cells_total" in out
+        assert run_id in out
+
+
+class TestFormats:
+    def test_prometheus_output(self, metrics_file, capsys):
+        assert main(["metrics", str(metrics_file),
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert '# TYPE service_requests_total counter' in out
+        assert 'service_requests_total{outcome="hit"} 9' in out
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in out
+
+    def test_jsonl_output_round_trips(self, metrics_file, capsys):
+        assert main(["metrics", str(metrics_file),
+                     "--format", "jsonl"]) == 0
+        out = capsys.readouterr().out
+        rows = [json.loads(line) for line in out.splitlines() if line]
+        hits = next(r for r in rows
+                    if r["type"] == "counter"
+                    and r["labels"] == {"outcome": "hit"})
+        assert hits["value"] == 9
+
+
+class TestErrorPaths:
+    def test_neither_source_nor_run_is_usage_error(self, capsys):
+        assert main(["metrics"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_both_source_and_run_is_usage_error(self, metrics_file, capsys):
+        assert main(["metrics", str(metrics_file), "--run", "r1"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_missing_run_is_usage_error(self, tmp_path, capsys):
+        code = main(["metrics", "--run", "ghost",
+                     "--runs-dir", str(tmp_path)])
+        assert code == 2
+
+    def test_run_without_metrics_line_is_runtime_error(self, tmp_path,
+                                                       capsys):
+        with Journal.create(run_id="bare", root=tmp_path) as journal:
+            journal.record_result(("t",), {"misses": 1})
+        code = main(["metrics", "--run", "bare",
+                     "--runs-dir", str(tmp_path)])
+        assert code == 1
+        assert "no metrics snapshot" in capsys.readouterr().err
+
+    def test_empty_file_is_runtime_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["metrics", str(empty)]) == 1
+        assert "no metric rows" in capsys.readouterr().err
