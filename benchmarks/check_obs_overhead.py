@@ -5,8 +5,11 @@ The telemetry subsystem (``repro.obs``) is opt-in, but when a caller
 the per-cell recording is a handful of counter updates, not per-request
 work.  This gate replays the frozen ``BENCH_WORKLOAD`` (the workload
 behind ``BENCH_throughput.json``) through ``simulate`` on the
-vectorized path, with and without a live :class:`MetricsRegistry`, and
-fails when instrumented throughput drops more than ``--tolerance``
+vectorized path in three variants -- uninstrumented, with a live
+:class:`MetricsRegistry`, and with windowed time-series sampling at
+cadence 1/1000 (``SimOptions(timeseries=...)``, whose fast-path cost is
+one post-hoc ``reduceat`` over the hit mask) -- and fails when either
+instrumented variant's throughput drops more than ``--tolerance``
 (default 5 %) below the uninstrumented run.
 
 Exit status 1 on regression, 0 when within tolerance.
@@ -30,7 +33,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import numpy as np                                        # noqa: E402
 
 from repro.experiments.throughput import BENCH_WORKLOAD   # noqa: E402
-from repro.obs import MetricsRegistry                     # noqa: E402
+from repro.obs import MetricsRegistry, TimeSeriesRecorder  # noqa: E402
 from repro.policies.registry import make                  # noqa: E402
 from repro.sim import SimOptions, simulate                # noqa: E402
 from repro.traces import from_keys                        # noqa: E402
@@ -81,18 +84,29 @@ def main(argv=None) -> int:
             opts = SimOptions(fast=True, metrics=MetricsRegistry())
             simulate(make(name, capacity), trace, opts)
 
+        def run_timeseries(name=name):
+            # Windowed sampling at one sample per 1000 requests; the
+            # fast path pays one reduceat over the hit mask, not
+            # per-request tick() calls.
+            opts = SimOptions(
+                fast=True,
+                timeseries=TimeSeriesRecorder(cadence=1000))
+            simulate(make(name, capacity), trace, opts)
+
         t_plain = _best_of(args.repeats, run_plain)
-        t_obs = _best_of(args.repeats, run_instrumented)
-        ratio = t_plain / t_obs  # instrumented throughput / plain
         floor = 1.0 - args.tolerance
-        status = "ok" if ratio >= floor else "REGRESSED"
-        print(f"{name:14s} plain {n / t_plain / 1e6:6.2f} M req/s  "
-              f"instrumented {n / t_obs / 1e6:6.2f} M req/s  "
-              f"ratio {ratio:5.3f}  floor {floor:.3f}  {status}")
-        if ratio < floor:
-            failures.append(
-                f"{name}: instrumented throughput is {ratio:.1%} of "
-                f"plain (floor {floor:.0%})")
+        for label, variant in (("instrumented", run_instrumented),
+                               ("timeseries", run_timeseries)):
+            t_obs = _best_of(args.repeats, variant)
+            ratio = t_plain / t_obs  # variant throughput / plain
+            status = "ok" if ratio >= floor else "REGRESSED"
+            print(f"{name:14s} plain {n / t_plain / 1e6:6.2f} M req/s  "
+                  f"{label:12s} {n / t_obs / 1e6:6.2f} M req/s  "
+                  f"ratio {ratio:5.3f}  floor {floor:.3f}  {status}")
+            if ratio < floor:
+                failures.append(
+                    f"{name}: {label} throughput is {ratio:.1%} of "
+                    f"plain (floor {floor:.0%})")
 
     if failures:
         print("\nobs overhead gate FAILED:", file=sys.stderr)

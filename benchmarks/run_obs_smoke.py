@@ -1,0 +1,105 @@
+"""Deterministic instrumented smoke sweep for the CI regression gate.
+
+Runs a small fixed-seed (policy x size) sweep with the full temporal
+observability stack enabled -- metrics registry, windowed
+:class:`TimeSeriesRecorder`, and :class:`SpanTracer` -- checkpointed
+under a known run id.  The run directory then holds:
+
+* ``journal.jsonl`` -- results + final metrics + timeseries lines,
+  the input to ``repro diff`` against the committed baseline at
+  ``benchmarks/baselines/obs-smoke/journal.jsonl``;
+* ``trace.json`` -- Chrome trace-event export (validated on write),
+  uploaded as a CI artifact and loadable in ``chrome://tracing``;
+* ``timeseries.jsonl`` -- the windowed curves as standalone JSONL for
+  ``repro timeseries`` without journal access.
+
+The simulated workload is a seeded working-set-shift trace, so every
+simulated quantity (results, sim counters, windowed curves) is
+bit-reproducible across machines; only ``*_seconds`` metrics vary,
+and ``repro diff`` ignores those by default.
+
+Usage::
+
+    python benchmarks/run_obs_smoke.py --runs-dir runs-ci
+    PYTHONPATH=src python -m repro.cli diff \
+        benchmarks/baselines/obs-smoke/journal.jsonl \
+        runs-ci/obs-smoke --miss-ratio-tolerance 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np                                        # noqa: E402
+
+from repro.obs import (                                   # noqa: E402
+    MetricsRegistry,
+    SpanTracer,
+    TimeSeriesRecorder,
+)
+from repro.sim.options import SimOptions                  # noqa: E402
+from repro.sim.runner import run_sweep                    # noqa: E402
+from repro.traces.synthetic import working_set_shift_trace  # noqa: E402
+from repro.traces.trace import Trace                      # noqa: E402
+
+SEED = 20260806
+POLICIES = ("LRU", "FIFO", "QD-LP-FIFO")
+SIZES = (0.01, 0.1)
+CADENCE = 1000
+
+
+def build_trace() -> Trace:
+    """The frozen smoke workload: three abrupt working-set shifts."""
+    rng = np.random.default_rng(SEED)
+    keys = working_set_shift_trace(
+        objects_per_phase=1500, requests_per_phase=10_000, num_phases=3,
+        alpha=1.0, overlap=0.2, rng=rng)
+    return Trace(name="obs-smoke-shift", keys=keys,
+                 family="synthetic", group="block")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs-dir", default="runs-ci",
+                        help="runs root to create the run under")
+    parser.add_argument("--run-id", default="obs-smoke",
+                        help="run id (directory name) for the journal")
+    args = parser.parse_args(argv)
+
+    registry = MetricsRegistry()
+    recorder = TimeSeriesRecorder(registry, cadence=CADENCE)
+    tracer = SpanTracer(registry)
+    opts = SimOptions(metrics=registry, timeseries=recorder,
+                      tracer=tracer)
+
+    result = run_sweep(list(POLICIES), [build_trace()],
+                       size_fractions=SIZES, options=opts,
+                       checkpoint=True, run_id=args.run_id,
+                       runs_dir=args.runs_dir)
+    run_dir = Path(args.runs_dir) / args.run_id
+    recorder.write_jsonl(run_dir / "timeseries.jsonl")
+
+    print(f"obs smoke sweep: {len(result.records)} cells "
+          f"({result.accelerated} fast), run {run_dir}")
+    for record in sorted(result.records,
+                         key=lambda r: (r.policy, r.size_fraction)):
+        print(f"  {record.policy:12s} size {record.size_fraction:<5g} "
+              f"miss ratio {record.miss_ratio:.4f}")
+    if not result.ok:
+        print(f"FAILED cells: {result.failures}", file=sys.stderr)
+        return 1
+    for artifact in ("journal.jsonl", "trace.json", "timeseries.jsonl"):
+        if not (run_dir / artifact).is_file():
+            print(f"missing artifact: {run_dir / artifact}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

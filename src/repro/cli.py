@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Four subcommands::
+Subcommands::
 
     repro list                      # the policy zoo, by category
     repro simulate ...              # one policy x one trace
     repro corpus ...                # materialise the synthetic corpus
     repro experiment <id> ...       # regenerate a paper table/figure
     repro loadgen ...               # hammer the cache service layer
+    repro metrics ...               # render an observability snapshot
+    repro timeseries ...            # windowed curves as sparklines/CSV
+    repro diff RUN_A RUN_B          # regression-diff two run journals
 
 Examples::
 
@@ -18,11 +21,15 @@ Examples::
     repro experiment fig5 --tier full --resume 20260806-101500-ab12cd
     repro experiment outage --tier quick
     repro loadgen --policy QD-LP-FIFO --threads 8 --requests 20000
+    repro metrics --run RUN_ID --select 'sweep_*' --labels path=fast
+    repro timeseries --run RUN_ID --select 'sim_misses*'
+    repro diff baseline-run fresh-run --miss-ratio-tolerance 0.05
 
 Exit codes::
 
     0    success
-    1    runtime failure (unexpected error, or a sweep lost cells)
+    1    runtime failure (unexpected error, a sweep lost cells, or
+         `repro diff` found a regression beyond tolerance)
     2    user error (bad arguments, unknown policy/family, corrupt or
          missing trace file, unknown resume run id)
     130  interrupted (Ctrl-C); checkpointed sweeps stay resumable
@@ -260,6 +267,31 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _parse_label_filters(pairs) -> Optional[List[tuple]]:
+    """``["k=v", ...]`` -> ``[(k, v), ...]``; None on a malformed pair."""
+    filters = []
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            return None
+        filters.append((key, value))
+    return filters
+
+
+def _filter_metric_rows(rows, select: Optional[str],
+                        label_filters: List[tuple]) -> List[dict]:
+    """Apply ``--select`` / ``--labels`` to snapshot rows."""
+    from fnmatch import fnmatch
+
+    if select:
+        rows = [row for row in rows
+                if fnmatch(row.get("name", ""), select)]
+    for key, value in label_filters:
+        rows = [row for row in rows
+                if str((row.get("labels") or {}).get(key)) == value]
+    return rows
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs import (
         read_jsonl,
@@ -272,10 +304,17 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print("error: pass a metrics .jsonl file or --run RUN_ID "
               "(exactly one)", file=sys.stderr)
         return EXIT_USAGE
+    label_filters = _parse_label_filters(args.labels)
+    if label_filters is None:
+        print("error: --labels expects k=v pairs", file=sys.stderr)
+        return EXIT_USAGE
     if args.run:
         from repro.exec.journal import Journal
 
         try:
+            # JournalState keeps only the *last* metrics line, so a
+            # resumed run that journalled several snapshots renders
+            # deterministically: latest wins.
             state = Journal.open(args.run, root=args.runs_dir).load()
         except FileNotFoundError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -293,6 +332,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             print(f"error: no such file: {args.source}", file=sys.stderr)
             return EXIT_USAGE
         title = args.source
+    rows = _filter_metric_rows(rows, args.select, label_filters)
     if not rows:
         print("error: no metric rows found", file=sys.stderr)
         return EXIT_RUNTIME
@@ -303,6 +343,74 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     else:
         print(render_metrics_table(rows, title=title))
     return EXIT_OK
+
+
+def _cmd_timeseries(args: argparse.Namespace) -> int:
+    from fnmatch import fnmatch
+
+    from repro.obs import (
+        read_timeseries_jsonl,
+        render_csv,
+        render_sparklines,
+        series_from_rows,
+    )
+
+    if bool(args.source) == bool(args.run):
+        print("error: pass a timeseries .jsonl file or --run RUN_ID "
+              "(exactly one)", file=sys.stderr)
+        return EXIT_USAGE
+    if args.run:
+        from repro.exec.journal import Journal
+
+        try:
+            state = Journal.open(args.run, root=args.runs_dir).load()
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if state.timeseries is None:
+            print(f"error: run {args.run!r} recorded no time series "
+                  f"(sweeps record one when run with "
+                  f"SimOptions(timeseries=...))", file=sys.stderr)
+            return EXIT_RUNTIME
+        rows = state.timeseries
+    else:
+        try:
+            rows = read_timeseries_jsonl(args.source)
+        except FileNotFoundError:
+            print(f"error: no such file: {args.source}", file=sys.stderr)
+            return EXIT_USAGE
+    series_map = series_from_rows(rows)
+    if args.select:
+        series_map = {key: points for key, points in series_map.items()
+                      if fnmatch(key, args.select)}
+    if not series_map:
+        print("error: no matching series", file=sys.stderr)
+        return EXIT_RUNTIME
+    if args.format == "csv":
+        print(render_csv(series_map), end="")
+    else:
+        print(render_sparklines(series_map, width=args.width))
+    return EXIT_OK
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import DEFAULT_IGNORES, DiffThresholds, diff_runs
+
+    try:
+        thresholds = DiffThresholds(
+            metric_rel=args.metric_tolerance,
+            miss_ratio_abs=args.miss_ratio_tolerance,
+            timeseries_rel=args.timeseries_tolerance,
+            ignore=tuple(args.ignore) if args.ignore else DEFAULT_IGNORES,
+        )
+        report = diff_runs(args.run_a, args.run_b, thresholds,
+                           runs_dir=args.runs_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(f"diff {args.run_a} -> {args.run_b}")
+    print(report.render(show_all=args.show_all))
+    return EXIT_OK if report.ok else EXIT_RUNTIME
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -392,6 +500,63 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--format", choices=("table", "prom", "jsonl"),
                          default="table",
                          help="output format (default table)")
+    metrics.add_argument("--select", metavar="NAME",
+                         help="only metrics whose name matches this "
+                              "glob (e.g. 'sweep_*')")
+    metrics.add_argument("--labels", metavar="K=V", action="append",
+                         help="only metrics carrying this label value "
+                              "(repeatable; filters AND together)")
+
+    timeseries = sub.add_parser(
+        "timeseries",
+        help="render recorded windowed time series")
+    timeseries.add_argument("source", nargs="?",
+                            help="timeseries .jsonl file (written by "
+                                 "TimeSeriesRecorder.write_jsonl)")
+    timeseries.add_argument("--run", metavar="RUN_ID",
+                            help="read the series from a checkpointed "
+                                 "sweep's journal instead")
+    timeseries.add_argument("--runs-dir",
+                            help="journal root (default $REPRO_RUNS_DIR "
+                                 "or runs/)")
+    timeseries.add_argument("--format", choices=("spark", "csv"),
+                            default="spark",
+                            help="ASCII sparklines or long-format CSV")
+    timeseries.add_argument("--select", metavar="GLOB",
+                            help="only series whose key matches this "
+                                 "glob (e.g. 'sim_misses*LRU*')")
+    timeseries.add_argument("--width", type=int, default=64,
+                            help="sparkline width in characters")
+
+    diff = sub.add_parser(
+        "diff",
+        help="regression-diff two checkpointed runs' journals")
+    diff.add_argument("run_a", metavar="RUN_A",
+                      help="baseline: run id, run directory, or "
+                           "journal.jsonl path")
+    diff.add_argument("run_b", metavar="RUN_B",
+                      help="candidate: run id, run directory, or "
+                           "journal.jsonl path")
+    diff.add_argument("--runs-dir",
+                      help="journal root for bare run ids")
+    diff.add_argument("--miss-ratio-tolerance", type=float, default=0.01,
+                      metavar="ABS",
+                      help="absolute per-cell miss-ratio tolerance "
+                           "(default 0.01)")
+    diff.add_argument("--metric-tolerance", type=float, default=0.05,
+                      metavar="REL",
+                      help="relative snapshot-metric tolerance "
+                           "(default 0.05)")
+    diff.add_argument("--timeseries-tolerance", type=float, default=0.05,
+                      metavar="REL",
+                      help="relative per-point time-series tolerance "
+                           "(default 0.05)")
+    diff.add_argument("--ignore", metavar="GLOB", action="append",
+                      help="metric-name globs to skip (default: "
+                           "'*_seconds' wall-time metrics; repeatable, "
+                           "replaces the default)")
+    diff.add_argument("--show-all", action="store_true",
+                      help="also print within-tolerance drift rows")
 
     return parser
 
@@ -406,6 +571,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "loadgen": _cmd_loadgen,
         "metrics": _cmd_metrics,
+        "timeseries": _cmd_timeseries,
+        "diff": _cmd_diff,
     }[args.command]
     try:
         return handler(args)

@@ -12,12 +12,16 @@ Line kinds::
     {"kind": "failure", "key": [...], "attempts": N,
      "failure_kind": "...", "error": "..."}              # exhausted cell
     {"kind": "metrics", "rows": [...]}                   # obs snapshot
+    {"kind": "timeseries", "rows": [...]}                # windowed curves
 
 ``result`` lines win by-key over earlier lines (re-runs overwrite);
 ``failure`` lines are informational -- a resumed run retries failed
 cells rather than skipping them.  ``metrics`` lines carry a
 :meth:`repro.obs.metrics.MetricsRegistry.snapshot` taken at the end of
 the run; the last one wins and is what ``repro metrics --run`` renders.
+``timeseries`` lines carry
+:meth:`repro.obs.timeseries.TimeSeriesRecorder.to_rows` (last wins too)
+and feed ``repro timeseries --run`` and ``repro diff``.
 """
 
 from __future__ import annotations
@@ -65,6 +69,8 @@ class JournalState:
     failures: List[dict] = field(default_factory=list)
     #: snapshot rows of the last ``metrics`` line, or None
     metrics: Optional[List[dict]] = None
+    #: rows of the last ``timeseries`` line, or None
+    timeseries: Optional[List[dict]] = None
 
 
 def _key_to_json(key: Tuple) -> list:
@@ -138,6 +144,10 @@ class Journal:
         """Checkpoint an observability snapshot (last line wins)."""
         self.append({"kind": "metrics", "rows": rows})
 
+    def record_timeseries(self, rows: List[dict]) -> None:
+        """Checkpoint windowed time-series rows (last line wins)."""
+        self.append({"kind": "timeseries", "rows": rows})
+
     def close(self) -> None:
         """Close the append handle (safe to call twice)."""
         if self._handle is not None:
@@ -178,6 +188,8 @@ class Journal:
                     state.failures.append(obj)
                 elif kind == "metrics":
                     state.metrics = obj.get("rows")
+                elif kind == "timeseries":
+                    state.timeseries = obj.get("rows")
         return state
 
 

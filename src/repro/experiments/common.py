@@ -24,6 +24,8 @@ from typing import List, Optional, Sequence
 
 from repro.exec import ExecOptions
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import SpanTracer
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.sim.options import SimOptions
 from repro.sim.runner import SweepResult, run_sweep
 from repro.traces.corpus import build_corpus
@@ -95,6 +97,8 @@ def run_experiment_sweep(
     workers: int = 0,
     options: Optional[ExecOptions] = None,
     metrics: Optional[MetricsRegistry] = None,
+    timeseries: Optional[TimeSeriesRecorder] = None,
+    tracer: Optional[SpanTracer] = None,
 ) -> SweepResult:
     """Run an experiment's matrix through the fault-tolerant runner.
 
@@ -104,12 +108,16 @@ def run_experiment_sweep(
     journal, resume, fault injection) down to
     :func:`~repro.sim.runner.run_sweep`, and narrates checkpoint ids
     and cell failures on stderr so degraded runs are visible even when
-    callers only consume ``result.records``.
+    callers only consume ``result.records``.  *timeseries* and
+    *tracer* opt the sweep into windowed per-cell curves and
+    sweep→cell→attempt span tracing (journalled / written as
+    ``trace.json`` when checkpointing is on).
     """
     options = options or ExecOptions()
     result = run_sweep(
         policy_names, traces,
-        options=SimOptions(min_capacity=min_capacity, metrics=metrics),
+        options=SimOptions(min_capacity=min_capacity, metrics=metrics,
+                           timeseries=timeseries, tracer=tracer),
         workers=workers or default_workers(),
         **options.sweep_kwargs(),
     )

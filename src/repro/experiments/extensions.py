@@ -24,6 +24,8 @@ from repro.experiments.common import (
     run_experiment_sweep,
     write_result,
 )
+from repro.obs.span import SpanTracer
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.sim.runner import LARGE_FRACTION, SMALL_FRACTION, RunRecord
 
 POLICIES = ["FIFO", "LRU", "ARC", "QD-LP-FIFO", "S3-FIFO", "SIEVE",
@@ -62,11 +64,14 @@ class ExtensionsResult:
 
 
 def run(config: CorpusConfig = QUICK, workers: int = 0,
-        options: Optional[ExecOptions] = None) -> ExtensionsResult:
+        options: Optional[ExecOptions] = None,
+        timeseries: Optional[TimeSeriesRecorder] = None,
+        tracer: Optional[SpanTracer] = None) -> ExtensionsResult:
     """Run the extensions comparison."""
     traces = config.build()
     sweep = run_experiment_sweep(POLICIES, traces, min_capacity=50,
-                                 workers=workers, options=options)
+                                 workers=workers, options=options,
+                                 timeseries=timeseries, tracer=tracer)
     records = sweep.records
     group_of_trace = {t.name: t.group for t in traces}
     reductions = reductions_from_baseline(records, baseline="FIFO")

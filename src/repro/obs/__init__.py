@@ -13,6 +13,15 @@ artifacts that accumulated as the repo grew:
   eviction-age histograms (the paper's Fig. 2e/3 lens).
 * :mod:`repro.obs.export` -- JSON-lines snapshots, the Prometheus text
   format, and the human table behind ``repro metrics``.
+* :mod:`repro.obs.timeseries` -- :class:`TimeSeriesRecorder`, windowed
+  curves (miss ratio, eviction age, promotion rate, ...) sampled on a
+  virtual-time cadence with bounded memory; behind ``repro
+  timeseries``.
+* :mod:`repro.obs.span` -- :class:`SpanTracer`, sweep→cell→attempt run
+  tracing exported as Chrome trace-event JSON for
+  ``chrome://tracing``/Perfetto.
+* :mod:`repro.obs.diff` -- :func:`diff_runs`, cross-run regression
+  diffing of journal snapshots and time series; behind ``repro diff``.
 
 Instrumentation is **opt-in** everywhere: pass a
 :class:`MetricsRegistry` to :class:`~repro.service.CacheService`, to
@@ -23,6 +32,15 @@ within 5 % on the fast-path benchmark by
 ``benchmarks/check_obs_overhead.py``.
 """
 
+from repro.obs.diff import (
+    DEFAULT_IGNORES,
+    DiffReport,
+    DiffRow,
+    DiffThresholds,
+    diff_runs,
+    diff_states,
+    load_run,
+)
 from repro.obs.export import (
     parse_prometheus_values,
     read_jsonl,
@@ -42,6 +60,22 @@ from repro.obs.metrics import (
     exponential_buckets,
     merge_snapshots,
 )
+from repro.obs.span import (
+    CHROME_TRACE_SCHEMA,
+    Span,
+    SpanTracer,
+    validate_chrome_trace,
+    validate_json,
+)
+from repro.obs.timeseries import (
+    TimeSeriesRecorder,
+    read_timeseries_jsonl,
+    render_csv,
+    render_sparklines,
+    series_from_rows,
+    series_key,
+    sparkline,
+)
 from repro.obs.tracer import (
     ADMIT,
     EVICT,
@@ -54,8 +88,10 @@ from repro.obs.tracer import (
 
 __all__ = [
     "ADMIT",
+    "CHROME_TRACE_SCHEMA",
     "DEFAULT_AGE_BUCKETS",
     "DEFAULT_DURATION_BUCKETS",
+    "DEFAULT_IGNORES",
     "DEFAULT_LATENCY_BUCKETS",
     "EVICT",
     "EVENT_KINDS",
@@ -64,15 +100,32 @@ __all__ = [
     "CacheEvent",
     "CacheTracer",
     "Counter",
+    "DiffReport",
+    "DiffRow",
+    "DiffThresholds",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "TimeSeriesRecorder",
+    "diff_runs",
+    "diff_states",
     "exponential_buckets",
+    "load_run",
     "merge_snapshots",
     "parse_prometheus_values",
     "read_jsonl",
+    "read_timeseries_jsonl",
+    "render_csv",
     "render_metrics_table",
+    "render_sparklines",
+    "series_from_rows",
+    "series_key",
+    "sparkline",
     "to_jsonl",
     "to_prometheus",
+    "validate_chrome_trace",
+    "validate_json",
     "write_jsonl",
 ]

@@ -1,0 +1,302 @@
+"""Cross-run regression diffing of checkpoint journals.
+
+Two runs of the same sweep should agree: the simulators are
+deterministic, so a miss-ratio drift between a baseline journal and a
+fresh one means a behaviour change -- exactly what a perf PR must not
+smuggle in.  :func:`diff_states` aligns everything two journals
+recorded and reports what moved:
+
+* **results** -- ``result`` lines joined by (trace, policy, size);
+  compared on miss ratio (absolute threshold -- ratios near zero make
+  relative deltas meaningless) and request counts (which must match
+  exactly for the comparison to mean anything).
+* **metrics** -- the final ``metrics`` snapshot rows joined by
+  (name, labels); counters and gauges compared on relative delta,
+  histograms on their count and sum.  Wall-time metrics
+  (``*_seconds``) are ignored by default: they measure the machine,
+  not the algorithm.
+* **timeseries** -- ``timeseries`` rows joined by (series, t) and
+  compared pointwise, so a transient regression (a miss-ratio spike
+  after a working-set shift) fails the gate even when the end-of-run
+  totals agree.
+
+:func:`load_run` accepts a run id (under the runs root), a run
+directory, or a ``journal.jsonl`` path, so CI can diff a fresh run
+against a baseline journal committed to the repo.  The ``repro diff``
+CLI wraps this and exits non-zero on regression -- the repo's
+first-class regression detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+PathLike = Union[str, Path]
+
+#: Metric-name patterns excluded from the metrics/timeseries sections
+#: by default: wall-clock durations vary run to run by machine load,
+#: not by cache behaviour.
+DEFAULT_IGNORES = ("*_seconds", "*_seconds:*")
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """What counts as a regression.
+
+    * ``metric_rel`` -- relative tolerance for snapshot counter/gauge/
+      histogram values.
+    * ``miss_ratio_abs`` -- absolute tolerance for per-cell miss
+      ratios.
+    * ``timeseries_rel`` -- relative tolerance for aligned time-series
+      points.
+    * ``ignore`` -- fnmatch patterns of metric/series names to skip.
+    """
+
+    metric_rel: float = 0.05
+    miss_ratio_abs: float = 0.01
+    timeseries_rel: float = 0.05
+    ignore: Tuple[str, ...] = DEFAULT_IGNORES
+
+    def __post_init__(self) -> None:
+        for name in ("metric_rel", "miss_ratio_abs", "timeseries_rel"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be >= 0, got {getattr(self, name)}")
+
+    def ignored(self, name: str) -> bool:
+        """Whether metric/series *name* is excluded from the diff."""
+        return any(fnmatch(name, pattern) for pattern in self.ignore)
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One aligned quantity that differs between the two runs."""
+
+    section: str        # "results" | "metrics" | "timeseries"
+    key: str            # e.g. "(trace=zipf-0, policy=LRU, size=0.1)"
+    metric: str         # e.g. "miss_ratio", "sweep_cells_total"
+    a: float
+    b: float
+    regressed: bool
+
+    @property
+    def delta(self) -> float:
+        """Signed difference (b - a)."""
+        return self.b - self.a
+
+    @property
+    def rel_delta(self) -> float:
+        """Symmetric relative difference of the two values."""
+        return abs(self.b - self.a) / max(abs(self.a), abs(self.b), _EPS)
+
+
+@dataclass
+class DiffReport:
+    """Everything :func:`diff_states` found."""
+
+    rows: List[DiffRow] = field(default_factory=list)  # differing only
+    compared: int = 0
+    only_a: List[str] = field(default_factory=list)
+    only_b: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[DiffRow]:
+        """Rows whose delta exceeded its threshold."""
+        return [row for row in self.rows if row.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed (drift within tolerance is ok)."""
+        return not self.regressions and not self.only_a and not self.only_b
+
+    def render(self, show_all: bool = False) -> str:
+        """Human-readable summary; regressions first."""
+        lines = [f"compared {self.compared} aligned quantities: "
+                 f"{len(self.rows)} differ, "
+                 f"{len(self.regressions)} beyond tolerance"]
+        shown = self.rows if show_all else self.regressions
+        for row in sorted(shown, key=lambda r: (not r.regressed,
+                                                r.section, r.key)):
+            marker = "REGRESSED" if row.regressed else "drift"
+            lines.append(
+                f"  [{marker}] {row.section} {row.key} {row.metric}: "
+                f"{row.a:.6g} -> {row.b:.6g} "
+                f"(delta {row.delta:+.6g}, {row.rel_delta:.2%})")
+        for key in self.only_a:
+            lines.append(f"  [MISSING in B] {key}")
+        for key in self.only_b:
+            lines.append(f"  [MISSING in A] {key}")
+        if self.ok:
+            lines.append("  runs agree within tolerance")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+def load_run(spec: PathLike, runs_dir: Optional[PathLike] = None):
+    """Resolve *spec* to a loaded :class:`~repro.exec.journal.JournalState`.
+
+    *spec* may be a ``journal.jsonl`` file, a run directory containing
+    one, or a run id under the runs root (``runs_dir`` /
+    ``$REPRO_RUNS_DIR`` / ``runs/``).
+    """
+    from repro.exec.journal import JOURNAL_NAME, Journal
+
+    path = Path(spec)
+    if path.is_file():
+        return Journal(path.parent).load()
+    if (path / JOURNAL_NAME).is_file():
+        return Journal(path).load()
+    return Journal.open(str(spec), root=runs_dir).load()
+
+
+# ----------------------------------------------------------------------
+# Section diffs
+# ----------------------------------------------------------------------
+
+def _record_key(key: Sequence) -> str:
+    trace, policy, size = (list(key) + ["?", "?", "?"])[:3]
+    return f"(trace={trace}, policy={policy}, size={size})"
+
+
+def _diff_results(a: Dict, b: Dict, thresholds: DiffThresholds,
+                  report: DiffReport) -> None:
+    for key in sorted(set(a) | set(b), key=str):
+        label = _record_key(key)
+        if key not in b:
+            report.only_a.append(f"results {label}")
+            continue
+        if key not in a:
+            report.only_b.append(f"results {label}")
+            continue
+        pa, pb = a[key], b[key]
+        ra = pa.get("requests", 0) or 0
+        rb = pb.get("requests", 0) or 0
+        mr_a = (pa.get("misses", 0) / ra) if ra else 0.0
+        mr_b = (pb.get("misses", 0) / rb) if rb else 0.0
+        report.compared += 2
+        if ra != rb:
+            report.rows.append(DiffRow(
+                "results", label, "requests", float(ra), float(rb),
+                regressed=True))
+        if mr_a != mr_b:
+            report.rows.append(DiffRow(
+                "results", label, "miss_ratio", mr_a, mr_b,
+                regressed=abs(mr_b - mr_a) > thresholds.miss_ratio_abs))
+
+
+def _metric_values(rows: Optional[List[dict]],
+                   thresholds: DiffThresholds) -> Dict[str, float]:
+    """Snapshot rows flattened to ``name{labels}[:part] -> value``."""
+    from repro.obs.timeseries import series_key
+
+    out: Dict[str, float] = {}
+    for row in rows or []:
+        name = row.get("name", "")
+        base = series_key(name, row.get("labels") or {})
+        if row.get("type") == "histogram":
+            for part in ("count", "sum"):
+                if not thresholds.ignored(f"{name}:{part}"):
+                    out[f"{base}:{part}"] = float(row[part])
+        elif not thresholds.ignored(name):
+            out[base] = float(row["value"])
+    return out
+
+
+def _diff_metrics(a: Optional[List[dict]], b: Optional[List[dict]],
+                  thresholds: DiffThresholds, report: DiffReport) -> None:
+    values_a = _metric_values(a, thresholds)
+    values_b = _metric_values(b, thresholds)
+    for key in sorted(set(values_a) | set(values_b)):
+        if key not in values_b:
+            report.only_a.append(f"metrics {key}")
+            continue
+        if key not in values_a:
+            report.only_b.append(f"metrics {key}")
+            continue
+        va, vb = values_a[key], values_b[key]
+        report.compared += 1
+        if va != vb:
+            rel = abs(vb - va) / max(abs(va), abs(vb), _EPS)
+            report.rows.append(DiffRow(
+                "metrics", key, "value", va, vb,
+                regressed=rel > thresholds.metric_rel))
+
+
+def _diff_timeseries(a: Optional[List[dict]], b: Optional[List[dict]],
+                     thresholds: DiffThresholds,
+                     report: DiffReport) -> None:
+    # Either side without a recorded time series: nothing to compare
+    # (recorders are opt-in; absence is not a regression).
+    if not a or not b:
+        return
+    from repro.obs.timeseries import series_from_rows
+
+    map_a = series_from_rows(a)
+    map_b = series_from_rows(b)
+    for series in sorted(set(map_a) | set(map_b)):
+        if thresholds.ignored(series.split("{", 1)[0]):
+            continue
+        if series not in map_b:
+            report.only_a.append(f"timeseries {series}")
+            continue
+        if series not in map_a:
+            report.only_b.append(f"timeseries {series}")
+            continue
+        points_a = {t: v for t, _, v in map_a[series]}
+        points_b = {t: v for t, _, v in map_b[series]}
+        worst: Optional[DiffRow] = None
+        for t in sorted(set(points_a) & set(points_b)):
+            va, vb = points_a[t], points_b[t]
+            report.compared += 1
+            if va == vb:
+                continue
+            rel = abs(vb - va) / max(abs(va), abs(vb), _EPS)
+            row = DiffRow("timeseries", f"{series} @t={t:g}", "value",
+                          va, vb, regressed=rel > thresholds.timeseries_rel)
+            if worst is None or row.rel_delta > worst.rel_delta:
+                worst = row
+        if worst is not None:
+            report.rows.append(worst)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def diff_states(state_a, state_b,
+                thresholds: Optional[DiffThresholds] = None) -> DiffReport:
+    """Diff two loaded journal states; see the module docstring."""
+    thresholds = thresholds or DiffThresholds()
+    report = DiffReport()
+    _diff_results(state_a.results, state_b.results, thresholds, report)
+    _diff_metrics(state_a.metrics, state_b.metrics, thresholds, report)
+    _diff_timeseries(state_a.timeseries, state_b.timeseries,
+                     thresholds, report)
+    return report
+
+
+def diff_runs(run_a: PathLike, run_b: PathLike,
+              thresholds: Optional[DiffThresholds] = None,
+              runs_dir: Optional[PathLike] = None) -> DiffReport:
+    """Load two runs (ids or paths) and diff them."""
+    return diff_states(load_run(run_a, runs_dir), load_run(run_b, runs_dir),
+                       thresholds)
+
+
+__all__ = [
+    "DEFAULT_IGNORES",
+    "DiffReport",
+    "DiffRow",
+    "DiffThresholds",
+    "diff_runs",
+    "diff_states",
+    "load_run",
+]

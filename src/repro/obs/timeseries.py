@@ -1,0 +1,442 @@
+"""Windowed time-series sampling of registry metrics.
+
+End-of-run snapshots (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`)
+answer *how much*; the paper's claims are about *when* -- quick demotion
+works because one-hit wonders leave the cache early, and a miss-ratio
+transient after a working-set shift is invisible in a point total.
+:class:`TimeSeriesRecorder` adds the temporal axis: it samples metrics
+on a fixed **virtual-time** cadence (every N requests in the simulator,
+every M clock seconds in the service layer) and keeps, per series, a
+bounded ring of ``(time, window, value)`` points:
+
+* **counters** record the *windowed delta* -- e.g. misses per window,
+  which divided by requests per window is the windowed miss ratio;
+* **gauges** record the instantaneous value at the sample instant;
+* **histograms** record windowed ``:count`` and ``:sum`` deltas, whose
+  ratio is the windowed mean (e.g. mean eviction age per window).
+
+Memory is bounded two ways: with ``downsample=True`` (default) a full
+ring merges adjacent points pairwise -- halving resolution, doubling
+the effective window, never forgetting the start of the run; with
+``downsample=False`` the ring drops oldest points (a sliding window).
+
+Three feeding modes cover the repo's runtimes:
+
+* :meth:`tick` -- the reference simulation loop advances the request
+  clock one request at a time; sampling triggers on cadence boundaries.
+* :meth:`maybe_sample` -- the service layer passes its
+  :class:`~repro.exec.clock.Clock` time after each request.
+* :meth:`record_mask` -- the vectorized engines produce a per-request
+  hit mask; the recorder derives windowed hit/miss series from it
+  post-hoc with one ``reduceat`` per series (zero per-request work,
+  which is how the <5 % overhead gate is met at cadence 1/1000).
+
+Series are keyed ``name{label=value,...}`` (histograms additionally
+suffixed ``:count``/``:sum``), exported as JSONL rows --
+``{"series", "kind", "t", "window", "value"}`` -- that the journal's
+``timeseries`` line, the ``repro timeseries`` CLI, and ``repro diff``
+all share.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import threading
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+
+PathLike = Union[str, Path]
+
+#: (time, window, value) -- one point of one series.
+Point = Tuple[float, float, float]
+
+#: Block characters for :func:`sparkline`, low to high.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def series_key(name: str, labels: Optional[dict] = None,
+               suffix: str = "") -> str:
+    """The canonical ``name{k=v,...}`` identity of one series."""
+    label_text = ",".join(f"{k}={v}"
+                          for k, v in sorted((labels or {}).items()))
+    base = f"{name}{{{label_text}}}" if label_text else name
+    return base + suffix
+
+
+class _Series:
+    """One bounded series: points plus its downsampling level."""
+
+    __slots__ = ("key", "kind", "points", "last_cumulative")
+
+    def __init__(self, key: str, kind: str) -> None:
+        self.key = key
+        self.kind = kind
+        self.points: List[Point] = []
+        self.last_cumulative = 0.0
+
+
+class TimeSeriesRecorder:
+    """Sample registry metrics into bounded windowed series.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`MetricsRegistry` to sample (optional; probes and
+        :meth:`record_mask` work without one).
+    cadence:
+        Virtual-time units between samples: requests for
+        :meth:`tick`/:meth:`record_mask`, clock seconds for
+        :meth:`maybe_sample`.
+    maxlen:
+        Points retained per series before downsampling (or dropping).
+    downsample:
+        ``True`` merges adjacent points pairwise when a series fills
+        (halved resolution, full run coverage); ``False`` drops the
+        oldest points (sliding window).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 cadence: float = 1000, maxlen: int = 512,
+                 downsample: bool = True) -> None:
+        if cadence <= 0:
+            raise ValueError(f"cadence must be > 0, got {cadence}")
+        if maxlen < 2:
+            raise ValueError(f"maxlen must be >= 2, got {maxlen}")
+        self.registry = registry
+        self.cadence = float(cadence)
+        self.maxlen = int(maxlen)
+        self.downsample = downsample
+        self.samples = 0
+        self._lock = threading.Lock()
+        self._series: Dict[str, _Series] = {}
+        self._probes: List[Callable[[], Dict[str, float]]] = []
+        self._clock = 0.0        # request clock driven by tick()
+        self._epoch: Optional[float] = None   # first maybe_sample() time
+        self._next_due = self.cadence
+        self._last_sample_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def add_probe(self, probe: Callable[[], Dict[str, float]]) -> None:
+        """Register an extra source of *cumulative* counter values.
+
+        *probe* returns ``{series_key: cumulative_value}``; each sample
+        records the windowed delta, exactly like a registry counter.
+        The simulator uses a probe to expose its per-run hit/miss
+        totals without paying per-request counter updates.
+        """
+        self._probes.append(probe)
+
+    def remove_probe(self, probe: Callable[[], Dict[str, float]]) -> None:
+        """Unregister *probe* (no-op when it was never added)."""
+        try:
+            self._probes.remove(probe)
+        except ValueError:
+            pass
+
+    def tick(self, n: int = 1) -> None:
+        """Advance the request clock by *n*; sample on cadence crossings."""
+        with self._lock:
+            self._clock += n
+            if self._clock >= self._next_due:
+                self._sample_locked(self._clock)
+
+    def maybe_sample(self, now: float) -> None:
+        """Sample if *now* (external clock seconds) crossed the cadence.
+
+        The first call anchors the epoch; sampling triggers every
+        ``cadence`` seconds of the caller's clock after that.  Safe to
+        call from many threads (the service layer does).
+        """
+        with self._lock:
+            if self._epoch is None:
+                self._epoch = now
+                self._next_due = now + self.cadence
+                return
+            if now >= self._next_due:
+                self._sample_locked(now)
+
+    def sample(self, now: Optional[float] = None) -> None:
+        """Force one sample at *now* (default: the internal clock)."""
+        with self._lock:
+            self._sample_locked(self._clock if now is None else now)
+
+    def flush(self) -> None:
+        """Sample the final partial window, if any time has accrued.
+
+        Callers invoke this once at end of run so the tail of the trace
+        (the requests after the last cadence boundary) is not lost;
+        a run that ended exactly on a boundary records nothing extra.
+        """
+        with self._lock:
+            if self._clock > self._last_sample_at:
+                self._sample_locked(self._clock)
+
+    def record_mask(self, mask: np.ndarray, warmup: int = 0,
+                    **labels) -> None:
+        """Derive windowed request/hit/miss series from a hit mask.
+
+        *mask* is the per-request boolean hit mask a fast engine
+        returns; requests before *warmup* are excluded (mirroring
+        ``simulate``'s statistics contract).  Produces
+        ``sim_requests_total``/``sim_hits_total``/``sim_misses_total``
+        series carrying *labels*, on a time axis of post-warmup request
+        indices -- all vectorized, no per-request Python work.
+        """
+        counted = np.asarray(mask[warmup:], dtype=np.int64)
+        n = counted.size
+        if n == 0:
+            return
+        step = max(1, int(self.cadence))
+        edges = np.arange(0, n, step)
+        hits = np.add.reduceat(counted, edges)
+        sizes = np.minimum(edges + step, n) - edges
+        times = ((edges + sizes).astype(np.float64)).tolist()
+        windows = sizes.astype(np.float64).tolist()
+        with self._lock:
+            for name, values in (
+                    ("sim_requests_total", sizes),
+                    ("sim_hits_total", hits),
+                    ("sim_misses_total", sizes - hits)):
+                key = series_key(name, labels)
+                series = self._get_series(key, "counter")
+                # Batch extend + one shrink pass: per-point _append
+                # calls would dominate the fast path's replay time.
+                series.points.extend(
+                    zip(times, windows, values.astype(np.float64).tolist()))
+                self._shrink(series)
+            self.samples += 1
+
+    # ------------------------------------------------------------------
+    # Sampling internals
+    # ------------------------------------------------------------------
+    def _collect_cumulative(self) -> Dict[str, Tuple[str, float]]:
+        """``series_key -> (kind, cumulative-or-instant value)`` now."""
+        out: Dict[str, Tuple[str, float]] = {}
+        if self.registry is not None:
+            for row in self.registry.snapshot():
+                base = series_key(row["name"], row["labels"])
+                if row["type"] == "histogram":
+                    out[base + ":count"] = ("counter", float(row["count"]))
+                    out[base + ":sum"] = ("counter", float(row["sum"]))
+                elif row["type"] == "gauge":
+                    out[base] = ("gauge", float(row["value"]))
+                else:
+                    out[base] = ("counter", float(row["value"]))
+        for probe in self._probes:
+            for key, value in probe().items():
+                out[key] = ("counter", float(value))
+        return out
+
+    def _get_series(self, key: str, kind: str) -> _Series:
+        series = self._series.get(key)
+        if series is None:
+            series = _Series(key, kind)
+            self._series[key] = series
+        return series
+
+    def _sample_locked(self, now: float) -> None:
+        window = now - self._last_sample_at
+        if window <= 0:
+            window = self.cadence
+        for key, (kind, value) in self._collect_cumulative().items():
+            series = self._get_series(key, kind)
+            if kind == "gauge":
+                point = (now, window, value)
+            else:
+                point = (now, window, value - series.last_cumulative)
+                series.last_cumulative = value
+            self._append(series, point)
+        self._last_sample_at = now
+        # Advance in whole cadence steps so a burst of virtual time
+        # (one slow chunk) does not trigger a flurry of samples.
+        while self._next_due <= now:
+            self._next_due += self.cadence
+        self.samples += 1
+
+    def _append(self, series: _Series, point: Point) -> None:
+        series.points.append(point)
+        if len(series.points) > self.maxlen:
+            self._shrink(series)
+
+    def _shrink(self, series: _Series) -> None:
+        """Bound *series* to ``maxlen``: pairwise-merge or ring-drop."""
+        points = series.points
+        if not self.downsample:
+            if len(points) > self.maxlen:
+                del points[:len(points) - self.maxlen]
+            return
+        while len(points) > self.maxlen:
+            merged: List[Point] = []
+            for i in range(0, len(points) - 1, 2):
+                (t0, w0, v0), (t1, w1, v1) = points[i], points[i + 1]
+                if series.kind == "gauge":
+                    merged.append((t1, w0 + w1, v1))
+                else:
+                    merged.append((t1, w0 + w1, v0 + v1))
+            if len(points) % 2:
+                merged.append(points[-1])
+            series.points = points = merged
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def series_names(self) -> List[str]:
+        """Every recorded series key, sorted."""
+        with self._lock:
+            return sorted(self._series)
+
+    def series(self, key: str) -> List[Point]:
+        """The ``(time, window, value)`` points of one series."""
+        with self._lock:
+            found = self._series.get(key)
+            if found is None:
+                raise KeyError(
+                    f"no series {key!r}; recorded: {sorted(self._series)}")
+            return list(found.points)
+
+    def ratio(self, numerator: str, denominator: str
+              ) -> List[Tuple[float, float]]:
+        """Pointwise windowed ratio of two series (zero windows skipped).
+
+        The workhorse of the derived curves: miss ratio is
+        ``ratio(sim_misses_total{...}, sim_requests_total{...})``, the
+        windowed mean eviction age is
+        ``ratio(cache_eviction_age_requests{...}:sum, ...:count)``, the
+        one-hit-wonder rate is the zero-hit eviction count over all
+        evictions.
+        """
+        num = {t: v for t, _, v in self.series(numerator)}
+        out: List[Tuple[float, float]] = []
+        for t, _, den in self.series(denominator):
+            if den and t in num:
+                out.append((t, num[t] / den))
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_rows(self) -> List[dict]:
+        """Every point as one flat JSONL-able row, series-sorted."""
+        rows: List[dict] = []
+        with self._lock:
+            for key in sorted(self._series):
+                series = self._series[key]
+                for t, window, value in series.points:
+                    rows.append({"series": key, "kind": series.kind,
+                                 "t": t, "window": window, "value": value})
+        return rows
+
+    def write_jsonl(self, path: PathLike) -> Path:
+        """Write :meth:`to_rows` as JSON-lines; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("".join(json.dumps(row, sort_keys=True) + "\n"
+                                for row in self.to_rows()))
+        return path
+
+
+# ----------------------------------------------------------------------
+# Row-format helpers (CLI + diff side)
+# ----------------------------------------------------------------------
+
+def series_from_rows(rows: Iterable[dict]) -> Dict[str, List[Point]]:
+    """Group exported rows back into ``{series_key: [(t, w, v), ...]}``."""
+    out: Dict[str, List[Point]] = {}
+    for row in rows:
+        if not isinstance(row, dict) or "series" not in row:
+            continue
+        out.setdefault(row["series"], []).append(
+            (float(row["t"]), float(row.get("window", 0.0)),
+             float(row["value"])))
+    for points in out.values():
+        points.sort(key=lambda p: p[0])
+    return out
+
+
+def read_timeseries_jsonl(path: PathLike) -> List[dict]:
+    """Load time-series rows from a JSONL file (torn lines skipped)."""
+    rows: List[dict] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(row, dict) and {"series", "t", "value"} <= row.keys():
+            rows.append(row)
+    return rows
+
+
+def sparkline(values: Iterable[float], width: int = 64) -> str:
+    """*values* as one line of unicode block characters.
+
+    Longer inputs are bucket-averaged down to *width* characters; the
+    vertical scale is min..max of the rendered values.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    if len(data) > width:
+        edges = np.linspace(0, len(data), width + 1).astype(int)
+        data = [float(np.mean(data[lo:hi])) for lo, hi
+                in zip(edges[:-1], edges[1:]) if hi > lo]
+    lo, hi = min(data), max(data)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_CHARS[0] * len(data)
+    top = len(SPARK_CHARS) - 1
+    return "".join(SPARK_CHARS[round((v - lo) / span * top)] for v in data)
+
+
+def render_sparklines(series_map: Dict[str, List[Point]],
+                      width: int = 64) -> str:
+    """An aligned min/mean/max + sparkline block over every series."""
+    if not series_map:
+        return "(no series)"
+    lines: List[str] = []
+    name_width = max(len(key) for key in series_map)
+    for key in sorted(series_map):
+        values = [v for _, _, v in series_map[key]]
+        if not values:
+            continue
+        lines.append(
+            f"{key:<{name_width}}  "
+            f"min={min(values):<10.4g} "
+            f"mean={sum(values) / len(values):<10.4g} "
+            f"max={max(values):<10.4g} "
+            f"n={len(values):<5d} "
+            f"{sparkline(values, width)}")
+    return "\n".join(lines)
+
+
+def render_csv(series_map: Dict[str, List[Point]]) -> str:
+    """Long-format CSV: ``series,t,window,value`` rows, series-sorted."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["series", "t", "window", "value"])
+    for key in sorted(series_map):
+        for t, window, value in series_map[key]:
+            writer.writerow([key, t, window, value])
+    return buffer.getvalue()
+
+
+__all__ = [
+    "SPARK_CHARS",
+    "TimeSeriesRecorder",
+    "read_timeseries_jsonl",
+    "render_csv",
+    "render_sparklines",
+    "series_from_rows",
+    "series_key",
+    "sparkline",
+]

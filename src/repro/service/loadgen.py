@@ -26,9 +26,10 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.clock import VirtualClock
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.service.service import OUTCOMES, CacheService
 
 
@@ -142,6 +143,7 @@ def run_load(
     keys: Sequence,
     threads: int = 1,
     tick: float = 0.0,
+    timeseries: Optional[TimeSeriesRecorder] = None,
 ) -> LoadReport:
     """Replay *keys* through *service* and measure what happened.
 
@@ -149,6 +151,13 @@ def run_load(
     many virtual seconds before each request (single-threaded
     deterministic mode only -- with real threads a shared virtual
     advance would be racy in *meaning*, not just in memory).
+
+    *timeseries*, if given, is offered the service's clock time after
+    every request and samples its registry whenever ``cadence`` clock
+    seconds elapsed -- so a run over an injected outage window yields
+    windowed outcome curves (hit/stale/error rates over time) rather
+    than end-of-run totals.  Pair it with the same registry the
+    service mirrors its counters into.
     """
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
@@ -170,6 +179,8 @@ def run_load(
             if tick:
                 service.clock.advance(tick)
             service.get(key)
+            if timeseries is not None:
+                timeseries.maybe_sample(service.clock.now())
 
     if threads == 1:
         try:

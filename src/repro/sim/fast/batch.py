@@ -13,7 +13,7 @@ the reference simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -66,26 +66,37 @@ class BatchRunner:
         return interned
 
     def run(self, policy_name: str, trace: TraceLike, capacity: int,
-            warmup: int = 0) -> Optional[BatchOutcome]:
+            warmup: int = 0,
+            mask_sink: Optional[Callable[[np.ndarray], None]] = None,
+            ) -> Optional[BatchOutcome]:
         """Run one (policy, capacity) cell over *trace*.
 
         Returns ``None`` when *policy_name* has no fast engine; the
         caller decides whether to fall back to the reference simulator.
+        *mask_sink*, if given, receives the engine's per-request hit
+        mask (``run_sweep`` feeds it to a
+        :class:`~repro.obs.timeseries.TimeSeriesRecorder` to derive
+        windowed curves without touching the replay loop).
         """
         if not has_fast_engine(policy_name):
             return None
         spec = REGISTRY[policy_name]
         policy = spec.factory(capacity)
-        return self.run_policy(policy, trace, warmup=warmup)
+        return self.run_policy(policy, trace, warmup=warmup,
+                               mask_sink=mask_sink)
 
     def run_policy(self, policy: EvictionPolicy, trace: TraceLike,
-                   warmup: int = 0) -> Optional[BatchOutcome]:
+                   warmup: int = 0,
+                   mask_sink: Optional[Callable[[np.ndarray], None]] = None,
+                   ) -> Optional[BatchOutcome]:
         """Run one cell for an already-built reference policy instance."""
         interned = self._ids_for(trace)
         engine = engine_for(policy, interned.num_unique)
         if engine is None:
             return None
-        engine.replay(interned.ids, warmup=warmup)
+        mask = engine.replay(interned.ids, warmup=warmup)
+        if mask_sink is not None:
+            mask_sink(mask)
         return BatchOutcome(
             policy=engine.name,
             capacity=policy.capacity,

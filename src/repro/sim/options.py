@@ -23,6 +23,8 @@ from typing import Optional, Set, Tuple
 
 from repro.core.base import CacheListener
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import SpanTracer
+from repro.obs.timeseries import TimeSeriesRecorder
 
 
 @dataclass(frozen=True)
@@ -47,6 +49,16 @@ class SimOptions:
         trace's unique objects (``run_sweep`` only).
     metrics:
         Optional registry receiving simulation counters and timings.
+    timeseries:
+        Optional :class:`~repro.obs.timeseries.TimeSeriesRecorder`
+        receiving windowed per-request curves: the reference loop ticks
+        it per request, the fast path derives windows from the engine's
+        hit mask post-hoc, and ``run_sweep`` journals the rows.
+    tracer:
+        Optional :class:`~repro.obs.span.SpanTracer`; ``run_sweep``
+        records sweep→cell→attempt spans into it and writes
+        ``trace.json`` (Chrome trace-event JSON) next to the journal
+        when checkpointing.
     """
 
     warmup: int = 0
@@ -54,6 +66,9 @@ class SimOptions:
     listeners: Tuple[CacheListener, ...] = ()
     min_capacity: int = 10
     metrics: Optional[MetricsRegistry] = field(default=None, compare=False)
+    timeseries: Optional[TimeSeriesRecorder] = field(default=None,
+                                                    compare=False)
+    tracer: Optional[SpanTracer] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.warmup < 0:

@@ -20,6 +20,7 @@ analysis layer consumes.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -108,19 +109,29 @@ def _run_cell(payload) -> RunRecord:
     return run_one(policy_name, trace, size_fraction, min_capacity)
 
 
-def _fast_cell(payload) -> Optional[RunRecord]:
+def _fast_cell(payload, timeseries=None) -> Optional[RunRecord]:
     """One cell through the shared-trace fast engines, or ``None``.
 
     Produces a record identical to :func:`run_one`'s (the engines'
     hit/miss sequences are bit-identical to the reference policies);
-    the capacity derivation matches field for field.
+    the capacity derivation matches field for field.  With a
+    :class:`~repro.obs.timeseries.TimeSeriesRecorder` the engine's hit
+    mask additionally yields the cell's windowed request/hit/miss
+    curves, labelled (policy, trace, size).
     """
     trace, policy_name, size_fraction, min_capacity = payload
     if not has_fast_engine(policy_name):
         return None
     capacity = trace.cache_size(size_fraction, minimum=min_capacity)
     capacity = max(capacity, resolve(policy_name).min_capacity)
-    outcome = BatchRunner().run(policy_name, trace, capacity)
+    mask_sink = None
+    if timeseries is not None:
+        def mask_sink(mask):
+            timeseries.record_mask(mask, policy=policy_name,
+                                   trace=trace.name,
+                                   size=str(size_fraction))
+    outcome = BatchRunner().run(policy_name, trace, capacity,
+                                mask_sink=mask_sink)
     if outcome is None:
         return None
     return RunRecord(
@@ -263,6 +274,16 @@ def run_sweep(
     its finished cells, and appends to it).  Resuming validates that
     the sweep's shape (policies, traces, sizes, min_capacity) matches
     the journal's; a mismatch raises ``ValueError``.
+
+    Temporal observability is opt-in via *options*: with
+    ``options.timeseries`` set, every fast-path cell records windowed
+    request/hit/miss curves labelled (policy, trace, size) -- derived
+    from the engine's hit mask, so the replay loop is untouched -- and
+    the rows are journalled as a ``timeseries`` line; with
+    ``options.tracer`` set, the sweep records nested
+    sweep→cell→attempt spans and, when checkpointing, writes
+    ``trace.json`` (Chrome trace-event JSON, loadable in Perfetto)
+    next to the journal.
     """
     opts = _resolve_sweep_options(options, min_capacity, fast)
     min_capacity = opts.min_capacity
@@ -308,37 +329,59 @@ def run_sweep(
             for path in ("fast", "exec", "resumed")}
         cells_total["resumed"].inc(len(completed))
 
+    tracer = opts.tracer
+    sweep_span = (tracer.span(
+        "sweep", cat="sweep", policies=list(policy_names),
+        traces=[t.name for t in trace_list], sizes=fractions)
+        if tracer is not None else nullcontext())
+
     accelerated = 0
     try:
-        if fast and fault_plan is None:
-            for task in tasks:
-                if task.key in completed:
-                    continue
-                started = time.perf_counter()
-                record = _fast_cell(task.payload)
-                if record is None:
-                    continue
-                completed[task.key] = record
-                accelerated += 1
-                if registry is not None:
-                    fast_cell_seconds.observe(time.perf_counter() - started)
-                    cells_total["fast"].inc()
-                if journal is not None:
-                    journal.record_result(task.key, _record_to_json(record))
-        outcome = run_tasks(
-            tasks, _run_cell,
-            workers=workers,
-            retry=retry if retry is not None else NO_RETRY,
-            journal=journal,
-            completed=completed,
-            fault_plan=fault_plan,
-            encode=_record_to_json,
-            registry=registry,
-        )
+        with sweep_span:
+            if fast and fault_plan is None:
+                for task in tasks:
+                    if task.key in completed:
+                        continue
+                    started = time.perf_counter()
+                    cell_start = tracer.now() if tracer is not None else 0.0
+                    record = _fast_cell(task.payload, opts.timeseries)
+                    if record is None:
+                        continue
+                    completed[task.key] = record
+                    accelerated += 1
+                    if tracer is not None:
+                        trace_name, policy_name, fraction = task.key
+                        tracer.add_span(
+                            "cell", cell_start, tracer.now(), cat="cell",
+                            trace=trace_name, policy=policy_name,
+                            size=fraction, path="fast")
+                    if registry is not None:
+                        fast_cell_seconds.observe(
+                            time.perf_counter() - started)
+                        cells_total["fast"].inc()
+                    if journal is not None:
+                        journal.record_result(task.key,
+                                              _record_to_json(record))
+            outcome = run_tasks(
+                tasks, _run_cell,
+                workers=workers,
+                retry=retry if retry is not None else NO_RETRY,
+                journal=journal,
+                completed=completed,
+                fault_plan=fault_plan,
+                encode=_record_to_json,
+                registry=registry,
+                tracer=tracer,
+            )
         if cells_total is not None:
             cells_total["exec"].inc(outcome.executed - len(outcome.failures))
-        if registry is not None and journal is not None:
-            journal.record_metrics(registry.snapshot())
+        if journal is not None:
+            if registry is not None:
+                journal.record_metrics(registry.snapshot())
+            if opts.timeseries is not None:
+                journal.record_timeseries(opts.timeseries.to_rows())
+            if tracer is not None:
+                tracer.write_chrome_trace(journal.directory / "trace.json")
     finally:
         if journal is not None:
             journal.close()

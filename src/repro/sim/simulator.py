@@ -65,7 +65,7 @@ def _materialise(trace: Union[Trace, Sequence, Iterable, np.ndarray]) -> List:
 
 
 def _simulate_fast(policy: EvictionPolicy, trace, warmup: int,
-                   ) -> Optional[SimResult]:
+                   timeseries=None) -> Optional[SimResult]:
     """One cell through the vectorized engines; ``None`` on fallback."""
     from repro.sim.fast.dispatch import engine_for
     from repro.sim.fast.intern import intern_trace
@@ -74,7 +74,12 @@ def _simulate_fast(policy: EvictionPolicy, trace, warmup: int,
     engine = engine_for(policy, interned.num_unique)
     if engine is None:
         return None
-    engine.replay(interned.ids, warmup=warmup)
+    mask = engine.replay(interned.ids, warmup=warmup)
+    if timeseries is not None:
+        # Windowed curves fall out of the hit mask post-hoc -- the hot
+        # replay stays untouched, which is what keeps the overhead gate
+        # (<5% at cadence 1/1000) satisfiable.
+        timeseries.record_mask(mask, warmup=warmup, policy=policy.name)
     return SimResult(
         policy=policy.name,
         requests=engine.requests,
@@ -145,7 +150,10 @@ def simulate(
     With ``options.metrics`` set, summary counters
     (``sim_requests_total`` / ``sim_hits_total`` / ``sim_misses_total``,
     labelled by policy) are recorded after the run -- no per-request
-    overhead.
+    overhead.  With ``options.timeseries`` set, the same counters are
+    additionally recorded as *windowed* curves on the recorder's
+    cadence: the reference loop ticks the recorder per request, the
+    fast path derives the windows from the engine's hit mask post-hoc.
     """
     opts = _resolve_sim_options(options, warmup, listeners, fast)
     warmup = opts.warmup
@@ -157,7 +165,7 @@ def simulate(
     if (fast and not listeners
             and not isinstance(policy, OfflinePolicy)
             and isinstance(trace, (Trace, list, tuple, np.ndarray))):
-        result = _simulate_fast(policy, trace, warmup)
+        result = _simulate_fast(policy, trace, warmup, opts.timeseries)
         if result is not None:
             return _record_sim_metrics(result, opts)
 
@@ -169,6 +177,24 @@ def simulate(
     if isinstance(policy, OfflinePolicy):
         policy.prepare(keys)
 
+    recorder = opts.timeseries
+    probe = None
+    if recorder is not None:
+        # Cumulative-stats probe: the recorder turns these into windowed
+        # deltas at each sample, so the hot loop pays one tick() call
+        # per request and no registry updates.
+        from repro.obs.timeseries import series_key
+
+        stats_src = policy.stats
+        series = {series_key(f"sim_{part}_total", {"policy": policy.name}):
+                  part for part in ("requests", "hits", "misses")}
+
+        def probe() -> dict:
+            return {key: float(getattr(stats_src, part))
+                    for key, part in series.items()}
+
+        recorder.add_probe(probe)
+
     attached = listeners or []
     for listener in attached:
         policy.add_listener(listener)
@@ -178,9 +204,18 @@ def simulate(
         for key in islice(it, warmup):
             request(key)
         policy.stats.reset()
-        for key in it:
-            request(key)
+        if recorder is None:
+            for key in it:
+                request(key)
+        else:
+            tick = recorder.tick
+            for key in it:
+                request(key)
+                tick()
+            recorder.flush()
     finally:
+        if probe is not None:
+            recorder.remove_probe(probe)
         for listener in attached:
             policy.remove_listener(listener)
 

@@ -1,0 +1,204 @@
+"""Cross-run regression diffing: alignment, thresholds, loading."""
+
+import pytest
+
+from repro.exec.journal import Journal, JournalState
+from repro.obs import (
+    DEFAULT_IGNORES,
+    DiffRow,
+    DiffThresholds,
+    diff_runs,
+    diff_states,
+    load_run,
+)
+
+
+def result_payload(requests=1000, misses=200):
+    return {"requests": requests, "hits": requests - misses,
+            "misses": misses}
+
+
+def make_state(miss_a=200, metrics=None, timeseries=None):
+    return JournalState(
+        results={("zipf", "LRU", 0.1): result_payload(misses=miss_a)},
+        metrics=metrics,
+        timeseries=timeseries,
+    )
+
+
+def counter_row(name, value, **labels):
+    return {"type": "counter", "name": name, "labels": labels,
+            "value": value}
+
+
+def ts_row(series, t, value, window=100.0):
+    return {"series": series, "kind": "counter", "t": t,
+            "window": window, "value": value}
+
+
+class TestThresholds:
+    def test_negative_tolerance_rejected(self):
+        for kwargs in ({"metric_rel": -0.1}, {"miss_ratio_abs": -1},
+                       {"timeseries_rel": -0.5}):
+            with pytest.raises(ValueError):
+                DiffThresholds(**kwargs)
+
+    def test_default_ignores_wall_time(self):
+        thresholds = DiffThresholds()
+        assert thresholds.ignore == DEFAULT_IGNORES
+        assert thresholds.ignored("cell_duration_seconds")
+        assert thresholds.ignored("latency_seconds:sum")
+        assert not thresholds.ignored("sweep_cells_total")
+
+    def test_diff_row_deltas(self):
+        row = DiffRow("results", "k", "miss_ratio", 0.2, 0.25,
+                      regressed=True)
+        assert row.delta == pytest.approx(0.05)
+        assert row.rel_delta == pytest.approx(0.2)
+
+
+class TestResults:
+    def test_identical_states_agree(self):
+        report = diff_states(make_state(), make_state())
+        assert report.ok
+        assert report.rows == []
+        assert "agree within tolerance" in report.render()
+
+    def test_miss_ratio_above_threshold_regresses(self):
+        report = diff_states(make_state(miss_a=200),
+                             make_state(miss_a=250))  # 0.20 -> 0.25
+        [row] = report.regressions
+        assert (row.section, row.metric) == ("results", "miss_ratio")
+        assert not report.ok
+        assert "[REGRESSED]" in report.render()
+
+    def test_drift_within_threshold_is_ok(self):
+        report = diff_states(make_state(miss_a=200),
+                             make_state(miss_a=205))  # delta 0.005 < 0.01
+        assert report.ok
+        assert len(report.rows) == 1 and not report.rows[0].regressed
+        assert "[drift]" in report.render(show_all=True)
+        assert "[drift]" not in report.render()
+
+    def test_request_count_mismatch_always_regresses(self):
+        a = JournalState(results={("t", "LRU", 0.1): result_payload(1000)})
+        b = JournalState(results={("t", "LRU", 0.1): result_payload(900)})
+        rows = diff_states(a, b).regressions
+        assert any(r.metric == "requests" for r in rows)
+
+    def test_missing_cells_reported_per_side(self):
+        a = JournalState(results={("t", "LRU", 0.1): result_payload()})
+        b = JournalState(results={("t", "FIFO", 0.1): result_payload()})
+        report = diff_states(a, b)
+        assert not report.ok
+        assert any("LRU" in key for key in report.only_a)
+        assert any("FIFO" in key for key in report.only_b)
+        assert "[MISSING in B]" in report.render()
+
+
+class TestMetrics:
+    def test_relative_threshold(self):
+        a = make_state(metrics=[counter_row("sweep_cells_total", 100)])
+        b = make_state(metrics=[counter_row("sweep_cells_total", 104)])
+        assert diff_states(a, b).ok             # 4% < default 5%
+        c = make_state(metrics=[counter_row("sweep_cells_total", 110)])
+        report = diff_states(a, c)
+        [row] = report.regressions
+        assert row.section == "metrics"
+        assert row.key == "sweep_cells_total"
+
+    def test_labels_distinguish_series(self):
+        a = make_state(metrics=[counter_row("cells", 5, path="fast"),
+                                counter_row("cells", 5, path="exec")])
+        b = make_state(metrics=[counter_row("cells", 5, path="fast")])
+        report = diff_states(a, b)
+        assert report.only_a == ["metrics cells{path=exec}"]
+
+    def test_wall_time_metrics_ignored_by_default(self):
+        a = make_state(metrics=[counter_row("run_seconds", 10)])
+        b = make_state(metrics=[counter_row("run_seconds", 99)])
+        assert diff_states(a, b).ok
+
+    def test_custom_ignore_patterns(self):
+        a = make_state(metrics=[counter_row("flaky_total", 1)])
+        b = make_state(metrics=[counter_row("flaky_total", 100)])
+        thresholds = DiffThresholds(ignore=("flaky_*",))
+        assert diff_states(a, b, thresholds).ok
+
+    def test_histogram_rows_compared_on_count_and_sum(self):
+        hist_a = {"type": "histogram", "name": "age", "labels": {},
+                  "buckets": [[10, 3]], "sum": 30.0, "count": 3}
+        hist_b = {**hist_a, "sum": 90.0}
+        report = diff_states(make_state(metrics=[hist_a]),
+                             make_state(metrics=[hist_b]))
+        [row] = report.regressions
+        assert row.key == "age:sum"
+
+
+class TestTimeseries:
+    def test_absent_timeseries_is_not_a_regression(self):
+        with_ts = make_state(timeseries=[ts_row("s", 100, 5.0)])
+        without = make_state(timeseries=None)
+        assert diff_states(with_ts, without).ok
+        assert diff_states(without, with_ts).ok
+
+    def test_worst_point_reported_once_per_series(self):
+        a = make_state(timeseries=[ts_row("s", 100, 10.0),
+                                   ts_row("s", 200, 10.0),
+                                   ts_row("s", 300, 10.0)])
+        b = make_state(timeseries=[ts_row("s", 100, 10.2),
+                                   ts_row("s", 200, 20.0),
+                                   ts_row("s", 300, 10.0)])
+        report = diff_states(a, b)
+        ts_rows = [r for r in report.rows if r.section == "timeseries"]
+        assert len(ts_rows) == 1            # only the worst point
+        assert ts_rows[0].key == "s @t=200"
+        assert ts_rows[0].regressed
+
+    def test_transient_regression_caught_despite_equal_totals(self):
+        """The point of windowed diffing: totals agree, the curve moved."""
+        a = make_state(timeseries=[ts_row("miss", 100, 50.0),
+                                   ts_row("miss", 200, 50.0)])
+        b = make_state(timeseries=[ts_row("miss", 100, 90.0),
+                                   ts_row("miss", 200, 10.0)])
+        assert sum(r["value"] for r in a.timeseries) == \
+            sum(r["value"] for r in b.timeseries)
+        assert not diff_states(a, b).ok
+
+    def test_missing_series_reported(self):
+        a = make_state(timeseries=[ts_row("s1", 100, 1.0)])
+        b = make_state(timeseries=[ts_row("s2", 100, 1.0)])
+        report = diff_states(a, b)
+        assert report.only_a == ["timeseries s1"]
+        assert report.only_b == ["timeseries s2"]
+
+    def test_ignored_series_skipped(self):
+        a = make_state(timeseries=[ts_row("fetch_seconds{p=a}", 1, 1.0)])
+        b = make_state(timeseries=[ts_row("fetch_seconds{p=a}", 1, 9.0)])
+        assert diff_states(a, b).ok
+
+
+class TestLoadRun:
+    def _write_run(self, root, run_id="base", misses=200):
+        with Journal.create(run_id=run_id, root=root) as journal:
+            journal.record_result(("zipf", "LRU", 0.1),
+                                  result_payload(misses=misses))
+        return root / run_id
+
+    def test_accepts_file_dir_and_run_id(self, tmp_path):
+        run_dir = self._write_run(tmp_path)
+        by_file = load_run(run_dir / "journal.jsonl")
+        by_dir = load_run(run_dir)
+        by_id = load_run("base", runs_dir=tmp_path)
+        assert by_file.results == by_dir.results == by_id.results
+
+    def test_unknown_run_id_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_run("nope", runs_dir=tmp_path)
+
+    def test_diff_runs_end_to_end(self, tmp_path):
+        self._write_run(tmp_path, "a", misses=200)
+        self._write_run(tmp_path, "b", misses=400)
+        report = diff_runs("a", "b", runs_dir=tmp_path)
+        assert not report.ok
+        assert diff_runs("a", "a", runs_dir=tmp_path).ok

@@ -1,0 +1,207 @@
+"""SpanTracer: nesting, external spans, metric deltas, Chrome export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    CHROME_TRACE_SCHEMA,
+    MetricsRegistry,
+    SpanTracer,
+    validate_chrome_trace,
+    validate_json,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each call advances one second."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+def make_tracer(registry=None):
+    return SpanTracer(registry, clock=FakeClock())
+
+
+class TestNesting:
+    def test_context_manager_spans_nest_by_thread_stack(self):
+        tracer = make_tracer()
+        with tracer.span("sweep", cat="sweep"):
+            with tracer.span("cell", cat="cell"):
+                with tracer.span("attempt", cat="attempt"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["sweep"].parent_id is None
+        assert by_name["cell"].parent_id == by_name["sweep"].span_id
+        assert by_name["attempt"].parent_id == by_name["cell"].span_id
+
+    def test_siblings_share_a_parent(self):
+        tracer = make_tracer()
+        with tracer.span("sweep"):
+            with tracer.span("cell-a"):
+                pass
+            with tracer.span("cell-b"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert (by_name["cell-a"].parent_id
+                == by_name["cell-b"].parent_id
+                == by_name["sweep"].span_id)
+        assert len(tracer.children(by_name["sweep"].span_id)) == 2
+
+    def test_current_span_id_tracks_stack(self):
+        tracer = make_tracer()
+        assert tracer.current_span_id() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span_id() == outer.span_id
+        assert tracer.current_span_id() is None
+
+    def test_spans_sorted_by_start_and_cat_filter(self):
+        tracer = make_tracer()
+        with tracer.span("a", cat="x"):
+            pass
+        with tracer.span("b", cat="y"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["a", "b"]
+        assert [s.name for s in tracer.spans(cat="y")] == ["b"]
+
+
+class TestAddSpan:
+    def test_explicit_timestamps_and_args(self):
+        tracer = make_tracer()
+        span_id = tracer.add_span("cell", 1.0, 3.5, cat="cell",
+                                  policy="LRU")
+        [span] = tracer.spans()
+        assert span.span_id == span_id
+        assert span.duration == 2.5
+        assert span.args["policy"] == "LRU"
+
+    def test_defaults_parent_to_open_span(self):
+        tracer = make_tracer()
+        with tracer.span("sweep") as sweep:
+            tracer.add_span("cell", 0.0, 1.0)
+        [cell] = [s for s in tracer.spans() if s.name == "cell"]
+        assert cell.parent_id == sweep.span_id
+
+    def test_preallocated_id_lets_children_arrive_first(self):
+        """The executor records attempts before their cell settles."""
+        tracer = make_tracer()
+        cell_id = tracer.allocate_id()
+        tracer.add_span("attempt", 1.0, 2.0, parent_id=cell_id)
+        tracer.add_span("cell", 0.5, 3.0, span_id=cell_id)
+        [attempt] = tracer.children(cell_id)
+        assert attempt.name == "attempt"
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            make_tracer().add_span("bad", 2.0, 1.0)
+
+    def test_threads_get_distinct_lanes(self):
+        tracer = make_tracer()
+        tracer.add_span("main-side", 0.0, 1.0)
+
+        def worker():
+            tracer.add_span("worker-side", 0.0, 1.0)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        tids = {s.name: s.tid for s in tracer.spans()}
+        assert tids["main-side"] != tids["worker-side"]
+
+
+class TestMetricDeltas:
+    def test_counter_deltas_attached_to_span(self):
+        registry = MetricsRegistry()
+        retries = registry.counter("retries_total")
+        tracer = make_tracer(registry)
+        with tracer.span("cell"):
+            retries.inc(3)
+        [span] = tracer.spans()
+        assert span.args["metric_deltas"] == {"retries_total": 3}
+
+    def test_zero_delta_counters_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total").inc(5)   # before the span opens
+        tracer = make_tracer(registry)
+        with tracer.span("cell"):
+            pass
+        [span] = tracer.spans()
+        assert "metric_deltas" not in span.args
+
+    def test_error_captured_and_exception_propagates(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("cell"):
+                raise RuntimeError("boom")
+        [span] = tracer.spans()
+        assert span.args["error"] == "RuntimeError"
+
+
+class TestChromeExport:
+    def _traced(self):
+        tracer = make_tracer()
+        with tracer.span("sweep", cat="sweep"):
+            with tracer.span("cell", cat="cell", policy="LRU"):
+                pass
+        return tracer
+
+    def test_export_passes_schema(self):
+        validate_chrome_trace(self._traced().to_chrome())
+
+    def test_events_carry_ids_and_microseconds(self):
+        tracer = self._traced()
+        trace = tracer.to_chrome()
+        meta, *events = trace["traceEvents"]
+        assert meta["ph"] == "M"
+        by_name = {e["name"]: e for e in events}
+        cell = by_name["cell"]
+        assert cell["ph"] == "X"
+        assert cell["args"]["parent_id"] == \
+            by_name["sweep"]["args"]["span_id"]
+        # FakeClock ticks one second per call: durations are whole µs.
+        assert cell["dur"] >= 1e6
+
+    def test_write_validates_and_produces_valid_json(self, tmp_path):
+        path = self._traced().write_chrome_trace(tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        validate_chrome_trace(loaded)
+
+
+class TestValidator:
+    def test_missing_required_key(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+
+    def test_wrong_type(self):
+        with pytest.raises(ValueError, match="expected array"):
+            validate_json({"traceEvents": "nope"}, CHROME_TRACE_SCHEMA)
+
+    def test_enum_violation(self):
+        bad = {"traceEvents": [
+            {"name": "e", "ph": "Z", "pid": 1, "tid": 0, "ts": 0}]}
+        with pytest.raises(ValueError, match="not in"):
+            validate_json(bad, CHROME_TRACE_SCHEMA)
+
+    def test_minimum_violation(self):
+        bad = {"traceEvents": [
+            {"name": "e", "ph": "M", "pid": 1, "tid": 0, "ts": -1}]}
+        with pytest.raises(ValueError, match="minimum"):
+            validate_json(bad, CHROME_TRACE_SCHEMA)
+
+    def test_bool_is_not_an_integer(self):
+        bad = {"traceEvents": [
+            {"name": "e", "ph": "M", "pid": True, "tid": 0, "ts": 0}]}
+        with pytest.raises(ValueError, match="expected integer"):
+            validate_json(bad, CHROME_TRACE_SCHEMA)
+
+    def test_complete_event_requires_dur(self):
+        bad = {"traceEvents": [
+            {"name": "e", "ph": "X", "pid": 1, "tid": 0, "ts": 0}]}
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(bad)

@@ -1,0 +1,265 @@
+"""TimeSeriesRecorder: cadence, window semantics, bounding, export."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    TimeSeriesRecorder,
+    read_timeseries_jsonl,
+    render_csv,
+    render_sparklines,
+    series_from_rows,
+    series_key,
+    sparkline,
+)
+from repro.obs.timeseries import SPARK_CHARS
+
+
+class TestConstruction:
+    def test_cadence_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(cadence=0)
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(cadence=-5)
+
+    def test_maxlen_floor(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(maxlen=1)
+
+    def test_series_key_sorts_labels(self):
+        assert series_key("m", {"b": 1, "a": 2}) == "m{a=2,b=1}"
+        assert series_key("m") == "m"
+        assert series_key("m", {}, suffix=":sum") == "m:sum"
+
+
+class TestTickSampling:
+    def test_counter_records_windowed_delta(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("misses_total")
+        recorder = TimeSeriesRecorder(registry, cadence=10)
+        counter.inc(4)
+        recorder.tick(10)       # first window: delta 4
+        counter.inc(7)
+        recorder.tick(10)       # second window: delta 7
+        points = recorder.series("misses_total")
+        assert [(t, v) for t, _, v in points] == [(10.0, 4.0), (20.0, 7.0)]
+        assert all(w == 10.0 for _, w, _ in points)
+
+    def test_gauge_records_instantaneous_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("inflight")
+        recorder = TimeSeriesRecorder(registry, cadence=5)
+        gauge.set(5)
+        recorder.tick(5)
+        gauge.set(3)
+        recorder.tick(5)
+        assert [v for _, _, v in recorder.series("inflight")] == [5.0, 3.0]
+
+    def test_histogram_records_count_and_sum_deltas(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("age", "", (10, 100))
+        recorder = TimeSeriesRecorder(registry, cadence=2)
+        hist.observe(4)
+        hist.observe(6)
+        recorder.tick(2)
+        hist.observe(50)
+        recorder.tick(2)
+        assert [v for _, _, v in recorder.series("age:count")] == [2.0, 1.0]
+        assert [v for _, _, v in recorder.series("age:sum")] == [10.0, 50.0]
+
+    def test_no_sample_before_cadence_boundary(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        recorder = TimeSeriesRecorder(registry, cadence=100)
+        recorder.tick(99)
+        assert recorder.series_names() == []
+        recorder.tick(1)
+        assert recorder.series_names() == ["c"]
+
+    def test_burst_tick_yields_one_sample(self):
+        """One big tick crosses many boundaries but samples once."""
+        registry = MetricsRegistry()
+        registry.counter("c").inc(9)
+        recorder = TimeSeriesRecorder(registry, cadence=10)
+        recorder.tick(95)
+        assert recorder.samples == 1
+        [(t, window, value)] = recorder.series("c")
+        assert (t, window, value) == (95.0, 95.0, 9.0)
+
+    def test_flush_records_partial_tail_window(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        recorder = TimeSeriesRecorder(registry, cadence=10)
+        counter.inc(2)
+        recorder.tick(10)
+        counter.inc(1)
+        recorder.tick(3)        # below next boundary: not yet sampled
+        recorder.flush()
+        points = recorder.series("c")
+        assert [(t, w, v) for t, w, v in points] == [
+            (10.0, 10.0, 2.0), (13.0, 3.0, 1.0)]
+        recorder.flush()        # nothing accrued: no extra point
+        assert len(recorder.series("c")) == 2
+
+
+class TestProbes:
+    def test_probe_deltas_and_removal(self):
+        recorder = TimeSeriesRecorder(cadence=10)
+        total = {"value": 0.0}
+
+        def probe():
+            return {"sim_hits_total{policy=LRU}": total["value"]}
+
+        recorder.add_probe(probe)
+        total["value"] = 6.0
+        recorder.tick(10)
+        total["value"] = 10.0
+        recorder.tick(10)
+        assert [v for _, _, v in
+                recorder.series("sim_hits_total{policy=LRU}")] == [6.0, 4.0]
+        recorder.remove_probe(probe)
+        recorder.tick(10)
+        assert len(recorder.series("sim_hits_total{policy=LRU}")) == 2
+        recorder.remove_probe(probe)  # double-remove is a no-op
+
+
+class TestMaybeSample:
+    def test_first_call_anchors_epoch(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        recorder = TimeSeriesRecorder(registry, cadence=1.0)
+        recorder.maybe_sample(100.0)     # anchor only
+        assert recorder.samples == 0
+        recorder.maybe_sample(100.5)
+        assert recorder.samples == 0
+        recorder.maybe_sample(101.0)
+        assert recorder.samples == 1
+
+
+class TestRecordMask:
+    def test_windowed_hit_miss_series(self):
+        recorder = TimeSeriesRecorder(cadence=4)
+        mask = np.array([0, 1, 1, 0, 1, 1, 1, 1, 0, 1], dtype=bool)
+        recorder.record_mask(mask, policy="LRU")
+        req = recorder.series("sim_requests_total{policy=LRU}")
+        hits = recorder.series("sim_hits_total{policy=LRU}")
+        misses = recorder.series("sim_misses_total{policy=LRU}")
+        assert [v for _, _, v in req] == [4.0, 4.0, 2.0]
+        assert [v for _, _, v in hits] == [2.0, 4.0, 1.0]
+        assert [v for _, _, v in misses] == [2.0, 0.0, 1.0]
+        assert [t for t, _, _ in req] == [4.0, 8.0, 10.0]
+
+    def test_warmup_excluded(self):
+        recorder = TimeSeriesRecorder(cadence=4)
+        mask = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=bool)
+        recorder.record_mask(mask, warmup=4, policy="FIFO")
+        [(t, w, v)] = recorder.series("sim_hits_total{policy=FIFO}")
+        assert (t, w, v) == (4.0, 4.0, 4.0)
+
+    def test_empty_after_warmup_is_noop(self):
+        recorder = TimeSeriesRecorder(cadence=4)
+        recorder.record_mask(np.zeros(3, dtype=bool), warmup=3)
+        assert recorder.series_names() == []
+
+    def test_ratio_gives_windowed_miss_ratio(self):
+        recorder = TimeSeriesRecorder(cadence=4)
+        mask = np.array([0, 1, 1, 0, 1, 1, 1, 1], dtype=bool)
+        recorder.record_mask(mask, policy="LRU")
+        curve = recorder.ratio("sim_misses_total{policy=LRU}",
+                               "sim_requests_total{policy=LRU}")
+        assert curve == [(4.0, 0.5), (8.0, 0.0)]
+
+
+class TestBounding:
+    def _fill(self, recorder, n):
+        registry = recorder.registry
+        counter = registry.counter("c")
+        for _ in range(n):
+            counter.inc()
+            recorder.tick(1)
+
+    def test_downsample_halves_points_and_preserves_totals(self):
+        recorder = TimeSeriesRecorder(MetricsRegistry(), cadence=1,
+                                      maxlen=4, downsample=True)
+        self._fill(recorder, 5)
+        points = recorder.series("c")
+        # 5th append merged (p1,p2) and (p3,p4) pairwise: 3 points left.
+        assert len(points) == 3
+        assert sum(v for _, _, v in points) == 5.0      # nothing forgotten
+        assert sum(w for _, w, _ in points) == 5.0
+        assert points[0] == (2.0, 2.0, 2.0)             # merged window
+
+    def test_downsampled_gauge_keeps_latest_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        recorder = TimeSeriesRecorder(registry, cadence=1,
+                                      maxlen=2, downsample=True)
+        for value in (1, 2, 3):
+            gauge.set(value)
+            recorder.tick(1)
+        points = recorder.series("g")
+        assert points[0][2] == 2.0      # merged pair keeps the later value
+
+    def test_ring_drop_mode_keeps_newest(self):
+        recorder = TimeSeriesRecorder(MetricsRegistry(), cadence=1,
+                                      maxlen=4, downsample=False)
+        self._fill(recorder, 6)
+        points = recorder.series("c")
+        assert len(points) == 4
+        assert [t for t, _, _ in points] == [3.0, 4.0, 5.0, 6.0]
+
+
+class TestExport:
+    def _recorder(self):
+        recorder = TimeSeriesRecorder(cadence=2)
+        recorder.record_mask(np.array([0, 1, 1, 1], dtype=bool),
+                             policy="LRU")
+        return recorder
+
+    def test_unknown_series_raises(self):
+        with pytest.raises(KeyError):
+            self._recorder().series("nope")
+
+    def test_rows_round_trip_through_jsonl(self, tmp_path):
+        recorder = self._recorder()
+        path = recorder.write_jsonl(tmp_path / "ts.jsonl")
+        rows = read_timeseries_jsonl(path)
+        assert rows == recorder.to_rows()
+        grouped = series_from_rows(rows)
+        assert grouped["sim_hits_total{policy=LRU}"] == \
+            recorder.series("sim_hits_total{policy=LRU}")
+
+    def test_reader_skips_torn_lines(self, tmp_path):
+        recorder = self._recorder()
+        path = recorder.write_jsonl(tmp_path / "ts.jsonl")
+        path.write_text(path.read_text() + "{torn...\n\n")
+        assert read_timeseries_jsonl(path) == recorder.to_rows()
+
+    def test_render_csv_long_format(self):
+        text = render_csv(series_from_rows(self._recorder().to_rows()))
+        lines = text.splitlines()
+        assert lines[0] == "series,t,window,value"
+        assert any(line.startswith("sim_misses_total{policy=LRU},")
+                   for line in lines[1:])
+
+    def test_render_sparklines_lists_every_series(self):
+        out = render_sparklines(series_from_rows(self._recorder().to_rows()))
+        for name in ("sim_requests_total", "sim_hits_total",
+                     "sim_misses_total"):
+            assert name in out
+        assert render_sparklines({}) == "(no series)"
+
+
+class TestSparkline:
+    def test_empty_and_constant(self):
+        assert sparkline([]) == ""
+        assert sparkline([5, 5, 5]) == SPARK_CHARS[0] * 3
+
+    def test_min_max_hit_extremes(self):
+        line = sparkline([0.0, 1.0])
+        assert line == SPARK_CHARS[0] + SPARK_CHARS[-1]
+
+    def test_long_input_bucketed_to_width(self):
+        line = sparkline(range(1000), width=10)
+        assert len(line) == 10

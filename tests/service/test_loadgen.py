@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exec.clock import VirtualClock
+from repro.obs import MetricsRegistry, TimeSeriesRecorder
 from repro.policies.lru import LRU
 from repro.service.backend import FaultInjectedBackend, InMemoryBackend
 from repro.service.faults import BackendFaultPlan
@@ -139,3 +140,25 @@ class TestInterrupt:
         assert report.interrupted
         assert report.requests == 5           # what completed before ^C
         report.check_accounting()
+
+
+class TestTimeseriesSampling:
+    def test_clock_cadence_windows_cover_all_requests(self):
+        registry = MetricsRegistry()
+        clock = VirtualClock()
+        service = CacheService(LRU(50), InMemoryBackend(),
+                               ServiceConfig(), clock=clock,
+                               registry=registry)
+        recorder = TimeSeriesRecorder(registry, cadence=2.0)
+        keys = [0, 1, 2] * 4                  # 3 misses, then hits
+        run_load(service, keys, threads=1, tick=0.5,
+                 timeseries=recorder)
+        assert recorder.samples >= 2          # 6.0s of clock, 2s cadence
+        recorder.sample(clock.now())          # tail window
+        totals = {}
+        for name in recorder.series_names():
+            if name.startswith("service_requests_total"):
+                totals[name] = sum(v for _, _, v in recorder.series(name))
+        assert sum(totals.values()) == len(keys)
+        assert totals["service_requests_total{outcome=miss}"] == 3.0
+        assert totals["service_requests_total{outcome=hit}"] == 9.0

@@ -72,6 +72,7 @@ def test_plain_list_interned_once_per_runner():
     assert runner._interned is first
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_warmup_passthrough(trace):
     runner = BatchRunner()
     outcome = runner.run("LRU", trace, 64, warmup=500)
@@ -85,6 +86,7 @@ def test_warmup_passthrough(trace):
 # Integration: the callers routed through the fast path
 # ----------------------------------------------------------------------
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_run_sweep_fast_matches_reference(trace):
     policies = ["FIFO", "LRU", "ARC"]
     fractions = (0.01, 0.1)
@@ -99,6 +101,7 @@ def test_run_sweep_fast_matches_reference(trace):
     assert fast.resumed == 0
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_simulate_fast_flag_matches_reference(trace):
     for name in ("FIFO", "2-bit-CLOCK", "QD-LP-FIFO"):
         fast = simulate(make(name, 64), trace, fast=True)
@@ -106,12 +109,14 @@ def test_simulate_fast_flag_matches_reference(trace):
         assert (fast.hits, fast.misses) == (slow.hits, slow.misses)
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_simulate_fast_falls_back_for_unsupported(trace):
     fast = simulate(make("ARC", 64), trace, fast=True)
     slow = simulate(make("ARC", 64), trace)
     assert (fast.hits, fast.misses) == (slow.hits, slow.misses)
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_simulate_fast_leaves_iterators_to_reference_path():
     keys = [1, 2, 1, 3, 1, 2] * 50
     result = simulate(make("FIFO", 2), iter(keys), fast=True)

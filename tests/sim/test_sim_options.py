@@ -10,6 +10,10 @@ from repro.sim.options import SimOptions, _reset_deprecation_warnings
 from repro.sim.runner import run_sweep
 from repro.sim.simulator import simulate
 
+# The whole module exercises the legacy-kwarg shims on purpose; the
+# suite-wide error::DeprecationWarning gate must not trip here.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture(autouse=True)
 def fresh_warning_state():

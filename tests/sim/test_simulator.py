@@ -43,18 +43,21 @@ class TestSimulate:
         assert result.requests == 6
         assert result.misses >= 3  # at least compulsory misses
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_warmup_excluded_from_stats(self):
         keys = [1, 2, 3] + [1, 2, 3] * 10
         warm = simulate(LRU(3), keys, warmup=3)
         assert warm.misses == 0
         assert warm.requests == len(keys) - 3
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_warmup_validation(self):
         with pytest.raises(ValueError):
             simulate(LRU(2), [1, 2], warmup=-1)
         with pytest.raises(ValueError):
             simulate(LRU(2), [1, 2], warmup=5)
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_listeners_attached_and_detached(self):
         from tests.core.test_base import RecordingListener
         listener = RecordingListener()

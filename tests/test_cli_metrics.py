@@ -96,3 +96,52 @@ class TestErrorPaths:
         empty.write_text("")
         assert main(["metrics", str(empty)]) == 1
         assert "no metric rows" in capsys.readouterr().err
+
+
+class TestFilters:
+    def test_select_filters_by_name_glob(self, metrics_file, capsys):
+        assert main(["metrics", str(metrics_file),
+                     "--select", "service_*"]) == 0
+        out = capsys.readouterr().out
+        assert "service_requests_total" in out
+        assert "latency_seconds" not in out
+
+    def test_labels_filter_rows(self, metrics_file, capsys):
+        assert main(["metrics", str(metrics_file), "--format", "jsonl",
+                     "--labels", "outcome=hit"]) == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines() if line]
+        assert len(rows) == 1
+        assert rows[0]["labels"] == {"outcome": "hit"}
+
+    def test_filters_compose(self, metrics_file, capsys):
+        assert main(["metrics", str(metrics_file), "--select", "latency_*",
+                     "--labels", "outcome=hit"]) == 1
+        assert "no metric rows" in capsys.readouterr().err
+
+    def test_malformed_label_pair_is_usage_error(self, metrics_file, capsys):
+        assert main(["metrics", str(metrics_file),
+                     "--labels", "outcome"]) == 2
+        assert "k=v" in capsys.readouterr().err
+
+    def test_select_with_no_match_is_runtime_error(self, metrics_file,
+                                                   capsys):
+        assert main(["metrics", str(metrics_file),
+                     "--select", "nope_*"]) == 1
+
+
+class TestLatestSnapshotWins:
+    def test_journal_with_many_snapshots_renders_last(self, tmp_path,
+                                                      capsys):
+        """A resumed run journals one snapshot per session; the CLI
+        must render the newest, deterministically."""
+        with Journal.create(run_id="resumed", root=tmp_path) as journal:
+            for value in (1, 5, 9):
+                registry = MetricsRegistry()
+                registry.counter("sweep_cells_total").inc(value)
+                journal.record_metrics(registry.snapshot())
+        assert main(["metrics", "--run", "resumed", "--format", "jsonl",
+                     "--runs-dir", str(tmp_path)]) == 0
+        [row] = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines() if line]
+        assert row["value"] == 9

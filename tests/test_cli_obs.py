@@ -1,0 +1,154 @@
+"""The `repro timeseries` and `repro diff` subcommands."""
+
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.exec.journal import Journal
+from repro.obs import TimeSeriesRecorder
+
+
+def make_recorder(miss_every=2):
+    """A recorder holding one windowed hit/miss curve."""
+    recorder = TimeSeriesRecorder(cadence=4)
+    mask = np.array([i % miss_every != 0 for i in range(16)], dtype=bool)
+    recorder.record_mask(mask, policy="LRU")
+    return recorder
+
+
+def write_run(root, run_id, misses=200, rows=None):
+    with Journal.create(run_id=run_id, root=root) as journal:
+        journal.record_result(
+            ("zipf", "LRU", 0.1),
+            {"requests": 1000, "hits": 1000 - misses, "misses": misses})
+        if rows is not None:
+            journal.record_timeseries(rows)
+    return root / run_id
+
+
+class TestTimeseriesCommand:
+    @pytest.fixture
+    def ts_file(self, tmp_path):
+        return make_recorder().write_jsonl(tmp_path / "ts.jsonl")
+
+    def test_sparklines_from_file(self, ts_file, capsys):
+        assert main(["timeseries", str(ts_file)]) == 0
+        out = capsys.readouterr().out
+        assert "sim_misses_total{policy=LRU}" in out
+        assert "mean=" in out
+
+    def test_csv_format(self, ts_file, capsys):
+        assert main(["timeseries", str(ts_file), "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "series,t,window,value"
+        assert len(lines) > 1
+
+    def test_select_filters_series(self, ts_file, capsys):
+        assert main(["timeseries", str(ts_file),
+                     "--select", "sim_misses*"]) == 0
+        out = capsys.readouterr().out
+        assert "sim_misses_total" in out
+        assert "sim_hits_total" not in out
+
+    def test_from_journalled_run(self, tmp_path, capsys):
+        write_run(tmp_path, "r1", rows=make_recorder().to_rows())
+        assert main(["timeseries", "--run", "r1",
+                     "--runs-dir", str(tmp_path)]) == 0
+        assert "sim_requests_total" in capsys.readouterr().out
+
+    def test_source_and_run_mutually_exclusive(self, ts_file, capsys):
+        assert main(["timeseries", str(ts_file), "--run", "r1"]) == 2
+        assert main(["timeseries"]) == 2
+
+    def test_run_without_timeseries_is_runtime_error(self, tmp_path,
+                                                     capsys):
+        write_run(tmp_path, "bare")
+        code = main(["timeseries", "--run", "bare",
+                     "--runs-dir", str(tmp_path)])
+        assert code == 1
+        assert "no time series" in capsys.readouterr().err
+
+    def test_no_matching_series_is_runtime_error(self, ts_file, capsys):
+        assert main(["timeseries", str(ts_file),
+                     "--select", "nope*"]) == 1
+        assert "no matching series" in capsys.readouterr().err
+
+    def test_missing_run_is_usage_error(self, tmp_path):
+        assert main(["timeseries", "--run", "ghost",
+                     "--runs-dir", str(tmp_path)]) == 2
+
+
+class TestDiffCommand:
+    def test_identical_runs_exit_zero(self, tmp_path, capsys):
+        write_run(tmp_path, "a")
+        write_run(tmp_path, "b")
+        code = main(["diff", "a", "b", "--runs-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "diff a -> b" in out
+        assert "agree within tolerance" in out
+
+    def test_injected_miss_ratio_delta_exits_nonzero(self, tmp_path,
+                                                     capsys):
+        """The acceptance check: a miss-ratio regression beyond the
+        threshold must fail the command and print the offending row."""
+        write_run(tmp_path, "base", misses=200)
+        write_run(tmp_path, "regressed", misses=260)   # 0.20 -> 0.26
+        code = main(["diff", "base", "regressed",
+                     "--runs-dir", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[REGRESSED]" in out
+        assert "miss_ratio" in out
+        assert "policy=LRU" in out
+
+    def test_tolerance_flag_loosens_the_gate(self, tmp_path):
+        write_run(tmp_path, "base", misses=200)
+        write_run(tmp_path, "near", misses=260)
+        assert main(["diff", "base", "near",
+                     "--runs-dir", str(tmp_path)]) == 1
+        assert main(["diff", "base", "near", "--runs-dir", str(tmp_path),
+                     "--miss-ratio-tolerance", "0.10"]) == 0
+
+    def test_timeseries_regression_detected(self, tmp_path, capsys):
+        write_run(tmp_path, "a", rows=make_recorder(2).to_rows())
+        write_run(tmp_path, "b", rows=make_recorder(4).to_rows())
+        code = main(["diff", "a", "b", "--runs-dir", str(tmp_path)])
+        assert code == 1
+        assert "timeseries" in capsys.readouterr().out
+
+    def test_accepts_journal_paths(self, tmp_path):
+        run_a = write_run(tmp_path, "a")
+        run_b = write_run(tmp_path, "b")
+        assert main(["diff", str(run_a / "journal.jsonl"),
+                     str(run_b)]) == 0
+
+    def test_show_all_prints_drift(self, tmp_path, capsys):
+        write_run(tmp_path, "a", misses=200)
+        write_run(tmp_path, "b", misses=205)     # within tolerance
+        assert main(["diff", "a", "b", "--runs-dir", str(tmp_path),
+                     "--show-all"]) == 0
+        assert "[drift]" in capsys.readouterr().out
+
+    def test_ignore_pattern_skips_series(self, tmp_path):
+        rows_a = [{"series": "jitter_total", "kind": "counter",
+                   "t": 4.0, "window": 4.0, "value": 1.0}]
+        rows_b = [{"series": "jitter_total", "kind": "counter",
+                   "t": 4.0, "window": 4.0, "value": 9.0}]
+        write_run(tmp_path, "a", rows=rows_a)
+        write_run(tmp_path, "b", rows=rows_b)
+        assert main(["diff", "a", "b", "--runs-dir", str(tmp_path)]) == 1
+        assert main(["diff", "a", "b", "--runs-dir", str(tmp_path),
+                     "--ignore", "jitter_*"]) == 0
+
+    def test_unknown_run_is_usage_error(self, tmp_path, capsys):
+        write_run(tmp_path, "a")
+        assert main(["diff", "a", "ghost",
+                     "--runs-dir", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_negative_tolerance_is_usage_error(self, tmp_path):
+        write_run(tmp_path, "a")
+        assert main(["diff", "a", "a", "--runs-dir", str(tmp_path),
+                     "--metric-tolerance", "-1"]) == 2
