@@ -52,6 +52,16 @@ POLICIES = ("LRU", "FIFO", "QD-LP-FIFO")
 SIZES = (0.01, 0.1)
 CADENCE = 1000
 
+# Cluster phase: a fixed-seed shard-kill run whose per-shard counters
+# (service_requests_total{shard=}, cluster_requests_total{outcome=},
+# cluster_ring_nodes, cluster_shard_up{shard=}) land in the same
+# registry, so `repro diff` regression-gates the router's behaviour
+# and label layout alongside the sweep.
+CLUSTER_SHARDS = 4
+CLUSTER_REQUESTS = 4000
+CLUSTER_UNIVERSE = 800
+CLUSTER_TICK = 0.01
+
 
 def build_trace() -> Trace:
     """The frozen smoke workload: three abrupt working-set shifts."""
@@ -61,6 +71,45 @@ def build_trace() -> Trace:
         alpha=1.0, overlap=0.2, rng=rng)
     return Trace(name="obs-smoke-shift", keys=keys,
                  family="synthetic", group="block")
+
+
+def run_cluster_phase(registry: MetricsRegistry) -> None:
+    """Drive a deterministic kill-one-shard cluster run into *registry*.
+
+    Virtual-clock, fixed seed, single thread: every counter and gauge
+    it contributes is bit-identical across machines (latency histograms
+    are ``*_seconds`` and diff-ignored).
+    """
+    from repro.exec.clock import VirtualClock
+    from repro.policies.registry import make
+    from repro.cluster import (
+        ClusterConfig,
+        build_cluster,
+        make_cluster_workload,
+        run_cluster_load,
+    )
+
+    clock = VirtualClock()
+    cluster = build_cluster(
+        lambda: make("QD-LP-FIFO", 100),
+        shards=CLUSTER_SHARDS,
+        config=ClusterConfig(replicas=1, hot_key_threshold=4,
+                             front_cache_size=8),
+        clock=clock,
+        registry=registry,
+    )
+    duration = CLUSTER_REQUESTS * CLUSTER_TICK
+    cluster.kill("s1", 0.4 * duration, 0.7 * duration)
+    workload = make_cluster_workload(CLUSTER_REQUESTS,
+                                     universe=CLUSTER_UNIVERSE,
+                                     alpha=1.1, seed=SEED)
+    report = run_cluster_load(cluster, workload.keys, threads=1,
+                              tick=CLUSTER_TICK)
+    report.check_accounting()
+    cluster.metrics.check_conservation()
+    print(f"obs smoke cluster: {report.requests} requests, "
+          f"availability {report.availability:.4f}, "
+          f"{report.outcomes['replica_hit']} replica hits")
 
 
 def main(argv=None) -> int:
@@ -76,6 +125,12 @@ def main(argv=None) -> int:
     tracer = SpanTracer(registry)
     opts = SimOptions(metrics=registry, timeseries=recorder,
                       tracer=tracer)
+
+    # The cluster phase shares the registry (its counters ride the
+    # journal's metrics line) but not the recorder: the sweep samples
+    # on request counts, the cluster on virtual seconds, and mixing
+    # the two time bases would corrupt the windowed curves.
+    run_cluster_phase(registry)
 
     result = run_sweep(list(POLICIES), [build_trace()],
                        size_fractions=SIZES, options=opts,

@@ -167,7 +167,8 @@ def _exec_options(args: argparse.Namespace):
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
-        ablations, extensions, fig2, fig3, fig5, outage, table1, throughput)
+        ablations, extensions, fig2, fig3, fig5, outage, outage_cluster,
+        table1, throughput)
 
     config = _TIERS[args.tier]
     try:
@@ -183,6 +184,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
               file=sys.stderr)
     runners = {
         "outage": lambda: outage.run(config),
+        "outage-cluster": lambda: outage_cluster.run(config),
         "table1": lambda: table1.run(config),
         "fig2": lambda: fig2.run(config, workers=args.workers,
                                  options=options),
@@ -235,6 +237,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return EXIT_USAGE
     registry = MetricsRegistry()
+    if args.shards:
+        return _run_cluster_loadgen(args, spec, registry)
     try:
         config = ServiceConfig(ttl=args.ttl, max_inflight=args.max_inflight)
         capacity = max(spec.min_capacity, int(args.objects * args.size))
@@ -267,6 +271,82 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _run_cluster_loadgen(args: argparse.Namespace, spec,
+                         registry) -> int:
+    """``repro loadgen --shards N``: drive a sharded cluster instead.
+
+    With ``--kill-shard`` the run switches to single-threaded
+    tick-paced virtual time (the only mode where a kill window is
+    deterministic) and takes the named shard down for the middle
+    [0.4, 0.7) of the run, mirroring the X3-cluster experiment.
+    """
+    from repro.experiments.common import results_dir, write_result
+    from repro.exec.clock import VirtualClock
+    from repro.obs import write_jsonl
+    from repro.policies.registry import make
+    from repro.service import LoadInterrupted
+    from repro.cluster import (
+        ClusterConfig,
+        build_cluster,
+        make_cluster_workload,
+        run_cluster_load,
+    )
+
+    try:
+        if args.requests < 1 or args.threads < 1:
+            raise ValueError("--requests and --threads must be >= 1")
+        if args.shards < 1:
+            raise ValueError(f"--shards must be >= 1, got {args.shards}")
+        if args.kill_shard and args.shards < 2:
+            raise ValueError("--kill-shard needs at least 2 shards")
+        capacity = max(spec.min_capacity,
+                       int(args.objects * args.size / args.shards))
+        config = ClusterConfig(replicas=args.replicas)
+        kill = args.kill_shard
+        tick = args.tick if args.tick is not None else (0.01 if kill else 0.0)
+        threads = 1 if kill else args.threads
+        clock = VirtualClock() if tick else None
+        cluster = build_cluster(
+            lambda: make(spec.name, capacity),
+            shards=args.shards,
+            config=config,
+            clock=clock,
+            registry=registry,
+        )
+        checkpoints = None
+        if kill:
+            if kill not in cluster.shards:
+                raise ValueError(
+                    f"--kill-shard must be one of "
+                    f"{', '.join(sorted(cluster.shards))}, got {kill!r}")
+            duration = args.requests * tick
+            cluster.kill(kill, 0.4 * duration, 0.7 * duration)
+            checkpoints = [0.4 * duration, 0.7 * duration]
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    workload = make_cluster_workload(args.requests, universe=args.objects,
+                                     alpha=max(args.alpha, 0.01),
+                                     seed=args.seed)
+    try:
+        report = run_cluster_load(cluster, workload.keys, threads=threads,
+                                  tick=tick, checkpoints=checkpoints)
+    except LoadInterrupted as exc:
+        path = write_result("loadgen_cluster_partial", exc.report.render())
+        print(f"interrupted; partial metrics written to {path}",
+              file=sys.stderr)
+        return EXIT_INTERRUPT
+    report.check_accounting()
+    print(report.render())
+    write_result("loadgen_cluster", report.render())
+    metrics_path = results_dir() / "loadgen_cluster_metrics.jsonl"
+    write_jsonl(registry, metrics_path)
+    print(f"metrics snapshot: {metrics_path} "
+          f"(render with `repro metrics {metrics_path} "
+          f"--labels shard=*`)", file=sys.stderr)
+    return EXIT_OK
+
+
 def _parse_label_filters(pairs) -> Optional[List[tuple]]:
     """``["k=v", ...]`` -> ``[(k, v), ...]``; None on a malformed pair."""
     filters = []
@@ -287,8 +367,11 @@ def _filter_metric_rows(rows, select: Optional[str],
         rows = [row for row in rows
                 if fnmatch(row.get("name", ""), select)]
     for key, value in label_filters:
+        # Values are fnmatch globs, so `--labels shard=*` selects every
+        # per-shard row (rows without the label never match).
         rows = [row for row in rows
-                if str((row.get("labels") or {}).get(key)) == value]
+                if key in (row.get("labels") or {})
+                and fnmatch(str(row["labels"][key]), value)]
     return rows
 
 
@@ -446,7 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("id", choices=(
         "table1", "fig2", "fig3", "table2", "fig5", "throughput",
         "ablation-probation", "ablation-ghost", "ablation-clockbits",
-        "extensions", "outage"))
+        "extensions", "outage", "outage-cluster"))
     exp.add_argument("--tier", choices=tuple(_TIERS), default="quick")
     exp.add_argument("--workers", type=int, default=0,
                      help="sweep worker processes (0 = half the cores)")
@@ -481,6 +564,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="cache capacity as a fraction of --objects")
     load.add_argument("--ttl", type=float, default=None,
                       help="value freshness lifetime in seconds")
+    load.add_argument("--shards", type=int, default=0,
+                      help="run a sharded cluster with this many shards "
+                           "instead of one service (0 = single-node)")
+    load.add_argument("--replicas", type=int, default=1,
+                      help="hot-key replica copies per key "
+                           "(cluster mode only)")
+    load.add_argument("--kill-shard", metavar="NAME",
+                      help="take this shard down for the middle of the "
+                           "run (cluster mode; forces deterministic "
+                           "tick-paced virtual time)")
+    load.add_argument("--tick", type=float, default=None,
+                      help="virtual seconds between requests "
+                           "(cluster mode; implies threads=1)")
     load.add_argument("--max-inflight", type=int, default=None,
                       help="shed misses beyond this many concurrent fetches")
     load.add_argument("--seed", type=int, default=42)

@@ -1,0 +1,763 @@
+"""A sharded cache cluster over independent :class:`CacheService` shards.
+
+:class:`CacheCluster` is the routing tier the ROADMAP asks for: N
+single-node services (each with its own backend, circuit breaker,
+serve-stale window and fault plan -- one **fault domain** per shard)
+behind one consistent-hash ring.  The paper's operational claim scales
+with it: every promotion a policy performs still happens inside one
+shard's critical section, so lazy-promotion policies keep their edge
+shard by shard, and the cluster adds the availability story on top:
+
+* **Consistent placement** -- keys map to shards via
+  :class:`~repro.cluster.ring.HashRing` (virtual nodes), so membership
+  changes move only ring-adjacent arcs, never the whole key space.
+* **Replication of hot keys** -- once a key's observed frequency
+  crosses ``hot_key_threshold``, fetched values are also pushed to the
+  next ``replicas`` distinct shards.  When the primary's breaker is
+  open or the shard is down, reads fall back to those copies
+  (outcome ``replica_hit``).
+* **Per-shard fault domains** -- a shard outage (``kill`` windows on
+  the shared clock, or a manual ``set_down``) makes only that shard's
+  arc degrade; the rest of the ring serves unaffected.
+* **Hot-key mitigation** -- an optional tiny front cache absorbs the
+  very hottest keys before they reach any shard, so a single viral key
+  cannot saturate its primary.
+* **Bounded rebalancing** -- :meth:`add_shard` / :meth:`remove_shard`
+  migrate only the cached entries whose ownership actually moved and
+  report exactly how many.
+
+Accounting is conservation-checked cluster-wide: every request ends in
+exactly one of ``hit | miss | replica_hit | stale | shed | error``, and
+``hit + miss + replica_hit + stale + shed + error == requests`` holds
+under arbitrary concurrency (the stress suite hammers it with a shard
+dying mid-run).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.base import validate_capacity
+from repro.exec.clock import Clock, SystemClock
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, moved_keys
+from repro.service.service import (
+    ERROR,
+    HIT,
+    MISS,
+    SHED,
+    STALE,
+    CacheService,
+)
+
+Key = Hashable
+
+REPLICA_HIT = "replica_hit"   # primary unavailable; a replica's copy served
+
+#: Every cluster request resolves to exactly one of these.
+CLUSTER_OUTCOMES = (HIT, MISS, REPLICA_HIT, STALE, SHED, ERROR)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Routing/replication knobs for :class:`CacheCluster` (validated).
+
+    * ``vnodes`` -- virtual nodes per shard on the hash ring.
+    * ``replicas`` -- replica copies kept *in addition to* the primary
+      for hot keys (0 disables replication).
+    * ``hot_key_threshold`` -- observed requests after which a key
+      counts as hot (replicated + front-cache eligible).  1 replicates
+      everything touched twice; higher values focus on the true head.
+    * ``hot_tracker_size`` -- bounded size of the frequency tracker.
+    * ``front_cache_size`` -- entries in the tiny front cache
+      (0 disables it).
+    * ``front_cache_ttl`` -- seconds a front-cache copy may be served;
+      keeps the mitigation window, and therefore staleness, tiny.
+    """
+
+    vnodes: int = DEFAULT_VNODES
+    replicas: int = 1
+    hot_key_threshold: int = 8
+    hot_tracker_size: int = 1024
+    front_cache_size: int = 0
+    front_cache_ttl: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.replicas < 0:
+            raise ValueError(
+                f"replicas must be >= 0, got {self.replicas}")
+        if self.hot_key_threshold < 1:
+            raise ValueError(
+                f"hot_key_threshold must be >= 1, "
+                f"got {self.hot_key_threshold}")
+        if self.hot_tracker_size < 1:
+            raise ValueError(
+                f"hot_tracker_size must be >= 1, "
+                f"got {self.hot_tracker_size}")
+        if self.front_cache_size < 0:
+            raise ValueError(
+                f"front_cache_size must be >= 0, "
+                f"got {self.front_cache_size}")
+        if self.front_cache_ttl <= 0:
+            raise ValueError(
+                f"front_cache_ttl must be > 0, "
+                f"got {self.front_cache_ttl}")
+
+
+class HotKeyTracker:
+    """Bounded request-frequency tracker with periodic top-k pruning.
+
+    A plain dict of counts, pruned to the hottest half whenever it
+    doubles past ``size`` -- amortised O(log size) per observation, no
+    per-request scans, deterministic.  Precise enough to find the Zipf
+    head, which is all hot-key replication needs.
+    """
+
+    def __init__(self, size: int = 1024, threshold: int = 8) -> None:
+        self.size = validate_capacity(size, what="size")
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._counts: Dict[Key, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, key: Key) -> bool:
+        """Count one request for *key*; returns whether it is hot."""
+        with self._lock:
+            count = self._counts.get(key, 0) + 1
+            self._counts[key] = count
+            if len(self._counts) > 2 * self.size:
+                self._prune()
+            return count >= self.threshold
+
+    def _prune(self) -> None:
+        import heapq
+        keep = heapq.nlargest(self.size, self._counts.items(),
+                              key=lambda item: item[1])
+        self._counts = dict(keep)
+
+    def is_hot(self, key: Key) -> bool:
+        """Whether *key* has crossed the threshold (no count taken)."""
+        with self._lock:
+            return self._counts.get(key, 0) >= self.threshold
+
+    def hot_keys(self) -> List[Key]:
+        """Currently-hot keys, hottest first."""
+        with self._lock:
+            items = [(count, repr(key), key)
+                     for key, count in self._counts.items()
+                     if count >= self.threshold]
+        items.sort(reverse=True)
+        return [key for _, _, key in items]
+
+
+class FrontCache:
+    """A tiny TTL'd LRU in front of the ring (hot-key mitigation).
+
+    Holds a handful of the hottest keys' values so a viral key is
+    answered before it reaches -- and serialises on -- its primary
+    shard.  The TTL bounds how stale the mitigation can get.
+    """
+
+    def __init__(self, size: int, ttl: float, clock: Clock) -> None:
+        self.size = validate_capacity(size, what="size")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        self.ttl = ttl
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._entries: "Dict[Key, Tuple[Any, float]]" = {}
+
+    def get(self, key: Key) -> Optional[Tuple[Any]]:
+        """The cached value as a 1-tuple (``None`` caches cleanly), or
+        ``None`` on miss/expiry."""
+        now = self.clock.now()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            value, stored_at = entry
+            if now - stored_at > self.ttl:
+                del self._entries[key]
+                return None
+            # LRU touch: move to the MRU end.
+            del self._entries[key]
+            self._entries[key] = (value, stored_at)
+            return (value,)
+
+    def put(self, key: Key, value: Any) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+            if len(self._entries) >= self.size:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[key] = (value, self.clock.now())
+
+    def invalidate(self, key: Key) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+@dataclass
+class ClusterGetResult:
+    """What one cluster request resolved to."""
+
+    key: Key
+    value: Any
+    outcome: str            # one of CLUSTER_OUTCOMES
+    shard: Optional[str]    # shard that served it (None = front cache)
+    latency: float          # seconds on the cluster clock
+    front: bool = False     # answered by the front cache
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether a value was served."""
+        return self.outcome in (HIT, MISS, REPLICA_HIT, STALE)
+
+
+class ClusterMetrics:
+    """Thread-safe cluster-wide accounting (the conservation invariant).
+
+    Mirrors into a registry when given one:
+    ``cluster_requests_total{outcome=}``,
+    ``cluster_request_latency_seconds{outcome=}``,
+    ``cluster_replications_total``, ``cluster_front_hits_total``,
+    ``cluster_replica_probes_total``, plus the ring-state gauges
+    ``cluster_ring_nodes`` and ``cluster_shard_up{shard=}`` maintained
+    by the cluster itself.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._lock = threading.Lock()
+        self.counts: Dict[str, int] = {
+            outcome: 0 for outcome in CLUSTER_OUTCOMES}
+        self.front_hits = 0
+        self.replications = 0
+        self.replica_probes = 0
+        self._latencies: Dict[str, List[float]] = {
+            outcome: [] for outcome in CLUSTER_OUTCOMES}
+        self.registry = registry
+        if registry is not None:
+            self._obs_requests = {
+                outcome: registry.counter(
+                    "cluster_requests_total",
+                    "Cluster requests by outcome", outcome=outcome)
+                for outcome in CLUSTER_OUTCOMES}
+            self._obs_latency = {
+                outcome: registry.histogram(
+                    "cluster_request_latency_seconds",
+                    "Cluster request latency by outcome",
+                    DEFAULT_LATENCY_BUCKETS, outcome=outcome)
+                for outcome in CLUSTER_OUTCOMES}
+            self._obs_front = registry.counter(
+                "cluster_front_hits_total",
+                "Requests absorbed by the front cache")
+            self._obs_replications = registry.counter(
+                "cluster_replications_total",
+                "Hot-key values pushed to replica shards")
+            self._obs_probes = registry.counter(
+                "cluster_replica_probes_total",
+                "Replica reads attempted while a primary was unavailable")
+
+    def record(self, outcome: str, latency: float,
+               front: bool = False) -> None:
+        """Account one finished cluster request."""
+        with self._lock:
+            self.counts[outcome] += 1
+            self._latencies[outcome].append(latency)
+            if front:
+                self.front_hits += 1
+        if self.registry is not None:
+            self._obs_requests[outcome].inc()
+            self._obs_latency[outcome].observe(latency)
+            if front:
+                self._obs_front.inc()
+
+    def record_replication(self, copies: int) -> None:
+        with self._lock:
+            self.replications += copies
+        if self.registry is not None:
+            self._obs_replications.inc(copies)
+
+    def record_replica_probe(self) -> None:
+        with self._lock:
+            self.replica_probes += 1
+        if self.registry is not None:
+            self._obs_probes.inc()
+
+    # -- views ---------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return sum(self.counts.values())
+
+    def latencies(self, outcome: Optional[str] = None) -> List[float]:
+        """Recorded latencies, for one outcome or all of them."""
+        with self._lock:
+            if outcome is not None:
+                return list(self._latencies[outcome])
+            merged: List[float] = []
+            for values in self._latencies.values():
+                merged.extend(values)
+            return merged
+
+    def snapshot(self) -> Dict[str, int]:
+        """A consistent copy of every counter."""
+        with self._lock:
+            snap = dict(self.counts)
+            snap["requests"] = sum(self.counts.values())
+            snap["front_hits"] = self.front_hits
+            snap["replications"] = self.replications
+            snap["replica_probes"] = self.replica_probes
+            return snap
+
+    def check_conservation(self) -> None:
+        """Assert the cluster-wide outcome-conservation invariant."""
+        snap = self.snapshot()
+        accounted = sum(snap[outcome] for outcome in CLUSTER_OUTCOMES)
+        if accounted != snap["requests"]:
+            raise AssertionError(
+                f"cluster outcome accounting broken: {accounted} "
+                f"accounted vs {snap['requests']} requests ({snap})")
+
+
+@dataclass
+class RebalanceReport:
+    """What one membership change moved (and what it did not)."""
+
+    joined: Optional[str] = None
+    left: Optional[str] = None
+    keys_before: int = 0          # cached keys examined
+    keys_moved: int = 0           # cached keys whose primary changed
+    migrated: int = 0             # moved entries copied to new owners
+    dropped: int = 0              # moved entries invalidated only
+    by_shard: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def moved_fraction(self) -> float:
+        """Fraction of examined keys that changed primary."""
+        if self.keys_before == 0:
+            return 0.0
+        return self.keys_moved / self.keys_before
+
+    def render(self) -> str:
+        event = (f"join {self.joined}" if self.joined
+                 else f"leave {self.left}")
+        per_shard = "  ".join(f"{name}:{count}"
+                              for name, count in sorted(self.by_shard.items()))
+        return (f"rebalance ({event}): {self.keys_moved}/{self.keys_before} "
+                f"cached keys moved ({self.moved_fraction:.1%}); "
+                f"{self.migrated} migrated, {self.dropped} dropped"
+                + (f"  [{per_shard}]" if per_shard else ""))
+
+
+class _DownWindows:
+    """Scheduled + manual per-shard down state on the shared clock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._windows: Dict[str, List[Tuple[float, float]]] = {}
+        self._manual: Dict[str, bool] = {}
+
+    def add_window(self, shard: str, start: float, end: float) -> None:
+        if end <= start:
+            raise ValueError(
+                f"down window must have end > start, got [{start}, {end})")
+        with self._lock:
+            self._windows.setdefault(shard, []).append(
+                (float(start), float(end)))
+
+    def set_manual(self, shard: str, down: bool) -> None:
+        with self._lock:
+            self._manual[shard] = bool(down)
+
+    def is_down(self, shard: str, now: float) -> bool:
+        with self._lock:
+            if self._manual.get(shard, False):
+                return True
+            return any(start <= now < end
+                       for start, end in self._windows.get(shard, ()))
+
+
+class CacheCluster:
+    """Consistent-hash router over named :class:`CacheService` shards.
+
+    ``shards`` maps shard names to fully-constructed services; each
+    service should share the cluster's ``clock`` (the
+    :func:`build_cluster` helper wires all of this, including one
+    fault plan and breaker per shard and per-shard metric labels).
+    The single public serving operation is :meth:`get`.
+    """
+
+    def __init__(
+        self,
+        shards: Dict[str, CacheService],
+        config: Optional[ClusterConfig] = None,
+        clock: Optional[Clock] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        for name, service in shards.items():
+            if not isinstance(service, CacheService):
+                raise TypeError(
+                    f"shard {name!r} must be a CacheService, "
+                    f"got {type(service).__name__}")
+        self.config = config or ClusterConfig()
+        self.clock = clock or SystemClock()
+        self.shards: Dict[str, CacheService] = dict(shards)
+        self.ring = HashRing(self.shards, vnodes=self.config.vnodes)
+        self.metrics = ClusterMetrics(registry)
+        self.registry = registry
+        self.hot_tracker = HotKeyTracker(
+            self.config.hot_tracker_size, self.config.hot_key_threshold)
+        self.front_cache: Optional[FrontCache] = (
+            FrontCache(self.config.front_cache_size,
+                       self.config.front_cache_ttl, self.clock)
+            if self.config.front_cache_size > 0 else None)
+        self._down = _DownWindows()
+        self._membership_lock = threading.Lock()
+        self._ring_gauge = None
+        self._up_gauges: Dict[str, Any] = {}
+        if registry is not None:
+            self._ring_gauge = registry.gauge(
+                "cluster_ring_nodes", "Shards currently on the ring")
+            self._ring_gauge.set(len(self.ring))
+            for name in self.shards:
+                gauge = registry.gauge(
+                    "cluster_shard_up", "1 = shard serving, 0 = down",
+                    shard=name)
+                gauge.set(1)
+                self._up_gauges[name] = gauge
+
+    # ------------------------------------------------------------------
+    # Serving path
+    # ------------------------------------------------------------------
+    def get(self, key: Key) -> ClusterGetResult:
+        """Serve one request for *key* (thread-safe)."""
+        t0 = self.clock.now()
+        hot = self.hot_tracker.observe(key)
+
+        # 1. Front cache: absorb the very hottest keys before routing.
+        if self.front_cache is not None:
+            boxed = self.front_cache.get(key)
+            if boxed is not None:
+                return self._finish(key, boxed[0], HIT, None, t0,
+                                    front=True)
+
+        owners = self.ring.owners(key, 1 + self.config.replicas)
+        primary, replicas = owners[0], owners[1:]
+
+        # 2. Primary down or failing fast: degrade along the replica
+        #    set.  A cached copy serves as ``replica_hit``; a cold key
+        #    fails over entirely -- the first healthy replica shard
+        #    fetches through its own origin (the shard died, not the
+        #    backend).  With replication disabled there is nowhere to
+        #    go and the arc degrades honestly to errors.
+        primary_down = self._shard_down(primary, t0)
+        if primary_down or self.shards[primary].breaker_open:
+            served = self._try_replicas(key, replicas, t0)
+            if served is not None:
+                return served
+            if primary_down:
+                fallback = next(
+                    (name for name in replicas
+                     if not self._shard_down(name, self.clock.now())),
+                    None)
+                if fallback is None:
+                    return self._finish(
+                        key, None, ERROR, primary, t0,
+                        error=f"shard {primary!r} down; no replica "
+                              f"could serve {key!r}")
+                result = self.shards[fallback].get(key)
+                return self._finish(key, result.value, result.outcome,
+                                    fallback, t0, error=result.error)
+            # Breaker open but the shard process is up: let the shard
+            # degrade deterministically (stale / fast error).
+
+        # 3. Normal path: the primary shard serves.
+        result = self.shards[primary].get(key)
+
+        # 4. Backend failed at the primary: last-ditch replica read.
+        if result.outcome == ERROR and replicas:
+            served = self._try_replicas(key, replicas, t0)
+            if served is not None:
+                return served
+
+        # 5. Hot-key replication + front-cache admission.  A hot key's
+        #    value is pushed to every healthy replica that does not
+        #    already hold a servable copy (a fetch refreshes them all).
+        if result.ok and hot:
+            if replicas:
+                copies = 0
+                for name in replicas:
+                    if self._shard_down(name, self.clock.now()):
+                        continue
+                    if result.outcome != MISS and \
+                            self.shards[name].peek(key) is not None:
+                        continue
+                    self.shards[name].put(key, result.value)
+                    copies += 1
+                if copies:
+                    self.metrics.record_replication(copies)
+            if self.front_cache is not None:
+                self.front_cache.put(key, result.value)
+
+        return self._finish(key, result.value, result.outcome, primary,
+                            t0, error=result.error)
+
+    #: alias so the cluster can stand in where a callable is expected
+    __call__ = get
+
+    def _try_replicas(self, key: Key, replicas: List[str],
+                      t0: float) -> Optional[ClusterGetResult]:
+        """Read *key* from its replica shards, in ring order."""
+        for name in replicas:
+            if self._shard_down(name, self.clock.now()):
+                continue
+            self.metrics.record_replica_probe()
+            peeked = self.shards[name].peek(key, allow_stale=True)
+            if peeked is not None:
+                outcome = REPLICA_HIT if peeked.outcome == HIT else STALE
+                return self._finish(key, peeked.value, outcome, name, t0)
+        return None
+
+    def _shard_down(self, name: str, now: float) -> bool:
+        down = self._down.is_down(name, now)
+        gauge = self._up_gauges.get(name)
+        if gauge is not None:
+            gauge.set(0 if down else 1)
+        return down
+
+    def _finish(self, key: Key, value: Any, outcome: str,
+                shard: Optional[str], t0: float, front: bool = False,
+                error: Optional[str] = None) -> ClusterGetResult:
+        latency = self.clock.now() - t0
+        self.metrics.record(outcome, latency, front=front)
+        return ClusterGetResult(key=key, value=value, outcome=outcome,
+                                shard=shard, latency=latency, front=front,
+                                error=error)
+
+    # ------------------------------------------------------------------
+    # Fault domains
+    # ------------------------------------------------------------------
+    def kill(self, shard: str, start: float, end: float) -> None:
+        """Schedule shard *shard* down for ``[start, end)`` clock time.
+
+        Requests routed to it inside the window fail over to replicas
+        or error; the shard's cached contents survive and serve again
+        once the window closes (a crash-restart, not a decommission).
+        """
+        self._require_shard(shard)
+        self._down.add_window(shard, start, end)
+
+    def set_down(self, shard: str, down: bool = True) -> None:
+        """Manually mark *shard* down/up (real-clock stress tests)."""
+        self._require_shard(shard)
+        self._down.set_manual(shard, down)
+
+    def shard_is_down(self, shard: str) -> bool:
+        """Whether *shard* is down right now."""
+        self._require_shard(shard)
+        return self._down.is_down(shard, self.clock.now())
+
+    def _require_shard(self, shard: str) -> None:
+        if shard not in self.shards:
+            raise KeyError(
+                f"no shard {shard!r} (members: "
+                f"{', '.join(sorted(self.shards))})")
+
+    # ------------------------------------------------------------------
+    # Membership / rebalancing
+    # ------------------------------------------------------------------
+    def add_shard(self, name: str, service: CacheService,
+                  migrate: bool = True) -> RebalanceReport:
+        """Join *service* as shard *name*, rebalancing bounded arcs.
+
+        Only cached entries whose primary moved (necessarily onto the
+        new shard) are touched: with ``migrate`` they are copied to the
+        new owner then invalidated at the old one, otherwise just
+        invalidated.  Everything else keeps serving untouched.
+        """
+        if not isinstance(service, CacheService):
+            raise TypeError(
+                f"shard {name!r} must be a CacheService, "
+                f"got {type(service).__name__}")
+        with self._membership_lock:
+            if name in self.shards:
+                raise ValueError(f"shard {name!r} already in the cluster")
+            cached = {shard: self.shards[shard].cached_keys()
+                      for shard in self.shards}
+            before = self.ring.assignments(
+                [key for keys in cached.values() for key in keys])
+            self.ring.add(name)
+            self.shards[name] = service
+            report = self._rebalance(cached, before, migrate)
+            report.joined = name
+            self._after_membership_change(name, up=True)
+            return report
+
+    def remove_shard(self, name: str,
+                     migrate: bool = True) -> RebalanceReport:
+        """Gracefully drain shard *name* off the ring.
+
+        Its cached entries fall to the ring-adjacent shards (migrated
+        when ``migrate``); keys owned by other shards do not move --
+        the consistent-hashing guarantee the property tests pin down.
+        """
+        with self._membership_lock:
+            self._require_shard(name)
+            if len(self.shards) == 1:
+                raise ValueError(
+                    "cannot remove the last shard of a cluster")
+            cached = {shard: self.shards[shard].cached_keys()
+                      for shard in self.shards}
+            before = self.ring.assignments(
+                [key for keys in cached.values() for key in keys])
+            self.ring.remove(name)
+            leaving = self.shards.pop(name)
+            cached_leaving = cached.pop(name, [])
+            report = self._rebalance(cached, before, migrate,
+                                     extra={name: (leaving,
+                                                   cached_leaving)})
+            report.left = name
+            self._after_membership_change(name, up=False)
+            return report
+
+    def _rebalance(self, cached: Dict[str, List[Key]],
+                   before: Dict[Key, str], migrate: bool,
+                   extra: Optional[Dict[str, tuple]] = None
+                   ) -> RebalanceReport:
+        """Move cached entries whose primary changed; count everything."""
+        report = RebalanceReport(keys_before=len(before))
+        moved = set(moved_keys(before,
+                               self.ring.assignments(list(before))))
+        sources: List[Tuple[str, CacheService, List[Key]]] = [
+            (shard, self.shards[shard], keys)
+            for shard, keys in cached.items()]
+        for shard, (service, keys) in (extra or {}).items():
+            sources.append((shard, service, keys))
+        for shard, service, keys in sources:
+            for key in keys:
+                if key not in moved and shard in self.shards:
+                    continue
+                new_owner = self.ring.primary(key)
+                if new_owner == shard:
+                    continue
+                report.keys_moved += 1
+                report.by_shard[shard] = report.by_shard.get(shard, 0) + 1
+                if migrate:
+                    peeked = service.peek(key, allow_stale=True)
+                    if peeked is not None:
+                        self.shards[new_owner].put(key, peeked.value)
+                        report.migrated += 1
+                    else:
+                        report.dropped += 1
+                else:
+                    report.dropped += 1
+                service.invalidate(key)
+                if self.front_cache is not None:
+                    self.front_cache.invalidate(key)
+        return report
+
+    def _after_membership_change(self, name: str, up: bool) -> None:
+        if self._ring_gauge is not None:
+            self._ring_gauge.set(len(self.ring))
+        if self.registry is not None and up and name not in self._up_gauges:
+            gauge = self.registry.gauge(
+                "cluster_shard_up", "1 = shard serving, 0 = down",
+                shard=name)
+            self._up_gauges[name] = gauge
+        gauge = self._up_gauges.get(name)
+        if gauge is not None:
+            gauge.set(1 if up else 0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def shard_snapshots(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard :class:`ServiceMetrics` snapshots."""
+        return {name: service.metrics.snapshot()
+                for name, service in self.shards.items()}
+
+    def breaker_transitions(self) -> List[Tuple[float, str, str, str]]:
+        """Merged ``(time, shard, from, to)`` transitions, time-ordered."""
+        merged: List[Tuple[float, str, str, str]] = []
+        for name, service in self.shards.items():
+            for timestamp, src, dst in service.breaker_transitions():
+                merged.append((timestamp, name, src, dst))
+        merged.sort(key=lambda item: (item[0], item[1]))
+        return merged
+
+
+def build_cluster(
+    policy_factory: Callable[[], "Any"],
+    shards: int = 4,
+    config: Optional[ClusterConfig] = None,
+    service_config: Optional["Any"] = None,
+    clock: Optional[Clock] = None,
+    registry: Optional[MetricsRegistry] = None,
+    backend_factory: Optional[Callable[[str], "Any"]] = None,
+) -> CacheCluster:
+    """Assemble a ready-to-serve cluster of homogeneous shards.
+
+    Each shard gets its own policy instance (``policy_factory()``),
+    its own :class:`~repro.service.backend.InMemoryBackend` wrapped in
+    a fresh :class:`~repro.service.faults.BackendFaultPlan` (reachable
+    as ``cluster.plans[name]`` for deterministic per-fault-domain
+    injection), its own breaker, and per-shard metric labels -- all on
+    the one shared *clock*.  ``backend_factory(name)`` overrides the
+    origin per shard when the defaults don't fit.
+    """
+    from repro.service.backend import FaultInjectedBackend, InMemoryBackend
+    from repro.service.faults import BackendFaultPlan
+    from repro.service.service import ServiceConfig
+
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    clock = clock or SystemClock()
+    plans: Dict[str, BackendFaultPlan] = {}
+    members: Dict[str, CacheService] = {}
+    for index in range(shards):
+        name = f"s{index}"
+        if backend_factory is not None:
+            backend = backend_factory(name)
+        else:
+            plan = BackendFaultPlan()
+            plans[name] = plan
+            backend = FaultInjectedBackend(InMemoryBackend(), plan, clock)
+        members[name] = CacheService(
+            policy_factory(),
+            backend,
+            service_config or ServiceConfig(),
+            clock=clock,
+            registry=registry,
+            metric_labels={"shard": name},
+        )
+    cluster = CacheCluster(members, config=config, clock=clock,
+                           registry=registry)
+    cluster.plans = plans
+    return cluster
+
+
+__all__ = [
+    "CLUSTER_OUTCOMES",
+    "REPLICA_HIT",
+    "CacheCluster",
+    "ClusterConfig",
+    "ClusterGetResult",
+    "ClusterMetrics",
+    "FrontCache",
+    "HotKeyTracker",
+    "RebalanceReport",
+    "build_cluster",
+]

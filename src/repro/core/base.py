@@ -24,6 +24,35 @@ from typing import Hashable, Iterable, List, Optional
 Key = Hashable
 
 
+def validate_capacity(capacity, what: str = "capacity") -> int:
+    """Validate a cache capacity eagerly; returns it as an ``int``.
+
+    Shared by every capacity-carrying constructor (object policies,
+    sized policies, front caches) so capacity 0, negative values,
+    fractions and booleans are rejected at construction time with one
+    clear, suggestion-free message -- never deferred to the first
+    insert, and never silently truncated (``capacity=2.7`` used to mean
+    ``capacity=2`` in the sized layer).
+    """
+    if isinstance(capacity, (bool, str, bytes)):
+        # int("10") would succeed, and int(True) == 1: both are caller
+        # bugs that must not round-trip into a working cache.
+        raise TypeError(
+            f"{what} must be an integer >= 1, got {capacity!r}")
+    try:
+        as_int = int(capacity)
+    except (TypeError, ValueError):
+        raise TypeError(
+            f"{what} must be an integer >= 1, "
+            f"got {capacity!r}") from None
+    if as_int != capacity:
+        raise ValueError(
+            f"{what} must be a whole number, got {capacity!r}")
+    if as_int < 1:
+        raise ValueError(f"{what} must be >= 1, got {capacity}")
+    return as_int
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters for a single policy instance.
@@ -145,22 +174,7 @@ class EvictionPolicy(ABC):
         # Validate eagerly with a precise message: a bad capacity used
         # to surface only deep inside the simulation loop (or worse,
         # silently truncate -- capacity=2.7 meant capacity=2).
-        if isinstance(capacity, bool):
-            raise TypeError(
-                f"capacity must be an integer >= 1, got {capacity!r}")
-        try:
-            as_int = int(capacity)
-        except (TypeError, ValueError):
-            raise TypeError(
-                f"capacity must be an integer >= 1, "
-                f"got {capacity!r}") from None
-        if as_int != capacity:
-            raise ValueError(
-                f"capacity must be a whole number of objects, "
-                f"got {capacity!r}")
-        if as_int < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
-        self.capacity = as_int
+        self.capacity = validate_capacity(capacity)
         self.stats = CacheStats()
         self._listeners: List[CacheListener] = []
 
@@ -289,6 +303,7 @@ class EvictionEvent:
 
 __all__ = [
     "Key",
+    "validate_capacity",
     "CacheStats",
     "CacheListener",
     "EvictionPolicy",

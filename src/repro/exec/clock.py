@@ -15,7 +15,11 @@ interface instead of the ``time`` module:
   deterministically.
 
 :class:`VirtualClock` is thread-safe so multi-threaded service tests
-can share one timeline.
+can share one timeline.  Concurrent sleepers form an ordered waiter
+queue: virtual time advances to the *earliest* pending deadline and
+waiters wake one at a time in ``(deadline, registration)`` order, so a
+multi-shard outage window -- several shards sleeping until their own
+fault boundaries -- unfolds in the same order on every run.
 """
 
 from __future__ import annotations
@@ -35,6 +39,19 @@ class Clock(ABC):
     @abstractmethod
     def sleep(self, seconds: float) -> None:
         """Block (or pretend to block) for *seconds*."""
+
+    def sleep_until(self, deadline: float) -> None:
+        """Block until the clock reads at least *deadline*.
+
+        The drift-free way to pace periodic work: computing the next
+        absolute deadline and sleeping *until* it (rather than sleeping
+        a relative tick) keeps a long run's schedule exact even when
+        each iteration takes its own time.  A deadline in the past
+        returns immediately.
+        """
+        remaining = deadline - self.now()
+        if remaining > 0:
+            self.sleep(remaining)
 
 
 class SystemClock(Clock):
@@ -57,28 +74,110 @@ class VirtualClock(Clock):
     written against :class:`Clock` runs its timeout/backoff/TTL logic
     unchanged while tests complete in microseconds.  ``advance`` is the
     test-side control for modelling elapsed time between requests.
+
+    **Concurrent waiters wake deterministically.**  When several
+    threads sleep at once, each registers a ``(deadline, seq)`` waiter
+    (``seq`` is the registration order).  The earliest pending waiter
+    is the only one allowed to move time forward -- it advances the
+    clock exactly to its own deadline -- and waiters whose deadlines
+    have passed return strictly one at a time in ``(deadline, seq)``
+    order.  An external :meth:`advance` that jumps past several
+    deadlines therefore releases those sleepers earliest-deadline
+    first, ties broken by registration order, on every run.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    #: real-time poll interval while parked; a safety valve only --
+    #: every wake-relevant event also notifies the condition.
+    _WAIT_SLICE = 0.05
+
+    def __init__(self, start: float = 0.0, manual: bool = False) -> None:
         if start < 0:
             raise ValueError(f"start must be >= 0, got {start}")
         self._now = float(start)
+        self._manual = bool(manual)
         self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._waiters: set = set()   # pending (deadline, seq) pairs
+        self._seq = 0
+
+    @property
+    def manual(self) -> bool:
+        """Whether sleepers park until an external :meth:`advance`."""
+        return self._manual
 
     def now(self) -> float:
         with self._lock:
             return self._now
 
-    def sleep(self, seconds: float) -> None:
-        self.advance(seconds)
+    def pending_waiters(self) -> int:
+        """How many threads are currently parked in a virtual sleep."""
+        with self._lock:
+            return len(self._waiters)
 
-    def advance(self, seconds: float) -> float:
-        """Move time forward by *seconds*; returns the new time."""
+    def sleep(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {seconds}")
-        with self._lock:
+        with self._cond:
+            self._sleep_until_locked(self._now + seconds)
+
+    def sleep_until(self, deadline: float) -> None:
+        """Advance-or-wait until the clock reads at least *deadline*."""
+        with self._cond:
+            self._sleep_until_locked(float(deadline))
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by *seconds*; returns the new time.
+
+        Before returning, every parked sleeper whose deadline was
+        passed is released -- serially, in ``(deadline, registration)``
+        order -- so an ``advance`` over a multi-shard outage boundary
+        is a synchronisation point: when it returns, all the shards
+        that were due have taken their turn.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        with self._cond:
             self._now += seconds
-            return self._now
+            target = self._now
+            self._cond.notify_all()
+            # Drain satisfied waiters before handing time back.
+            while any(deadline <= target
+                      for deadline, _ in self._waiters):
+                self._cond.wait(self._WAIT_SLICE)
+            return target
+
+    # ------------------------------------------------------------------
+    def _sleep_until_locked(self, deadline: float) -> None:
+        """The waiter protocol; caller holds ``self._cond``.
+
+        A waiter may exit only when (a) time has reached its deadline
+        and (b) it is the minimal pending waiter -- which serialises
+        wake-ups into (deadline, registration) order.  In the default
+        (auto) mode the minimal waiter whose deadline has *not* been
+        reached self-advances the clock to it, preserving the classic
+        "sleep moves time" semantics: a lone sleeper never blocks and
+        a group always progresses, waking earliest-deadline first.  In
+        ``manual`` mode sleepers park until an external
+        :meth:`advance` passes their deadline, which is what a
+        coordinated multi-shard timeline needs.
+        """
+        if deadline <= self._now:
+            return
+        me = (deadline, self._seq)
+        self._seq += 1
+        self._waiters.add(me)
+        try:
+            while True:
+                if me == min(self._waiters):
+                    if self._now >= deadline:
+                        return
+                    if not self._manual:
+                        self._now = deadline
+                        return
+                self._cond.wait(self._WAIT_SLICE)
+        finally:
+            self._waiters.discard(me)
+            self._cond.notify_all()
 
 
 __all__ = ["Clock", "SystemClock", "VirtualClock"]

@@ -9,6 +9,8 @@
 * :mod:`repro.experiments.throughput` -- X1, the throughput argument.
 * :mod:`repro.experiments.outage` -- X3, availability across a backend
   outage through the service layer.
+* :mod:`repro.experiments.outage_cluster` -- X3-cluster, killing one
+  shard of a consistent-hash cluster with and without replication.
 """
 
 from repro.experiments import (
@@ -21,6 +23,7 @@ from repro.experiments import (
     fig3,
     fig5,
     outage,
+    outage_cluster,
     table1,
     throughput,
 )
@@ -36,6 +39,7 @@ __all__ = [
     "fig3",
     "fig5",
     "outage",
+    "outage_cluster",
     "table1",
     "throughput",
     "FULL",

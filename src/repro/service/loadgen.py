@@ -171,13 +171,17 @@ def run_load(
 
     stop = threading.Event()
     started = time.perf_counter()
+    origin = service.clock.now()
 
     def worker(slice_keys: Sequence) -> None:
-        for key in slice_keys:
+        # Tick pacing uses absolute deadlines (sleep_until) rather than
+        # relative advances, so the request schedule stays exact no
+        # matter what the service itself does to the shared clock.
+        for index, key in enumerate(slice_keys, start=1):
             if stop.is_set():
                 return
             if tick:
-                service.clock.advance(tick)
+                service.clock.sleep_until(origin + index * tick)
             service.get(key)
             if timeseries is not None:
                 timeseries.maybe_sample(service.clock.now())

@@ -148,12 +148,16 @@ class ServiceMetrics:
     ``service_request_latency_seconds{outcome=}``,
     ``service_coalesced_total``, ``service_fetch_attempts_total``,
     ``service_fetch_failures_total``, ``service_negative_hits_total``)
-    so the run can be exported via :mod:`repro.obs.export`.  The raw
+    so the run can be exported via :mod:`repro.obs.export`.  Extra
+    *labels* (e.g. ``{"shard": "s2"}`` from the cluster router) are
+    attached to every mirrored metric, which is how per-shard serving
+    behaviour stays separable in one shared registry.  The raw
     per-outcome counts and latency lists stay authoritative: the load
     generator's percentile report reads exact samples, not buckets.
     """
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 labels: Optional[Dict[str, str]] = None) -> None:
         self._lock = threading.Lock()
         self.counts: Dict[str, int] = {outcome: 0 for outcome in OUTCOMES}
         self.coalesced = 0
@@ -163,28 +167,32 @@ class ServiceMetrics:
         self._latencies: Dict[str, List[float]] = {
             outcome: [] for outcome in OUTCOMES}
         self.registry = registry
+        self.labels = dict(labels or {})
         if registry is not None:
+            extra = self.labels
             self._obs_requests = {
                 outcome: registry.counter(
                     "service_requests_total", "Requests by outcome",
-                    outcome=outcome)
+                    outcome=outcome, **extra)
                 for outcome in OUTCOMES}
             self._obs_latency = {
                 outcome: registry.histogram(
                     "service_request_latency_seconds",
                     "Request latency by outcome",
-                    DEFAULT_LATENCY_BUCKETS, outcome=outcome)
+                    DEFAULT_LATENCY_BUCKETS, outcome=outcome, **extra)
                 for outcome in OUTCOMES}
             self._obs_coalesced = registry.counter(
                 "service_coalesced_total",
-                "Requests served by another request's fetch")
+                "Requests served by another request's fetch", **extra)
             self._obs_fetch_attempts = registry.counter(
-                "service_fetch_attempts_total", "Backend fetch attempts")
+                "service_fetch_attempts_total", "Backend fetch attempts",
+                **extra)
             self._obs_fetch_failures = registry.counter(
-                "service_fetch_failures_total", "Failed backend fetches")
+                "service_fetch_failures_total", "Failed backend fetches",
+                **extra)
             self._obs_negative_hits = registry.counter(
                 "service_negative_hits_total",
-                "Requests answered from the negative cache")
+                "Requests answered from the negative cache", **extra)
 
     def record(self, outcome: str, latency: float,
                coalesced: bool) -> None:
@@ -311,6 +319,7 @@ class CacheService:
         config: Optional[ServiceConfig] = None,
         clock: Optional[Clock] = None,
         registry: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
     ) -> None:
         if not isinstance(policy, EvictionPolicy):
             raise TypeError(
@@ -324,13 +333,14 @@ class CacheService:
         self.backend = backend
         self.config = config or ServiceConfig()
         self.clock = clock or SystemClock()
-        self.metrics = ServiceMetrics(registry)
+        self.metrics = ServiceMetrics(registry, labels=metric_labels)
         self.breaker: Optional[CircuitBreaker] = (
             CircuitBreaker(self.config.breaker, self.clock)
             if self.config.breaker is not None else None)
         if registry is not None and self.breaker is not None:
             gauge = registry.gauge("service_breaker_state",
-                                   "0=closed, 1=half-open, 2=open")
+                                   "0=closed, 1=half-open, 2=open",
+                                   **(metric_labels or {}))
             gauge.set(STATE_VALUES[self.breaker.state])
             self.breaker.on_transition = (
                 lambda _old, new, _now: gauge.set(STATE_VALUES[new]))
@@ -412,6 +422,75 @@ class CacheService:
             if self.config.ttl is None:
                 return True
             return self.clock.now() - entry.fetched_at <= self.config.ttl
+
+    # ------------------------------------------------------------------
+    # Replica / cluster hooks
+    # ------------------------------------------------------------------
+    def put(self, key: Key, value: Any) -> None:
+        """Seed *key* -> *value* as if it had just been fetched.
+
+        The replica-write hook: the cluster router pushes a hot key's
+        freshly fetched value into replica shards through this, and
+        rebalancing migrates surviving entries with it.  The key is
+        admitted into the eviction policy (evictions fire normally) and
+        any negative-cache entry for it is cleared.
+        """
+        with self._lock:
+            self.policy.request(key)
+            self._store[key] = _Entry(value, self.clock.now())
+            self._negative.pop(key, None)
+
+    def peek(self, key: Key, allow_stale: bool = True) -> Optional[GetResult]:
+        """Read *key* locally -- never touches the backend.
+
+        The replica-read hook: when a primary shard's breaker is open
+        (or the shard is down), the cluster asks the key's replicas for
+        whatever copy they hold.  Returns a :class:`GetResult` with
+        outcome ``hit`` (fresh) or ``stale`` (expired but within the
+        serve-stale budget), or ``None`` when nothing servable is
+        cached.  Does not promote in the eviction policy and records no
+        metrics -- accounting belongs to the caller's request, not to
+        this shard.
+        """
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None or key not in self.policy:
+                return None
+            now = self.clock.now()
+            age = now - entry.fetched_at
+            if self.config.ttl is None or age <= self.config.ttl:
+                return GetResult(key=key, value=entry.value, outcome=HIT,
+                                 coalesced=False, latency=0.0)
+            if allow_stale and self.config.stale_ttl > 0:
+                budget = (self.config.ttl or 0.0) + self.config.stale_ttl
+                if age <= budget:
+                    return GetResult(key=key, value=entry.value,
+                                     outcome=STALE, coalesced=False,
+                                     latency=0.0)
+            return None
+
+    def invalidate(self, key: Key) -> bool:
+        """Drop any cached value for *key*; returns whether one existed.
+
+        Used by ring rebalancing when a key's ownership moves away from
+        this shard.  The policy's metadata entry is left to age out --
+        with no stored value the next request is a miss either way.
+        """
+        with self._lock:
+            self._negative.pop(key, None)
+            return self._store.pop(key, None) is not None
+
+    def cached_keys(self) -> List[Key]:
+        """A consistent snapshot of the keys holding a stored value."""
+        with self._lock:
+            return [key for key in self._store if key in self.policy]
+
+    @property
+    def breaker_open(self) -> bool:
+        """Whether the circuit breaker currently rejects fetches."""
+        if self.breaker is None:
+            return False
+        return self.breaker.state == "open"
 
     def breaker_transitions(self) -> List[tuple]:
         """Breaker state transitions so far (empty without a breaker)."""

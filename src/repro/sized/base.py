@@ -21,6 +21,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Hashable
 
+from repro.core.base import validate_capacity
+
 Key = Hashable
 
 
@@ -81,10 +83,8 @@ class SizedEvictionPolicy(ABC):
     name: str = "sized-abstract"
 
     def __init__(self, capacity_bytes: int) -> None:
-        if capacity_bytes < 1:
-            raise ValueError(
-                f"capacity_bytes must be >= 1, got {capacity_bytes}")
-        self.capacity_bytes = int(capacity_bytes)
+        self.capacity_bytes = validate_capacity(
+            capacity_bytes, what="capacity_bytes")
         self.used_bytes = 0
         self.stats = SizedStats()
 

@@ -239,8 +239,21 @@ class GDSF(SizedEvictionPolicy):
 
     def _shrink(self, skip: Key) -> None:
         # Resizing an object upward can overflow the budget; evict
-        # other objects (never the one just touched).
+        # other objects (never the one just touched).  The skip entry
+        # is set aside, not pushed back: when the resized object is
+        # the minimum-priority live entry, an immediate push-back
+        # would pop it again forever.
+        skip_entry: Optional[Tuple[float, int, Key]] = None
         while self.used_bytes > self.capacity_bytes:
+            if skip_entry is not None and len(self._meta) == 1:
+                # Everything else is gone and the resized object
+                # alone still does not fit: drop it too.
+                priority, _, key = skip_entry
+                self.used_bytes -= self._meta.pop(key)[2]
+                # The evictions above may have raised the clock past
+                # the stashed priority; never wind it back.
+                self._inflation = max(self._inflation, priority)
+                return
             priority, counter, key = heapq.heappop(self._heap)
             meta = self._meta.get(key)
             if meta is None or meta[0] != priority:
@@ -252,11 +265,13 @@ class GDSF(SizedEvictionPolicy):
                     self.used_bytes -= meta[2]
                     self._inflation = priority
                     return
-                heapq.heappush(self._heap, (priority, counter, key))
+                skip_entry = (priority, counter, key)
                 continue
             del self._meta[key]
             self.used_bytes -= meta[2]
             self._inflation = priority
+        if skip_entry is not None:
+            heapq.heappush(self._heap, skip_entry)
 
     def __contains__(self, key: Key) -> bool:
         return key in self._meta

@@ -1,0 +1,155 @@
+"""Tests for the cluster load harness and the Zipf+Pareto workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec.clock import VirtualClock
+from repro.policies import LRU
+from repro.cluster import (
+    ClusterConfig,
+    build_cluster,
+    make_cluster_workload,
+    pareto_sizes_kb,
+    run_cluster_load,
+    zipf_ranks,
+)
+
+
+def virtual_cluster(replicas=1, shards=4):
+    return build_cluster(
+        lambda: LRU(100),
+        shards=shards,
+        config=ClusterConfig(replicas=replicas, hot_key_threshold=3),
+        clock=VirtualClock(),
+    )
+
+
+class TestWorkload:
+    def test_deterministic_for_same_seed(self):
+        one = make_cluster_workload(500, universe=1000, seed=9)
+        two = make_cluster_workload(500, universe=1000, seed=9)
+        assert one.keys == two.keys
+        assert np.array_equal(one.sizes_kb, two.sizes_kb)
+
+    def test_different_seed_differs(self):
+        one = make_cluster_workload(500, universe=1000, seed=9)
+        two = make_cluster_workload(500, universe=1000, seed=10)
+        assert one.keys != two.keys
+
+    def test_zipf_head_is_heavy(self):
+        workload = make_cluster_workload(5000, universe=10000,
+                                         alpha=1.2, seed=1)
+        top = max(workload.keys.count("k1"), workload.keys.count("k2"))
+        assert top > 5000 / 10000 * 10   # far above uniform
+
+    def test_large_universe_uses_rejection_sampler(self):
+        rng = np.random.default_rng(3)
+        ranks = zipf_ranks(rng, 2000, 2_000_000, 1.1)
+        assert ranks.min() >= 1
+        assert ranks.max() <= 2_000_000
+
+    def test_large_universe_needs_alpha_above_one(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError, match="alpha"):
+            zipf_ranks(rng, 10, 2_000_000, 1.0)
+
+    def test_pareto_sizes_bounded(self):
+        rng = np.random.default_rng(3)
+        sizes = pareto_sizes_kb(rng, 10000)
+        assert sizes.min() >= 1.0          # scale floor
+        assert sizes.max() <= 5000.0       # cap
+
+    def test_validation(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            make_cluster_workload(0)
+        with pytest.raises(ValueError):
+            zipf_ranks(rng, 10, 0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_ranks(rng, 10, 5, 0.0)
+
+    def test_describe_mentions_scale(self):
+        workload = make_cluster_workload(100, universe=500, seed=2)
+        text = workload.describe()
+        assert "100 requests" in text and "500-key" in text
+
+
+class TestRunClusterLoad:
+    def test_deterministic_counts_and_invariant(self):
+        cluster = virtual_cluster()
+        keys = [f"k{i % 20}" for i in range(200)]
+        report = run_cluster_load(cluster, keys, threads=1, tick=0.01)
+        report.check_accounting()
+        assert report.requests == 200
+        assert report.outcomes["miss"] == 20
+        assert report.outcomes["hit"] == 180
+        assert report.availability == 1.0
+        assert report.shards == 4
+
+    def test_validation(self):
+        cluster = virtual_cluster()
+        with pytest.raises(ValueError, match="threads"):
+            run_cluster_load(cluster, ["k"], threads=0)
+        with pytest.raises(ValueError, match="tick"):
+            run_cluster_load(cluster, ["k"], tick=-1)
+        with pytest.raises(ValueError, match="threads=1"):
+            run_cluster_load(cluster, ["k"], threads=2, tick=0.1)
+        with pytest.raises(ValueError, match="checkpoints"):
+            run_cluster_load(cluster, ["k"], checkpoints=[1.0])
+
+    def test_tick_requires_virtual_clock(self):
+        cluster = build_cluster(lambda: LRU(10), shards=2)
+        with pytest.raises(ValueError, match="VirtualClock"):
+            run_cluster_load(cluster, ["k"], tick=0.1)
+
+    def test_checkpoints_split_phases_exactly(self):
+        cluster = virtual_cluster()
+        keys = [f"k{i}" for i in range(100)]
+        report = run_cluster_load(cluster, keys, threads=1, tick=0.1,
+                                  checkpoints=[3.0, 7.0])
+        phases = report.phases()
+        assert [p["requests"] for p in phases] == [29, 40, 31]
+        assert sum(p["requests"] for p in phases) == 100
+
+    def test_kill_window_degrades_only_the_middle_phase(self):
+        cluster = virtual_cluster(replicas=0)
+        cluster.kill("s1", 3.0, 7.0)
+        keys = [f"k{i}" for i in range(100)]
+        report = run_cluster_load(cluster, keys, threads=1, tick=0.1,
+                                  checkpoints=[3.0, 7.0])
+        before, during, after = report.phases()
+        assert before["error"] == 0 and after["error"] == 0
+        assert during["error"] > 0
+
+    def test_replication_keeps_availability_during_kill(self):
+        keys = make_cluster_workload(2000, universe=300, alpha=1.1,
+                                     seed=5).keys
+        results = {}
+        for replicas in (0, 1):
+            cluster = virtual_cluster(replicas=replicas)
+            cluster.kill("s1", 5.0, 15.0)
+            report = run_cluster_load(cluster, keys, threads=1,
+                                      tick=0.01)
+            report.check_accounting()
+            results[replicas] = report
+        assert results[1].availability > results[0].availability
+        assert results[1].availability >= 0.99
+        assert results[1].outcomes["replica_hit"] > 0
+
+    def test_multi_threaded_conservation(self):
+        cluster = build_cluster(lambda: LRU(50), shards=3)
+        keys = [f"k{i % 40}" for i in range(1000)]
+        report = run_cluster_load(cluster, keys, threads=4)
+        report.check_accounting()
+        assert report.requests == 1000
+        assert report.throughput > 0
+
+    def test_render_mentions_everything(self):
+        cluster = virtual_cluster()
+        report = run_cluster_load(cluster, ["a", "a", "b"], threads=1)
+        text = report.render()
+        for token in ("replica_hit=", "availability", "eff hit ratio",
+                      "shard s0", "p99"):
+            assert token in text

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.base import CacheListener, CacheStats, EvictionEvent
+from repro.core.base import (
+    CacheListener,
+    CacheStats,
+    EvictionEvent,
+    validate_capacity,
+)
 from repro.policies.fifo import FIFO
 from repro.policies.lru import LRU
 
@@ -85,12 +90,60 @@ class TestListeners:
             cache.remove_listener(RecordingListener())
 
 
+class TestValidateCapacity:
+    """One shared validator guards every capacity-carrying constructor."""
+
+    def test_accepts_plain_ints(self):
+        assert validate_capacity(1) == 1
+        assert validate_capacity(10_000) == 10_000
+
+    def test_accepts_whole_floats_as_ints(self):
+        assert validate_capacity(8.0) == 8
+        assert isinstance(validate_capacity(8.0), int)
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match=">= 1"):
+            validate_capacity(bad)
+
+    def test_rejects_fractional_instead_of_truncating(self):
+        with pytest.raises(ValueError, match="whole number"):
+            validate_capacity(2.7)
+
+    @pytest.mark.parametrize("bad", [True, False])
+    def test_rejects_booleans(self, bad):
+        with pytest.raises(TypeError, match="integer"):
+            validate_capacity(bad)
+
+    @pytest.mark.parametrize("bad", ["10", None, [4]])
+    def test_rejects_non_numeric(self, bad):
+        with pytest.raises(TypeError, match="integer"):
+            validate_capacity(bad)
+
+    def test_message_names_the_parameter(self):
+        with pytest.raises(ValueError, match="capacity_bytes"):
+            validate_capacity(0, what="capacity_bytes")
+
+
 class TestEvictionPolicyBase:
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):
             FIFO(0)
         with pytest.raises(ValueError):
             LRU(-5)
+
+    def test_capacity_zero_rejected_via_registry_too(self):
+        from repro.policies.registry import make
+
+        for name in ("LRU", "FIFO", "QD-LP-FIFO"):
+            with pytest.raises(ValueError, match="capacity"):
+                make(name, 0)
+
+    def test_fractional_and_boolean_capacity_rejected(self):
+        with pytest.raises(ValueError, match="whole number"):
+            LRU(2.7)
+        with pytest.raises(TypeError, match="integer"):
+            FIFO(True)
 
     def test_warm_resets_stats_but_keeps_content(self):
         cache = LRU(10)

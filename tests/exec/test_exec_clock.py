@@ -47,6 +47,111 @@ class TestVirtualClock:
         assert clock.now() == pytest.approx(4.0)
 
 
+class TestSleepUntil:
+    def test_advances_to_the_deadline(self):
+        clock = VirtualClock(start=2.0)
+        clock.sleep_until(5.0)
+        assert clock.now() == 5.0
+
+    def test_past_deadline_is_a_noop(self):
+        clock = VirtualClock(start=10.0)
+        clock.sleep_until(3.0)
+        assert clock.now() == 10.0
+
+    def test_system_clock_past_deadline_returns_immediately(self):
+        clock = SystemClock()
+        clock.sleep_until(clock.now() - 1.0)   # must not block or raise
+
+    def test_absolute_deadlines_do_not_drift(self):
+        """Pacing via sleep_until absorbs time spent inside the loop."""
+        clock = VirtualClock()
+        origin = clock.now()
+        for index in range(1, 6):
+            clock.sleep(0.03)                  # "work" inside the tick
+            clock.sleep_until(origin + index * 0.1)
+        assert clock.now() == pytest.approx(0.5)
+
+
+class TestOrderedWaiters:
+    def test_manual_mode_parks_until_advance(self):
+        clock = VirtualClock(manual=True)
+        woke = threading.Event()
+
+        def sleeper():
+            clock.sleep(1.0)
+            woke.set()
+
+        thread = threading.Thread(target=sleeper, daemon=True)
+        thread.start()
+        while clock.pending_waiters() == 0:
+            pass
+        assert not woke.wait(0.05)             # parked, not self-advancing
+        clock.advance(1.0)
+        assert woke.wait(5.0)
+        thread.join(timeout=5.0)
+
+    def test_waiters_wake_in_deadline_then_registration_order(self):
+        """advance() releases due sleepers deterministically ordered."""
+        clock = VirtualClock(manual=True)
+        order = []
+        lock = threading.Lock()
+        specs = [("a", 10.0), ("b", 3.0), ("c", 10.0), ("d", 5.0)]
+
+        def sleeper(name, deadline):
+            clock.sleep_until(deadline)
+            with lock:
+                order.append(name)
+
+        pool = []
+        for name, deadline in specs:
+            thread = threading.Thread(target=sleeper,
+                                      args=(name, deadline), daemon=True)
+            thread.start()
+            # Serialise registration so `seq` follows spec order.
+            while clock.pending_waiters() < len(pool) + 1:
+                pass
+            pool.append(thread)
+
+        clock.advance(20.0)                    # releases all four
+        for thread in pool:
+            thread.join(timeout=5.0)
+        assert order == ["b", "d", "a", "c"]
+
+    def test_partial_advance_releases_only_due_waiters(self):
+        clock = VirtualClock(manual=True)
+        woke = []
+        lock = threading.Lock()
+
+        def sleeper(name, deadline):
+            clock.sleep_until(deadline)
+            with lock:
+                woke.append(name)
+
+        threads = []
+        for name, deadline in [("early", 3.0), ("late", 8.0)]:
+            thread = threading.Thread(target=sleeper,
+                                      args=(name, deadline), daemon=True)
+            thread.start()
+            while clock.pending_waiters() < len(threads) + 1:
+                pass
+            threads.append(thread)
+
+        clock.advance(4.0)
+        with lock:
+            assert woke == ["early"]
+        assert clock.pending_waiters() == 1
+        clock.advance(10.0)
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert woke == ["early", "late"]
+
+    def test_auto_mode_lone_sleeper_never_blocks(self):
+        clock = VirtualClock()                 # manual=False (default)
+        clock.sleep(2.0)
+        assert clock.now() == 2.0
+        assert not clock.manual
+
+
 class TestSystemClock:
     def test_now_is_monotonic(self):
         clock = SystemClock()

@@ -1,0 +1,91 @@
+"""The X3-cluster shard-kill experiment (deterministic, virtual clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import outage_cluster
+from repro.experiments.common import TINY
+
+
+@pytest.fixture(scope="module")
+def tiny_result(tmp_path_factory):
+    # Built once per module: 3 policies x 2 replication arms.
+    import os
+
+    old = os.environ.get("REPRO_RESULTS_DIR")
+    os.environ["REPRO_RESULTS_DIR"] = str(
+        tmp_path_factory.mktemp("outage-cluster-results"))
+    try:
+        yield outage_cluster.run(TINY)
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_RESULTS_DIR", None)
+        else:
+            os.environ["REPRO_RESULTS_DIR"] = old
+
+
+class TestScenarioValidation:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="kill window"):
+            outage_cluster.ClusterScenario(kill_start=0.7, kill_end=0.4)
+
+    def test_rejects_single_shard(self):
+        with pytest.raises(ValueError, match="shards"):
+            outage_cluster.ClusterScenario(shards=1)
+
+    def test_rejects_unknown_victim(self):
+        with pytest.raises(ValueError, match="killed_shard"):
+            outage_cluster.ClusterScenario(shards=4, killed_shard="s7")
+
+    def test_window_scales_with_duration(self):
+        scenario = outage_cluster.ClusterScenario(num_requests=1000)
+        start, end = scenario.window()
+        assert start == pytest.approx(0.4 * scenario.duration)
+        assert end == pytest.approx(0.7 * scenario.duration)
+
+
+class TestClusterOutageRun:
+    def test_covers_every_policy_and_both_arms(self, tiny_result):
+        arms = {(row.policy, row.replicas) for row in tiny_result.rows}
+        assert arms == {(policy, replicas)
+                        for policy in outage_cluster.POLICIES
+                        for replicas in (1, 0)}
+
+    def test_replication_meets_the_availability_bar(self, tiny_result):
+        """The acceptance criterion: >= 99% availability with replicas."""
+        for policy in outage_cluster.POLICIES:
+            with_repl = tiny_result.row(policy, 1)
+            without = tiny_result.row(policy, 0)
+            assert with_repl.availability >= 0.99
+            assert with_repl.availability > without.availability
+            assert with_repl.report.outcomes["replica_hit"] > 0
+
+    def test_without_replication_the_kill_window_is_visible(
+            self, tiny_result):
+        for policy in outage_cluster.POLICIES:
+            row = tiny_result.row(policy, 0)
+            phases = row.phase_availability()
+            assert phases["during"] < phases["before"]
+            assert row.report.outcomes["error"] > 0
+
+    def test_recovery_after_the_window(self, tiny_result):
+        for row in tiny_result.rows:
+            assert row.phase_availability()["after"] >= 0.999
+
+    def test_accounting_invariant_per_arm(self, tiny_result):
+        for row in tiny_result.rows:
+            row.report.check_accounting()
+
+    def test_render_and_row_lookup(self, tiny_result):
+        text = tiny_result.render()
+        assert "replica" in text and "QD-LP-FIFO" in text
+        assert "killing shard s1" in text
+        with pytest.raises(KeyError):
+            tiny_result.row("Nope", 1)
+
+    def test_deterministic_across_runs(self, tiny_result):
+        again = outage_cluster.run(TINY)
+        for first, second in zip(tiny_result.rows, again.rows):
+            assert first.report.outcomes == second.report.outcomes
+            assert first.report.latency_p99 == second.report.latency_p99

@@ -29,6 +29,26 @@ class TestSizedStats:
         assert stats.hit_bytes == 0
 
 
+class TestSizedCapacityValidation:
+    """capacity_bytes goes through the shared validate_capacity guard."""
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_rejects_zero_capacity(self, factory):
+        with pytest.raises(ValueError, match="capacity_bytes"):
+            factory(0)
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_rejects_fractional_capacity(self, factory):
+        # Used to silently truncate: capacity_bytes=2.7 meant 2 bytes.
+        with pytest.raises(ValueError, match="whole number"):
+            factory(2.7)
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_rejects_boolean_capacity(self, factory):
+        with pytest.raises(TypeError, match="integer"):
+            factory(True)
+
+
 class TestCommonBehaviour:
     @pytest.mark.parametrize("factory", ALL_FACTORIES)
     def test_byte_budget_never_exceeded(self, factory, rng):
@@ -110,6 +130,27 @@ class TestSizedClock:
 
 
 class TestGDSF:
+    def test_upward_resize_of_minimum_priority_object_terminates(self):
+        """Regression: resizing the minimum-priority object over budget
+        used to livelock (_shrink popped it, pushed it straight back,
+        and popped it again forever).  It must evict the *other*
+        entries and keep the resized one."""
+        cache = GDSF(100)
+        cache.request("big", 90)    # priority 1/90 -- the minimum
+        cache.request("small", 1)   # priority 1/1
+        assert cache.request("big", 100) is True  # resize over budget
+        assert "big" in cache
+        assert "small" not in cache
+        assert cache.used_bytes == 100
+
+    def test_upward_resize_beyond_capacity_drops_resized_object(self):
+        cache = GDSF(100)
+        cache.request("big", 90)
+        cache.request("small", 1)
+        assert cache.request("big", 150) is True  # can never fit
+        assert "big" not in cache
+        assert cache.used_bytes <= 100
+
     def test_small_hot_object_beats_large_cold(self):
         cache = GDSF(1000)
         for _ in range(5):

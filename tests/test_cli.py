@@ -241,3 +241,36 @@ class TestLoadgenCommand:
             raise KeyboardInterrupt
         monkeypatch.setattr("repro.cli._cmd_loadgen", boom)
         assert main(["loadgen"]) == 130
+
+    def test_loadgen_cluster_mode(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        code = main(["loadgen", "--shards", "3", "--threads", "2",
+                     "--requests", "1500", "--objects", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 shard(s)" in out
+        assert "replica_hit=" in out
+        assert (tmp_path / "loadgen_cluster.txt").exists()
+        assert (tmp_path / "loadgen_cluster_metrics.jsonl").exists()
+
+    def test_loadgen_cluster_kill_shard(self, capsys, tmp_path,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        code = main(["loadgen", "--shards", "4", "--replicas", "1",
+                     "--kill-shard", "s1", "--requests", "1500",
+                     "--objects", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+
+    def test_loadgen_kill_shard_validation(self, capsys):
+        code = main(["loadgen", "--shards", "4", "--kill-shard", "nope",
+                     "--requests", "100"])
+        assert code == 2
+        assert "--kill-shard" in capsys.readouterr().err
+
+    def test_loadgen_kill_needs_two_shards(self, capsys):
+        code = main(["loadgen", "--shards", "1", "--kill-shard", "s0",
+                     "--requests", "100"])
+        assert code == 2
+        assert "2 shards" in capsys.readouterr().err

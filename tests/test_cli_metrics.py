@@ -130,6 +130,47 @@ class TestFilters:
                      "--select", "nope_*"]) == 1
 
 
+class TestLabelGlobs:
+    @pytest.fixture
+    def sharded_file(self, tmp_path):
+        registry = MetricsRegistry()
+        for shard in ("s0", "s1", "s10"):
+            registry.counter("service_requests_total", shard=shard,
+                             outcome="hit").inc(1)
+        registry.counter("cluster_requests_total", outcome="hit").inc(3)
+        return write_jsonl(registry, tmp_path / "sharded.jsonl")
+
+    def rows(self, capsys):
+        return [json.loads(line)
+                for line in capsys.readouterr().out.splitlines() if line]
+
+    def test_star_glob_selects_all_shard_rows(self, sharded_file, capsys):
+        assert main(["metrics", str(sharded_file), "--format", "jsonl",
+                     "--labels", "shard=*"]) == 0
+        rows = self.rows(capsys)
+        assert {r["labels"]["shard"] for r in rows} == {"s0", "s1", "s10"}
+
+    def test_glob_excludes_rows_without_the_label(self, sharded_file,
+                                                  capsys):
+        """`shard=*` must not match the unlabelled cluster row."""
+        assert main(["metrics", str(sharded_file), "--format", "jsonl",
+                     "--labels", "shard=*"]) == 0
+        assert all("shard" in r["labels"] for r in self.rows(capsys))
+
+    def test_partial_glob(self, sharded_file, capsys):
+        assert main(["metrics", str(sharded_file), "--format", "jsonl",
+                     "--labels", "shard=s1*"]) == 0
+        rows = self.rows(capsys)
+        assert {r["labels"]["shard"] for r in rows} == {"s1", "s10"}
+
+    def test_exact_value_still_works(self, sharded_file, capsys):
+        assert main(["metrics", str(sharded_file), "--format", "jsonl",
+                     "--labels", "shard=s1"]) == 0
+        rows = self.rows(capsys)
+        assert len(rows) == 1
+        assert rows[0]["labels"]["shard"] == "s1"
+
+
 class TestLatestSnapshotWins:
     def test_journal_with_many_snapshots_renders_last(self, tmp_path,
                                                       capsys):
