@@ -30,7 +30,10 @@ BASELINE = REPO_ROOT / "BENCH_throughput.json"
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.experiments.common import results_dir          # noqa: E402
-from repro.experiments.throughput import run_fast_comparison  # noqa: E402
+from repro.experiments.throughput import (                 # noqa: E402
+    FAST_POLICIES,
+    run_fast_comparison,
+)
 
 
 def main(argv=None) -> int:
@@ -63,6 +66,11 @@ def main(argv=None) -> int:
     print(f"fresh measurement written to {fresh_path}")
 
     failures = []
+    ungated = [p for p in FAST_POLICIES if p not in baseline["policies"]]
+    if ungated:
+        failures.append(
+            f"not in baseline (re-run --update-baseline): "
+            f"{', '.join(ungated)}")
     for policy, base_row in baseline["policies"].items():
         row = result.rows.get(policy)
         if row is None:

@@ -1,0 +1,73 @@
+"""CI round-trip check for the on-disk intern cache.
+
+Interns a trace against a fresh cache directory twice -- the first run
+must write the entry (cold), the second must load it (fingerprint
+hit), and the loaded form must equal the computed one exactly.  Exits
+1 on any deviation.  Runs in well under a second; the point is wiring,
+not throughput.
+
+Usage::
+
+    python benchmarks/check_intern_cache.py [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np                                         # noqa: E402
+
+from repro.sim.fast.intern import intern_trace             # noqa: E402
+from repro.sim.fast.interncache import InternCache         # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=None,
+                        help="cache directory (default: a fresh tempdir)")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = args.root or Path(tmp) / "intern-cache"
+        cache = InternCache(root=root)
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 5000, 200_000).astype(np.int64)
+
+        cold = intern_trace(keys, cache=cache)
+        if cache.stats != {"hits": 0, "misses": 1, "writes": 1,
+                           "invalid": 0}:
+            print(f"cold run: unexpected stats {cache.stats}",
+                  file=sys.stderr)
+            return 1
+
+        warm = intern_trace(keys.copy(), cache=cache)
+        if cache.stats["hits"] != 1 or cache.stats["writes"] != 1:
+            print(f"warm run: expected a fingerprint hit, got "
+                  f"{cache.stats}", file=sys.stderr)
+            return 1
+        if not (np.array_equal(cold.ids, warm.ids)
+                and np.array_equal(cold.uniques, warm.uniques)
+                and cold.num_unique == warm.num_unique):
+            print("warm run: loaded interned form differs from computed",
+                  file=sys.stderr)
+            return 1
+
+        entries = list(Path(root).glob("*.npz"))
+        if len(entries) != 1:
+            print(f"expected exactly one cache entry, found {entries}",
+                  file=sys.stderr)
+            return 1
+
+    print(f"intern-cache round trip ok: 1 write, 1 hit "
+          f"({cache.stats})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -531,8 +531,11 @@ def build_parser() -> argparse.ArgumentParser:
         "ablation-probation", "ablation-ghost", "ablation-clockbits",
         "extensions", "outage", "outage-cluster"))
     exp.add_argument("--tier", choices=tuple(_TIERS), default="quick")
-    exp.add_argument("--workers", type=int, default=0,
-                     help="sweep worker processes (0 = half the cores)")
+    exp.add_argument("--workers", "--jobs", dest="workers", type=int,
+                     default=0,
+                     help="sweep worker processes (0 = half the cores); "
+                          "fast-engine cells fan out across them too, "
+                          "sharing interned traces via runs/intern-cache/")
     exp.add_argument("--resume", metavar="RUN_ID",
                      help="resume a checkpointed sweep from its journal")
     exp.add_argument("--checkpoint", action="store_true",

@@ -39,7 +39,7 @@ DEFAULT_POLICIES = [
 #: with vectorized engines).
 FAST_POLICIES = [
     "FIFO", "LRU", "FIFO-Reinsertion", "2-bit-CLOCK", "SIEVE",
-    "S3-FIFO", "QD-LP-FIFO",
+    "S3-FIFO", "QD-LP-FIFO", "ARC", "LHD", "QD-ARC", "QD-LHD",
 ]
 
 #: The frozen benchmark workload behind ``BENCH_throughput.json``: a

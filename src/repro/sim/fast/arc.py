@@ -1,0 +1,347 @@
+"""Fast ARC: stamp-ordered T1/T2 lists + scalar ghost FIFOs.
+
+ARC's four lists split cleanly along the chunked-optimism seams:
+
+* **T1** is a FIFO ordered by insertion position and **T2** an LRU
+  ordered by last-access position, so both reuse the stamp machinery of
+  :class:`~repro.sim.fast.lru.FastLRU`: one shared ``last``/``owner``
+  pair over trace positions plus one ``alive`` bitmap *per list*, each
+  with its own monotone eviction boundary.
+* **B1/B2** are metadata-only FIFOs touched exclusively on the miss
+  path, so they stay plain ``OrderedDict``\\ s mutated by the candidate
+  walk -- the reference's own representation, at reference cost, on a
+  path that is orders of magnitude colder than the hit path.
+* The adaptation target ``p`` is a float updated only on ghost hits
+  (also the walk), replicated operation-for-operation so its value is
+  bit-identical to the reference's.
+
+The one ARC-specific wrinkle is that a *hit moves state between
+lists*: a T1 hit relocates the key to T2's MRU end, changing both list
+lengths -- which the walk's ``_replace`` decisions observe.  Classified
+T1 hits therefore become **move events**: per chunk, the first
+classified hit of every T1-resident key is precomputed (one stable
+argsort recovers each key's earliest hit) and merged into the
+candidate walk by position, so every eviction decision sees exactly
+the list sizes and orders the reference would.
+Events validate at fire time (the key must still be T1-resident --
+an earlier eviction drops the event, with the usual ``_inject``
+machinery turning the key's later hits into misses); keys admitted to
+T1 *during* the walk schedule their move event dynamically.  Events
+past the last candidate are absorbed by ``_post_apply``, which settles
+every resident hit key into T2 at its final in-chunk position (last
+write wins), exactly like FastLRU's deferred re-stamp.
+
+Promotions: the reference promotes on every hit (T1->T2 move or T2
+MRU update), so ``promotions == hits`` by construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.fast.base import FastEngine
+
+
+class FastARC(FastEngine):
+    """Array-backed Adaptive Replacement Cache."""
+
+    name = "ARC"
+    _TRACK = "last"
+
+    def __init__(self, capacity: int, num_unique: int) -> None:
+        super().__init__(capacity, num_unique)
+        self.p = 0.0
+        #: 0 = absent, 1 = T1-resident, 2 = T2-resident
+        self._where = np.zeros(num_unique, dtype=np.int8)
+        self._last = np.full(num_unique, -1, dtype=np.int64)
+        self._owner: Optional[np.ndarray] = None
+        self._alive1: Optional[np.ndarray] = None
+        self._alive2: Optional[np.ndarray] = None
+        self._bnd1 = 0
+        self._bnd2 = 0
+        self._t1n = 0
+        self._t2n = 0
+        self._b1: "OrderedDict[int, None]" = OrderedDict()
+        self._b2: "OrderedDict[int, None]" = OrderedDict()
+        self._events: List = []      # static per-chunk T1 move events
+        self._ei = 0                 # next static event to fire
+        self._dyn: List = []         # heap: events scheduled by the walk
+
+    def _alloc(self, n: int) -> None:
+        """Size the stamp arrays for an *n*-request replay."""
+        self._owner = np.empty(n, dtype=np.int64)
+        self._alive1 = np.zeros(n, dtype=np.uint8)
+        self._alive2 = np.zeros(n, dtype=np.uint8)
+
+    def replay(self, ids: np.ndarray, warmup: int = 0) -> np.ndarray:
+        self._alloc(int(np.asarray(ids).size))
+        return super().replay(ids, warmup)
+
+    # ------------------------------------------------------------------
+    def _classify(self, cids):
+        w = self._where[cids]
+        return w != 0, w
+
+    def _pre_apply(self, cids, known, aux) -> None:
+        # T1-resident keys hit in this chunk move to T2 at their first
+        # hit; precompute those (position, key) events in walk order.
+        # Pure-hit chunks skip the walk, so their moves settle in
+        # _post_apply instead.
+        self._events = []
+        self._ei = 0
+        self._dyn.clear()
+        if self._last_cand == 0:
+            return
+        self._build_events(np.nonzero(known & (aux == 1))[0], cids)
+
+    def _build_events(self, hpos: np.ndarray, cids: np.ndarray) -> None:
+        """Queue a T1->T2 move at the earliest position in *hpos* (hit
+        positions on currently-T1 keys) of each distinct key."""
+        if hpos.size == 0:
+            return
+        kk = cids[hpos]
+        order = np.argsort(kk, kind="stable")
+        sk = kk[order]
+        sp = hpos[order]
+        head = np.empty(sk.size, dtype=bool)
+        head[0] = True
+        np.not_equal(sk[1:], sk[:-1], out=head[1:])
+        epos = sp[head]
+        ekeys = sk[head]
+        by_pos = np.argsort(epos)
+        self._events = list(zip(epos[by_pos].tolist(),
+                                ekeys[by_pos].tolist()))
+
+    def _post_apply(self, cids, known, aux) -> None:
+        keys = cids[known]
+        if keys.size == 0:
+            return
+        positions = self._base + np.nonzero(known)[0]
+        w = self._where[keys]
+        resident = w != 0
+        keys = keys[resident]
+        if keys.size == 0:
+            return
+        positions = positions[resident]
+        w = w[resident]
+        cur = self._last[keys]
+        # Only hits strictly after the key's current stamp are still
+        # pending: earlier occurrences were consumed by the walk
+        # (eager re-stamps, fired move events, demotions).
+        live = positions > cur
+        keys = keys[live]
+        if keys.size == 0:
+            return
+        positions = positions[live]
+        w = w[live]
+        cur = cur[live]
+        t1keys = keys[w == 1]
+        self._alive1[cur[w == 1]] = 0
+        self._alive2[cur[w == 2]] = 0
+        self._last[keys] = positions    # duplicate keys: last write wins
+        self._owner[positions] = keys
+        self._alive2[self._last[keys]] = 1
+        self._where[keys] = 2
+        if t1keys.size:
+            moved = int(np.unique(t1keys).size)
+            self._t1n -= moved
+            self._t2n += moved
+
+    # ------------------------------------------------------------------
+    # Reference algorithm bodies
+    # ------------------------------------------------------------------
+    def _move_to_t2(self, k: int, p: int) -> None:
+        """A T1 hit at chunk-relative *p*: relocate to T2's MRU end."""
+        t = self._base + p
+        self._alive1[self._last.item(k)] = 0
+        self._alive2[t] = 1
+        self._owner[t] = k
+        self._last[k] = t
+        self._where[k] = 2
+        self._t1n -= 1
+        self._t2n += 1
+
+    def _evict_t1(self, p: int, to_ghost: bool) -> None:
+        """Evict T1's LRU (the oldest alive T1 stamp).
+
+        T1 stamps never change while resident (a hit *leaves* T1), so
+        the boundary scan needs no re-stamp reconciliation; a victim
+        with not-yet-due classified hits turns them into misses via
+        injection, exactly as the reference (which no longer holds the
+        key) would.
+        """
+        alive1 = self._alive1
+        b = self._bnd1
+        while not alive1.item(b):
+            b += 1
+        self._bnd1 = b + 1
+        victim = self._owner.item(b)
+        alive1[b] = 0
+        self._where[victim] = 0
+        self._t1n -= 1
+        if to_ghost:
+            self._b1[victim] = None
+        if self._hitpos.item(victim) > p:
+            self._inject(victim, p)
+
+    def _evict_t2(self, p: int) -> None:
+        """Evict T2's LRU with FastLRU-style lazy re-stamping."""
+        alive2 = self._alive2
+        owner = self._owner
+        last = self._last
+        hitpos = self._hitpos
+        b = self._bnd2
+        while True:
+            while not alive2.item(b):
+                b += 1
+            victim = owner.item(b)
+            if hitpos.item(victim) < 0:
+                break
+            occ, _lo = self._occ_list(victim)
+            done = bisect_right(occ, p)
+            if done:
+                tgt = self._base + occ[done - 1]
+                if tgt > b:
+                    # Re-accessed since this stamp: move the key to its
+                    # true recency and keep scanning.
+                    alive2[b] = 0
+                    alive2[tgt] = 1
+                    owner[tgt] = victim
+                    last[victim] = tgt
+                    continue
+            if done < len(occ):
+                self._inject(victim, p)
+            break
+        self._bnd2 = b + 1
+        alive2[b] = 0
+        self._where[victim] = 0
+        self._t2n -= 1
+        self._b2[victim] = None
+
+    def _replace(self, p: int, in_b2: bool) -> None:
+        """The FAST'03 REPLACE subroutine: pick the list to evict from."""
+        if self._t1n and (self._t1n > self.p
+                          or (in_b2 and self._t1n == self.p)):
+            self._evict_t1(p, to_ghost=True)
+        else:
+            self._evict_t2(p)
+
+    def _schedule_event(self, k: int, p: int) -> None:
+        """A key admitted to T1 mid-walk moves at its next classified hit."""
+        if self._hitpos.item(k) > p:
+            occ, _lo = self._occ_list(k)
+            i = bisect_right(occ, p)
+            if i < len(occ):
+                heapq.heappush(self._dyn, (occ[i], k))
+
+    def _admit(self, k: int, p: int) -> None:
+        """The reference miss path (Cases II-IV), verbatim."""
+        t = self._base + p
+        c = self.capacity
+        b1, b2 = self._b1, self._b2
+        if k in b1:
+            # Case II: ghost hit in B1 -> favour recency.
+            delta = max(len(b2) / len(b1), 1.0)
+            self.p = min(float(c), self.p + delta)
+            self._replace(p, in_b2=False)
+            del b1[k]
+        elif k in b2:
+            # Case III: ghost hit in B2 -> favour frequency.
+            delta = max(len(b1) / len(b2), 1.0)
+            self.p = max(0.0, self.p - delta)
+            self._replace(p, in_b2=True)
+            del b2[k]
+        else:
+            # Case IV: a completely new key -> T1.
+            l1 = self._t1n + len(b1)
+            if l1 == c:
+                if self._t1n < c:
+                    b1.popitem(last=False)
+                    self._replace(p, in_b2=False)
+                else:
+                    # B1 empty and T1 full: evict T1's LRU outright.
+                    self._evict_t1(p, to_ghost=False)
+            else:
+                total = l1 + self._t2n + len(b2)
+                if total >= c:
+                    if total == 2 * c:
+                        b2.popitem(last=False)
+                    self._replace(p, in_b2=False)
+            self._alive1[t] = 1
+            self._owner[t] = k
+            self._last[k] = t
+            self._where[k] = 1
+            self._t1n += 1
+            self._schedule_event(k, p)
+            return
+        # Ghost-hit admissions (Cases II/III) land at T2's MRU end.
+        self._alive2[t] = 1
+        self._owner[t] = k
+        self._last[k] = t
+        self._where[k] = 2
+        self._t2n += 1
+
+    # ------------------------------------------------------------------
+    def _run_events(self, p: int) -> None:
+        """Fire every pending move event at a position <= *p*.
+
+        An event *at* p belongs to an earlier eviction's stale schedule
+        (a hit and a candidate cannot share a position) and must be
+        dropped -- via the residency validation -- before the candidate
+        at p re-admits the key.
+        """
+        events = self._events
+        dyn = self._dyn
+        ei = self._ei
+        ne = len(events)
+        while True:
+            if ei < ne and (not dyn or events[ei][0] <= dyn[0][0]):
+                if events[ei][0] > p:
+                    break
+                epos, ekey = events[ei]
+                ei += 1
+            elif dyn and dyn[0][0] <= p:
+                epos, ekey = heapq.heappop(dyn)
+            else:
+                break
+            if self._where.item(ekey) == 1:
+                self._move_to_t2(ekey, epos)
+        self._ei = ei
+
+    def _walk_hit(self, k: int, p: int) -> None:
+        """A hit discovered mid-walk (key admitted earlier in chunk)."""
+        if self._where.item(k) == 1:
+            self._move_to_t2(k, p)
+        else:
+            t = self._base + p
+            self._alive2[self._last.item(k)] = 0
+            self._alive2[t] = 1
+            self._owner[t] = k
+            self._last[k] = t
+
+    def _scalar_pass(self, positions: List[int],
+                     keys: List[int]) -> List[int]:
+        where = self._where
+        extra = []
+        for p, k in self._stream(positions, keys):
+            self._run_events(p)
+            if where.item(k):
+                self._walk_hit(k, p)
+                extra.append(p)
+            else:
+                self._admit(k, p)
+        return extra
+
+    def _finalise(self) -> None:
+        self.promotions = self.hits
+
+    def contents(self) -> set:
+        return set(np.nonzero(self._where != 0)[0].tolist())
+
+
+__all__ = ["FastARC"]

@@ -105,7 +105,6 @@ class FastEngine:
         self._ck_hidx: Optional[np.ndarray] = None
         self._occ_keys: Optional[np.ndarray] = None   # lazy sorted index
         self._occ_pos: Optional[np.ndarray] = None
-        self._occ_order: Optional[np.ndarray] = None
         self._occ_cache = {}   # key -> (positions list, lo index)
         self._injected: List[Tuple[int, int]] = []
         self._demoted: List[int] = []
@@ -135,7 +134,7 @@ class FastEngine:
         ceil = max(self._max_chunk(), floor)
         pos = 0
         while pos < n:
-            hi = min(pos + chunk, n)
+            hi = self._begin_chunk(pos, min(pos + chunk, n))
             self._base = pos
             self._last_cand = 0
             self._last_conflict = False
@@ -171,6 +170,13 @@ class FastEngine:
     # ------------------------------------------------------------------
     # Chunk machinery
     # ------------------------------------------------------------------
+    def _begin_chunk(self, pos: int, hi: int) -> int:
+        """Pre-chunk hook: may run epoch work due at *pos* (e.g. LHD's
+        periodic reconfiguration) and cap *hi* so the chunk stops short
+        of the next epoch boundary.  Must return a value in
+        ``(pos, hi]``."""
+        return hi
+
     def _chunk_len(self) -> int:
         return self.CHUNK
 
@@ -203,7 +209,6 @@ class FastEngine:
         self._ck_hidx = hidx
         self._occ_keys = None
         self._occ_pos = None
-        self._occ_order = None
         self._occ_cache.clear()
         self._injected.clear()
         self._demoted.clear()
@@ -242,16 +247,30 @@ class FastEngine:
     # Conflict helpers (all O(log chunk) per call)
     # ------------------------------------------------------------------
     def _occ_index(self):
-        """Sorted (key, position) view of the chunk's classified hits."""
+        """Sorted (key, position) view of the chunk's classified hits.
+
+        Built by packing each (key, position) pair into one ``uint64``
+        and sorting that -- positions fit in 17 bits (``MAX_CHUNK`` is
+        ``2**16``), so a plain single-array sort gives exactly the
+        stable key-major / position-minor order an ``argsort`` over the
+        keys would, at a fraction of the cost."""
         if self._occ_keys is None:
             self._conflicts += 1
             self._last_conflict = True
-            hkeys = self._ck_cids[self._ck_hidx]
-            order = np.argsort(hkeys, kind="stable")
-            self._occ_order = order
-            self._occ_keys = hkeys[order]
-            self._occ_pos = self._ck_hidx[order]
+            hidx = self._ck_hidx
+            shift = np.uint64(17)
+            packed = (self._ck_cids[hidx].astype(np.uint64) << shift) \
+                | hidx.astype(np.uint64)
+            packed.sort()
+            self._occ_keys = (packed >> shift).astype(np.int64)
+            self._occ_pos = (packed & np.uint64(0x1FFFF)).astype(np.int64)
         return self._occ_keys, self._occ_pos
+
+    def _hit_ordinal(self, position: int) -> int:
+        """Index of chunk-hit *position* within the chunk's ascending
+        hit list (``_ck_hidx``) -- recovers what an argsort permutation
+        of the occ index would have recorded there."""
+        return int(self._ck_hidx.searchsorted(position))
 
     def _occ_list(self, key: int) -> Tuple[List[int], int]:
         """*key*'s sorted chunk hit positions as a plain list, plus its

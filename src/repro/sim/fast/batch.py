@@ -13,7 +13,7 @@ the reference simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.policies.registry import REGISTRY
 from repro.sim.fast.dispatch import engine_for, has_fast_engine
 from repro.sim.fast.intern import InternedTrace, intern_trace
 from repro.traces.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.fast.interncache import InternCache
 
 TraceLike = Union[Trace, Sequence[int], np.ndarray]
 
@@ -49,18 +52,26 @@ class BatchOutcome:
 
 
 class BatchRunner:
-    """Replay a shared interned trace through many simulation cells."""
+    """Replay a shared interned trace through many simulation cells.
 
-    def __init__(self) -> None:
+    *intern_cache*, if given, is an
+    :class:`~repro.sim.fast.interncache.InternCache` consulted before
+    interning a cold trace and populated after -- it lets separate
+    processes (parallel sweep workers, repeated CLI runs) share the
+    interning work through ``runs/intern-cache/``.
+    """
+
+    def __init__(self, intern_cache: Optional["InternCache"] = None) -> None:
         self._interned: Optional[InternedTrace] = None
         self._source: Optional[int] = None
+        self._cache = intern_cache
 
     def _ids_for(self, trace: TraceLike) -> InternedTrace:
         if isinstance(trace, Trace):
-            return intern_trace(trace)     # cached on the Trace itself
+            return intern_trace(trace, cache=self._cache)
         if self._interned is not None and self._source == id(trace):
             return self._interned
-        interned = intern_trace(trace)
+        interned = intern_trace(trace, cache=self._cache)
         self._interned = interned
         self._source = id(trace)
         return interned

@@ -1,0 +1,140 @@
+"""On-disk intern cache: persist interned traces across processes.
+
+Interning a trace (``np.unique`` over the key array) is cheap relative
+to a replay, but it is the one per-trace cost that every *process*
+pays: the in-memory cache lives on the :class:`Trace` instance, so a
+sweep fanned out across worker processes re-interns each trace once
+per worker, and repeated CLI invocations re-intern everything from
+scratch.  :class:`InternCache` persists the interned form under
+``runs/intern-cache/`` keyed by a fingerprint of the raw key array;
+any process that sees the same trace loads the dense ids and the
+id -> key table straight from disk.
+
+Entries are content-addressed -- the fingerprint is a BLAKE2b digest
+over a version tag, the element count, and the key bytes -- so a cache
+hit *is* a correctness proof: two traces share a file iff their key
+sequences are byte-identical.  Writes go through a temp file plus
+atomic rename, so concurrent writers (parallel sweep workers racing on
+a cold cache) at worst both do the interning work; readers never see a
+partial file.  A corrupt or truncated entry (e.g. a crash mid-write on
+a filesystem without atomic rename) is treated as a miss, counted in
+``stats['invalid']``, and overwritten by the subsequent store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.exec.journal import runs_root
+from repro.sim.fast.intern import InternedTrace
+
+#: Subdirectory of the runs root holding cache entries.
+CACHE_DIRNAME = "intern-cache"
+
+#: Bump when the on-disk layout changes; old entries become unreachable
+#: (different fingerprints) rather than misread.
+_VERSION = b"intern-v1"
+
+
+def trace_fingerprint(keys: np.ndarray) -> str:
+    """Content fingerprint of a raw key array.
+
+    BLAKE2b over a version tag, the length, and the little-endian key
+    bytes.  The length is hashed separately from the payload so the
+    digest is well-defined even for the empty trace.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(_VERSION)
+    digest.update(np.int64(keys.size).tobytes())
+    if keys.size:
+        data = keys if keys.dtype.byteorder in ("=", "<", "|") else \
+            keys.astype("<i8")
+        digest.update(data.tobytes())
+    return digest.hexdigest()
+
+
+class InternCache:
+    """Content-addressed on-disk store of :class:`InternedTrace` entries.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the ``<fingerprint>.npz`` entries.  Defaults
+        to ``<runs-root>/intern-cache`` (i.e. ``runs/intern-cache/``
+        unless ``$REPRO_RUNS_DIR`` overrides the runs root).  Created
+        lazily on first store.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        if root is None:
+            root = runs_root() / CACHE_DIRNAME
+        self.root = Path(root)
+        self.stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "writes": 0, "invalid": 0}
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Where the entry for *fingerprint* lives (whether or not it
+        exists yet)."""
+        return self.root / f"{fingerprint}.npz"
+
+    # ------------------------------------------------------------------
+    def load(self, keys: np.ndarray) -> Optional[InternedTrace]:
+        """The cached interned form of *keys*, or ``None`` on a miss.
+
+        Any failure to read or validate the entry -- missing file,
+        truncated archive, wrong arrays -- is a miss; a corrupt file
+        additionally bumps ``stats['invalid']`` (the caller's store
+        will overwrite it).
+        """
+        path = self.path_for(trace_fingerprint(keys))
+        if not path.exists():
+            self.stats["misses"] += 1
+            return None
+        try:
+            with np.load(path) as archive:
+                ids = np.ascontiguousarray(archive["ids"], dtype=np.int64)
+                uniques = np.ascontiguousarray(archive["uniques"],
+                                               dtype=np.int64)
+            if ids.ndim != 1 or uniques.ndim != 1 or ids.size != keys.size:
+                raise ValueError("intern-cache entry shape mismatch")
+        except Exception:
+            self.stats["invalid"] += 1
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        return InternedTrace(ids=ids, num_unique=int(uniques.size),
+                             uniques=uniques)
+
+    def store(self, keys: np.ndarray, interned: InternedTrace) -> Path:
+        """Persist *interned* (the interning of *keys*) atomically.
+
+        Returns the entry path.  Concurrent stores of the same trace
+        are safe: each writes a private temp file and the final rename
+        is atomic, so the entry is always a complete archive.
+        """
+        path = self.path_for(trace_fingerprint(keys))
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem + ".", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, ids=interned.ids, uniques=interned.uniques)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats["writes"] += 1
+        return path
+
+
+__all__ = ["CACHE_DIRNAME", "InternCache", "trace_fingerprint"]

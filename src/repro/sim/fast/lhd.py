@@ -1,0 +1,431 @@
+"""Fast LHD: vectorized age-bucket accounting + exact sampled eviction.
+
+LHD is the first fast engine whose per-request work is *statistical*
+rather than structural: a hit only increments an age-bucket histogram
+and refreshes the key's ``(last_access, class)`` metadata.  Crucially,
+the histograms feed decisions **only at periodic reconfigurations**
+(every ``max(1000, capacity)`` requests), never mid-stream -- so the
+whole hit path vectorizes: one stable argsort recovers each key's
+in-chunk predecessor, ages fall out as clock differences, and
+``floor(log2(age + 1))`` buckets come from ``np.frexp`` exponents
+(exact, unlike a float ``log2`` round-trip).
+
+Three devices keep the replay bit-identical to the reference:
+
+* **Epoch-aligned chunks.**  :meth:`_begin_chunk` caps every chunk at
+  the next reconfiguration boundary and runs the reconfiguration when
+  the boundary is reached, so histogram updates never straddle a table
+  rebuild.  Within an epoch all updates are ``+= 1.0``, which commutes
+  bit-exactly, so hits are *counted* vectorized (integer pending
+  arrays) and *materialised* into the float histograms at the epoch
+  edge by repeated ``+= 1.0`` -- the reference's exact float walk.
+* **Metadata at walk time.**  Sampled eviction reads the metadata of
+  arbitrary resident keys, so the vectorized metadata scatter is
+  deferred to ``_post_apply`` and the walk reconstructs any key's
+  mid-chunk ``(last, class)`` from its classified-hit positions (occ
+  bisect), including re-admission points recorded in ``_fresh_at``.
+* **Chain repair on demotion.**  Evicting a key with not-yet-due
+  classified hits subtracts their pending bucket counts (stored per
+  position) and injects the next occurrence as a miss; re-admission
+  re-derives the hit chain (fresh class, new ages) from that point.
+
+The eviction walk itself -- ``rng.randrange`` sampling, ``min`` by
+learned density, swap-remove -- replicates the reference op-for-op on
+a plain Python key list, so RNG draws and tie-breaks line up exactly.
+
+LHD never reorders a queue, so ``promotions == 0``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_right
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.policies.lhd import (
+    _CLASS_FRESH,
+    _CLASS_REUSED,
+    _NUM_BUCKETS,
+    _age_bucket,
+    _bucket_mid,
+)
+from repro.sim.fast.base import FastEngine
+
+
+def _add_ones(value: float, count: int) -> float:
+    """*count* repeated IEEE additions of ``1.0``, in O(binades).
+
+    Bit-identical to the unit-step loop: while the value sits inside a
+    binade with ``ulp <= 1`` every ``+ 1.0`` is exact (the value stays
+    a multiple of its own ulp and below the binade edge), so a block of
+    steps collapses into one exact ``+ float(j)``.  Rounding can only
+    happen on the single step that crosses the binade edge (or once
+    ``ulp > 1``, beyond 2**53) -- those steps run literally.
+    """
+    while count:
+        e = math.frexp(value)[1]
+        if value <= 0.0 or e >= 53:
+            value += 1.0
+            count -= 1
+            continue
+        j = int(math.ldexp(1.0, e) - value)   # exact steps to the edge
+        if j == 0:
+            value += 1.0
+            count -= 1
+        elif j >= count:
+            value += float(count)
+            count = 0
+        else:
+            value += float(j)
+            count -= j
+    return value
+
+
+class FastLHD(FastEngine):
+    """Array-backed Least Hit Density cache."""
+
+    name = "LHD"
+    _TRACK = "last"
+
+    def __init__(self, capacity: int, num_unique: int, *,
+                 sample_size: int, ewma_decay: float,
+                 reconf_interval: int, rng_state: tuple) -> None:
+        super().__init__(capacity, num_unique)
+        self.sample_size = sample_size
+        self.ewma_decay = ewma_decay
+        self._reconf_interval = reconf_interval
+        self._next_reconf = reconf_interval
+        self._rng = random.Random()
+        self._rng.setstate(rng_state)
+        self._clock = 0
+        #: Deferred metadata: last-access clock and class per key.  The
+        #: numpy arrays serve the vectorized chunk gathers; the plain
+        #: lists mirror them for the sampled-eviction walk, whose
+        #: per-sample reads would otherwise pay ``.item()`` calls.
+        self._mlast = np.zeros(num_unique, dtype=np.int64)
+        self._mklass = np.zeros(num_unique, dtype=np.int8)
+        self._mlastl = [0] * num_unique
+        self._mklassl = [0] * num_unique
+        #: Keys with a classified hit in the current chunk (only keys
+        #: outside this set may read their density straight off the
+        #: metadata mirrors during the walk).
+        self._hitset: set = set()
+        #: Residency: index into ``_klist``, or -1.
+        self._kpos = np.full(num_unique, -1, dtype=np.int64)
+        self._klist: List[int] = []
+        # Float histograms (reference representation) + integer pending
+        # counts accumulated within the current epoch.
+        self._hits_hist = [[0.0] * _NUM_BUCKETS for _ in range(2)]
+        self._ev_hist = [[0.0] * _NUM_BUCKETS for _ in range(2)]
+        self._density = [
+            [1.0 / (_bucket_mid(b) + 1.0) for b in range(_NUM_BUCKETS)]
+            for _ in range(2)
+        ]
+        self._pend_hits = np.zeros(2 * _NUM_BUCKETS, dtype=np.int64)
+        self._pend_evs = np.zeros(2 * _NUM_BUCKETS, dtype=np.int64)
+        # Per-position (class, bucket) of each pre-applied chunk hit,
+        # so demotions subtract exactly what was added.
+        self._ckk: Optional[np.ndarray] = None
+        self._ckb: Optional[np.ndarray] = None
+        #: Per-chunk dedup from ``_pre_apply``: each hit key once
+        #: (ascending) with its last chunk hit position.
+        self._pa_uk: Optional[np.ndarray] = None
+        self._pa_lastpos: Optional[np.ndarray] = None
+        #: key -> chunk position of its latest mid-chunk (re-)insertion.
+        #: Recorded only for keys with classified hits; metadata
+        #: reconstruction compares it against hit positions to decide
+        #: whether the key's state is a fresh insertion or a later hit.
+        self._ins_at: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Epoch alignment
+    # ------------------------------------------------------------------
+    def _begin_chunk(self, pos: int, hi: int) -> int:
+        # The reference reconfigures while processing the request whose
+        # clock reaches ``_next_reconf`` (clock at index i is i + 1),
+        # *before* recording that request's outcome -- so that request
+        # must start a chunk and the rebuild runs here, between chunks.
+        if pos + 1 >= self._next_reconf:
+            self._clock = pos + 1
+            self._reconfigure()
+        boundary = self._next_reconf - 1
+        return boundary if boundary < hi else hi
+
+    @staticmethod
+    def _materialise(pending: np.ndarray, hist: List[List[float]]) -> None:
+        # Unit steps, not a single += float(count): float addition of a
+        # count is not bit-equal to the reference's repeated += 1.0.
+        # ``_add_ones`` collapses the steps exactly.
+        for klass in (0, 1):
+            row = hist[klass]
+            off = klass * _NUM_BUCKETS
+            for b in range(_NUM_BUCKETS):
+                count = int(pending[off + b])
+                if count:
+                    row[b] = _add_ones(row[b], count)
+        pending[:] = 0
+
+    def _reconfigure(self) -> None:
+        """The reference's backward density sweep, verbatim."""
+        self._materialise(self._pend_hits, self._hits_hist)
+        self._materialise(self._pend_evs, self._ev_hist)
+        self._next_reconf = self._clock + self._reconf_interval
+        for klass in range(2):
+            hits = self._hits_hist[klass]
+            evictions = self._ev_hist[klass]
+            density = self._density[klass]
+            hits_above = 0.0
+            events_above = 0.0
+            lifetime_above = 0.0
+            for b in range(_NUM_BUCKETS - 1, -1, -1):
+                events = hits[b] + evictions[b]
+                if b < _NUM_BUCKETS - 1:
+                    gap = _bucket_mid(b + 1) - _bucket_mid(b)
+                    lifetime_above += gap * events_above
+                hits_above += hits[b]
+                events_above += events
+                lifetime_above += events
+                if events_above > 0.0 and lifetime_above > 0.0:
+                    density[b] = hits_above / lifetime_above
+            for b in range(_NUM_BUCKETS):
+                hits[b] *= self.ewma_decay
+                evictions[b] *= self.ewma_decay
+
+    # ------------------------------------------------------------------
+    # Chunk hooks
+    # ------------------------------------------------------------------
+    def _classify(self, cids):
+        return self._kpos[cids] >= 0, None
+
+    def _pre_apply(self, cids, known, aux) -> None:
+        self._ins_at = {}
+        self._hitset = set()
+        self._pa_uk = None
+        if self._last_cand:
+            self._ckk = np.zeros(cids.size, dtype=np.int64)
+            self._ckb = np.zeros(cids.size, dtype=np.int64)
+        hidx = np.nonzero(known)[0]
+        if hidx.size == 0:
+            return
+        # Key-major / position-minor order via one packed single-array
+        # sort (positions fit in 17 bits; see ``_occ_index``) -- far
+        # cheaper than a stable argsort over the keys.
+        shift = np.uint64(17)
+        packed = (cids[hidx].astype(np.uint64) << shift) \
+            | hidx.astype(np.uint64)
+        packed.sort()
+        sk = (packed >> shift).astype(np.int64)
+        sp = (packed & np.uint64(0x1FFFF)).astype(np.int64)
+        first = np.empty(sp.size, dtype=bool)
+        first[0] = True
+        np.not_equal(sk[1:], sk[:-1], out=first[1:])
+        last = np.empty(sp.size, dtype=bool)
+        last[-1] = True
+        np.copyto(last[:-1], first[1:])
+        # Saved for ``_post_apply``: each hit key once, with its last
+        # chunk hit position -- the only (key, stamp) pairs the
+        # end-of-chunk metadata scatter can leave behind.
+        self._pa_uk = sk[first]
+        self._pa_lastpos = sp[last]
+        if self._last_cand:
+            self._hitset = set(self._pa_uk.tolist())
+        # Each hit's age spans from the key's previous access: the
+        # prior in-chunk hit, or the pre-chunk metadata for the first.
+        prev_clock = np.empty(sp.size, dtype=np.int64)
+        prev_clock[first] = self._mlast[sk[first]]
+        not_first = ~first
+        prev_clock[not_first] = self._base + sp[:-1][not_first[1:]] + 1
+        klass = np.where(first, self._mklass[sk],
+                         np.int8(_CLASS_REUSED)).astype(np.int64)
+        ages = (self._base + sp + 1) - prev_clock
+        # bucket = floor(log2(age + 1)): the frexp exponent is exact.
+        bucket = np.frexp((ages + 1).astype(np.float64))[1] \
+            .astype(np.int64) - 1
+        np.minimum(bucket, _NUM_BUCKETS - 1, out=bucket)
+        self._pend_hits += np.bincount(klass * _NUM_BUCKETS + bucket,
+                                       minlength=2 * _NUM_BUCKETS)
+        if self._last_cand:
+            self._ckk[sp] = klass
+            self._ckb[sp] = bucket
+
+    def _post_apply(self, cids, known, aux) -> None:
+        uk = self._pa_uk
+        if uk is None:
+            return
+        # Only a key's *last* chunk hit survives the last-write-wins
+        # scatter, so the deduplicated (key, last position) pairs from
+        # ``_pre_apply`` write exactly the per-hit loop's final state.
+        resident = self._kpos[uk] >= 0
+        keys = uk[resident]
+        if keys.size:
+            stamps = self._base + self._pa_lastpos[resident] + 1
+            self._mlast[keys] = stamps
+            self._mklass[keys] = _CLASS_REUSED
+            mlastl = self._mlastl
+            mklassl = self._mklassl
+            for k, stamp in zip(keys.tolist(), stamps.tolist()):
+                mlastl[k] = stamp
+                mklassl[k] = _CLASS_REUSED
+        else:
+            mlastl = self._mlastl
+            mklassl = self._mklassl
+        # A key with no classified hit after its latest mid-chunk
+        # insertion ends the chunk fresh, stamped at that insertion.
+        for k, ins in self._ins_at.items():
+            if (self._kpos.item(k) >= 0
+                    and self._mlast.item(k) <= self._base + ins + 1):
+                self._mlast[k] = self._base + ins + 1
+                self._mklass[k] = _CLASS_FRESH
+                mlastl[k] = self._base + ins + 1
+                mklassl[k] = _CLASS_FRESH
+
+    # ------------------------------------------------------------------
+    # Walk-time metadata and eviction
+    # ------------------------------------------------------------------
+    def _meta_at(self, k: int, p: int):
+        """(last, class) of resident key *k* as of walk position *p*."""
+        ins = self._ins_at.get(k)
+        if self._hitpos.item(k) >= 0:
+            occ, _lo = self._occ_list(k)
+            done = bisect_right(occ, p)
+            if done:
+                q = occ[done - 1]
+                if ins is None or q > ins:
+                    return self._base + q + 1, _CLASS_REUSED
+        if ins is not None:
+            return self._base + ins + 1, _CLASS_FRESH
+        return self._mlastl[k], self._mklassl[k]
+
+    def _evict_one(self, p: int) -> None:
+        clock = self._base + p + 1
+        klist = self._klist
+        n = len(klist)
+        if n <= self.sample_size:
+            sample = klist
+        else:
+            # Inlined ``randrange(n)`` (CPython's rejection loop over
+            # ``getrandbits``): the identical draw sequence at a
+            # fraction of the call overhead.
+            getrandbits = self._rng.getrandbits
+            kbits = n.bit_length()
+            sample = []
+            for _ in range(self.sample_size):
+                r = getrandbits(kbits)
+                while r >= n:
+                    r = getrandbits(kbits)
+                sample.append(klist[r])
+        # Inlined ``min(sample, key=hit_density)``: most sampled keys
+        # have no classified hit this chunk and no mid-chunk insertion,
+        # so their (last, class) reads straight off the metadata
+        # mirrors; ``d < best`` keeps the first minimum, like ``min``.
+        # ``(age + 1).bit_length() - 1`` equals the reference's
+        # ``int(log2(age + 1))`` for every age below 2**47 (float log2
+        # only rounds across a power of two beyond that).
+        density = self._density
+        mlastl = self._mlastl
+        mklassl = self._mklassl
+        hitset = self._hitset
+        ins_at = self._ins_at
+        cap_bucket = _NUM_BUCKETS - 1
+        best = None
+        victim = -1
+        for k in sample:
+            if k in hitset or k in ins_at:
+                last, klass = self._meta_at(k, p)
+            else:
+                last = mlastl[k]
+                klass = mklassl[k]
+            age = clock - last
+            bucket = (age + 1).bit_length() - 1 if age > 0 else 0
+            d = density[klass][bucket if bucket < cap_bucket else cap_bucket]
+            if best is None or d < best:
+                best = d
+                victim = k
+        last, klass = self._meta_at(victim, p)
+        self._pend_evs[klass * _NUM_BUCKETS
+                       + _age_bucket(clock - last)] += 1
+        idx = int(self._kpos.item(victim))
+        self._kpos[victim] = -1
+        tail = klist.pop()
+        if tail != victim:
+            klist[idx] = tail
+            self._kpos[tail] = idx
+        if self._hitpos.item(victim) > p:
+            # Not-yet-due classified hits become misses: retract their
+            # pending counts; the re-admission rebuilds the chain.
+            occ, _lo = self._occ_list(victim)
+            ckk, ckb = self._ckk, self._ckb
+            pend = self._pend_hits
+            for q in occ[bisect_right(occ, p):]:
+                pend[ckk.item(q) * _NUM_BUCKETS + ckb.item(q)] -= 1
+            self._inject(victim, p)
+
+    def _rechain(self, k: int, p: int) -> None:
+        """Re-derive *k*'s hit chain after its re-admission at *p*."""
+        occ, _lo = self._occ_list(k)
+        prev = self._base + p + 1
+        klass = _CLASS_FRESH
+        ckk, ckb = self._ckk, self._ckb
+        pend = self._pend_hits
+        for q in occ[bisect_right(occ, p):]:
+            clock = self._base + q + 1
+            bucket = _age_bucket(clock - prev)
+            pend[klass * _NUM_BUCKETS + bucket] += 1
+            ckk[q] = klass
+            ckb[q] = bucket
+            prev = clock
+            klass = _CLASS_REUSED
+
+    def _scalar_pass(self, positions: List[int],
+                     keys: List[int]) -> List[int]:
+        kpos = self._kpos
+        mlast = self._mlast
+        mklass = self._mklass
+        mlastl = self._mlastl
+        mklassl = self._mklassl
+        pend_hits = self._pend_hits
+        base = self._base
+        extra = []
+        for p, k in self._stream(positions, keys):
+            clock = base + p + 1
+            if kpos.item(k) >= 0:
+                # Hit discovered mid-walk: the key was admitted earlier
+                # in this chunk, so its metadata arrays are current.
+                last = mlastl[k]
+                klass = mklassl[k]
+                pend_hits[klass * _NUM_BUCKETS
+                          + _age_bucket(clock - last)] += 1
+                mlast[k] = clock
+                mklass[k] = _CLASS_REUSED
+                mlastl[k] = clock
+                mklassl[k] = _CLASS_REUSED
+                extra.append(p)
+                continue
+            self._insert(k, p)
+        return extra
+
+    def _insert(self, k: int, p: int) -> None:
+        """The reference miss path: evict if full, admit fresh."""
+        if len(self._klist) >= self.capacity:
+            self._evict_one(p)
+        self._mlast[k] = self._base + p + 1
+        self._mklass[k] = _CLASS_FRESH
+        self._mlastl[k] = self._base + p + 1
+        self._mklassl[k] = _CLASS_FRESH
+        self._kpos[k] = len(self._klist)
+        self._klist.append(k)
+        if self._hitpos.item(k) >= 0:
+            # A mid-chunk (re-)insertion of a key with classified
+            # hits: record it and re-derive the not-yet-due chain.
+            self._ins_at[k] = p
+            if self._hitpos.item(k) > p:
+                self._rechain(k, p)
+
+    def contents(self) -> set:
+        return set(np.nonzero(self._kpos >= 0)[0].tolist())
+
+
+__all__ = ["FastLHD"]

@@ -120,12 +120,13 @@ class FastQDLP(FastEngine):
         tail = (self._php - self._pn) % pcap
         victim = self._pkeys.item(tail)
         if self._hitpos.item(victim) > position:
-            occ, lo = self._occ_list(victim)
+            occ, _lo = self._occ_list(victim)
             done = bisect_right(occ, position)
             fut = len(occ) - done
             c = self._cleared.get(tail)
             if c is None:
-                v = done > 0 or bool(self._visbefore[self._occ_order[lo]])
+                v = done > 0 or bool(
+                    self._visbefore[self._hit_ordinal(occ[0])])
             else:
                 v = done > bisect_right(occ, c, 0, done)
         else:

@@ -1,0 +1,480 @@
+"""Generic fast QD wrapper: probation ring + ghost over a fast main.
+
+Mirrors :class:`repro.core.qd.QDCache` over *any* main cache exposing
+the small core protocol below -- the realisation of the paper's "QD in
+front of a state-of-the-art policy" composition for the fast path.
+The probationary FIFO, ghost queue and graduation logic are shared
+verbatim with :class:`~repro.sim.fast.qd.FastQDLP`; what differs per
+main policy is wrapped in a *core* object:
+
+``resident(k)`` / ``resident_mask(cids)``
+    Main-cache membership (scalar / vectorized).
+``pre_hits(cids, hidx, mh, walk)``
+    Per-chunk preparation from the classified-hit index (``hidx``) and
+    its main-resident subset (``mh``).
+``advance(p)``
+    Fire deferred main-hit work due at positions <= *p*; called before
+    every candidate so eviction decisions see exact main state.
+``hit(k, p)`` / ``insert(k, p)``
+    ``main.request`` on a walk-discovered hit / miss.
+``finish(cids, known)``
+    End-of-chunk settlement (leftover events, deferred scatters).
+
+Two cores ship here.  **ARC** (:class:`_ARCCore`) stays fully
+vectorized: ARC has no notion of time beyond relative order, so
+:class:`~repro.sim.fast.arc.FastARC` drops in whole -- its stamp
+machinery, T1-move events and ghost lists all operate on composite
+trace positions, which order main requests exactly as the reference's
+inner ARC sees them.  The only surgery is delegation: the core shares
+the host's ``_hitpos`` array and routes ``_occ_list``/``_inject`` to
+the host, so conflict repair and miss injection act on the *composite*
+candidate stream.
+
+**LHD** (:class:`_LHDCore`) cannot be vectorized under the wrapper:
+LHD's logical clock ticks once per *main* request, so every age (and
+therefore every histogram bucket) depends on how many graduations and
+ghost admissions the walk discovers earlier in the chunk.  The core
+instead replays main events scalar in exact reference order: all
+classified hits enter a per-chunk event stream, each event validated
+at fire time against main residency (probation hits and stale events
+drop out), and every fired hit / insert ticks the clock, updates the
+age histograms and runs reconfigurations precisely where the reference
+would.  Metadata lives in flat arrays and is always current, so
+sampled evictions read exact state with no occurrence reconstruction.
+
+Promotions: the wrapper counts graduations via ``_count_promotion``;
+cores with per-hit promotions (ARC) are accounted by the ``_mainhit``
+position mask -- marked for classified and walk-discovered main hits,
+unmarked when an eviction demotes a key's future occurrences -- whose
+post-warmup popcount is exactly the inner cache's hit count.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import Callable, List
+
+import numpy as np
+
+from repro.policies.lhd import (
+    _CLASS_FRESH,
+    _CLASS_REUSED,
+    _NUM_BUCKETS,
+    _age_bucket,
+    _bucket_mid,
+)
+from repro.sim.fast.arc import FastARC
+from repro.sim.fast.base import FastEngine
+from repro.sim.fast.ghost import FastGhost
+
+
+class _ARCCore(FastARC):
+    """ARC main core: FastARC running on composite trace positions."""
+
+    #: The reference ARC promotes on every hit.
+    hit_promotes = True
+
+    def __init__(self, host: "FastQD", capacity: int) -> None:
+        super().__init__(capacity, host.num_unique)
+        self._host = host
+        # Shared chunk machinery: one hit index, one candidate stream.
+        self._hitpos = host._hitpos
+
+    def _occ_list(self, key):
+        return self._host._occ_list(key)
+
+    def _inject(self, key, position):
+        return self._host._inject(key, position)
+
+    # Core protocol -----------------------------------------------------
+    def resident(self, k: int) -> bool:
+        return self._where.item(k) != 0
+
+    def resident_mask(self, cids: np.ndarray) -> np.ndarray:
+        return self._where[cids] != 0
+
+    def pre_hits(self, cids, hidx, mh, walk: bool) -> None:
+        self._events = []
+        self._ei = 0
+        self._dyn.clear()
+        if not walk:
+            return
+        self._build_events(mh[self._where[cids[mh]] == 1], cids)
+
+    advance = FastARC._run_events
+    hit = FastARC._walk_hit
+    insert = FastARC._admit
+
+    def finish(self, cids, known) -> None:
+        # Settles every resident key's final stamp; probation-era hit
+        # positions of graduated keys die on the stamp filter (their
+        # graduation stamp is later), probation residents on the
+        # where-filter.
+        self._post_apply(cids, known, None)
+
+
+class _LHDCore:
+    """LHD main core: scalar main-event replay with array metadata.
+
+    Every classified hit becomes a pending event; ``advance`` fires
+    events in position order, keeping only those whose key is
+    main-resident *at that point of the walk* -- which is exactly the
+    set of composite hits the reference serves from its inner LHD.
+    """
+
+    hit_promotes = False
+
+    def __init__(self, host: "FastQD", capacity: int, *,
+                 sample_size: int, ewma_decay: float,
+                 reconf_interval: int, rng_state) -> None:
+        self._host = host
+        self.capacity = int(capacity)
+        self.sample_size = int(sample_size)
+        self.ewma_decay = ewma_decay
+        self._reconf_interval = int(reconf_interval)
+        self._next_reconf = self._reconf_interval
+        self._rng = random.Random()
+        self._rng.setstate(rng_state)
+        self._clock = 0
+        n = host.num_unique
+        # Metadata lives in plain Python lists: every read and write on
+        # the event path is scalar, where list indexing beats ndarray
+        # item access severalfold.  Only membership needs a vectorized
+        # view, so ``_kpos`` (the numpy gather target for classify)
+        # mirrors ``_kposl`` -- both updated on the cold miss path.
+        self._mlast = [0] * n
+        self._mklass = [0] * n
+        self._kposl = [-1] * n
+        self._kpos = np.full(n, -1, dtype=np.int64)
+        self._klist: List[int] = []
+        self._hits = [[0.0] * _NUM_BUCKETS for _ in range(2)]
+        self._evictions = [[0.0] * _NUM_BUCKETS for _ in range(2)]
+        self._density = [
+            [1.0 / (_bucket_mid(b) + 1.0) for b in range(_NUM_BUCKETS)]
+            for _ in range(2)
+        ]
+        self._ev_pos: List[int] = []
+        self._ev_keys: List[int] = []
+        self._evi = 0
+
+    def _alloc(self, n: int) -> None:
+        pass
+
+    # Core protocol -----------------------------------------------------
+    def resident(self, k: int) -> bool:
+        return self._kposl[k] >= 0
+
+    def resident_mask(self, cids: np.ndarray) -> np.ndarray:
+        return self._kpos[cids] >= 0
+
+    def pre_hits(self, cids, hidx, mh, walk: bool) -> None:
+        self._ev_pos = hidx.tolist()
+        self._ev_keys = cids[hidx].tolist()
+        self._evi = 0
+
+    def advance(self, p: int) -> None:
+        """Fire every pending main-hit event at a position <= *p*.
+
+        The inlined body is ``hit`` below: one clock tick, one age
+        histogram bump, metadata refresh.  ``(age + 1).bit_length() - 1``
+        equals the reference's ``int(math.log2(age + 1))`` for every
+        age below 2**47 (far beyond any trace length); above that the
+        float log could round up across a power of two.
+        """
+        pos = self._ev_pos
+        i = self._evi
+        n = len(pos)
+        if i >= n or pos[i] > p:
+            return
+        keys = self._ev_keys
+        kpos = self._kposl
+        mlast = self._mlast
+        mklass = self._mklass
+        hists = self._hits
+        clock = self._clock
+        next_reconf = self._next_reconf
+        while i < n and pos[i] <= p:
+            k = keys[i]
+            i += 1
+            if kpos[k] < 0:
+                continue
+            clock += 1
+            if clock >= next_reconf:
+                self._clock = clock
+                self._reconfigure()
+                next_reconf = self._next_reconf
+            bucket = (clock - mlast[k] + 1).bit_length() - 1
+            hists[mklass[k]][bucket if bucket < 31 else 31] += 1.0
+            mlast[k] = clock
+            mklass[k] = _CLASS_REUSED
+        self._evi = i
+        self._clock = clock
+
+    def _tick(self) -> None:
+        self._clock += 1
+        if self._clock >= self._next_reconf:
+            self._reconfigure()
+
+    def hit(self, k: int, p: int) -> None:
+        self._tick()
+        age = self._clock - self._mlast[k]
+        self._hits[self._mklass[k]][_age_bucket(age)] += 1.0
+        self._mlast[k] = self._clock
+        self._mklass[k] = _CLASS_REUSED
+
+    def insert(self, k: int, p: int) -> None:
+        self._tick()
+        if len(self._klist) >= self.capacity:
+            self._evict_one(p)
+        self._mlast[k] = self._clock
+        self._mklass[k] = _CLASS_FRESH
+        self._kposl[k] = len(self._klist)
+        self._kpos[k] = len(self._klist)
+        self._klist.append(k)
+
+    def finish(self, cids, known) -> None:
+        self.advance(1 << 62)
+
+    def _evict_one(self, p: int) -> None:
+        klist = self._klist
+        n = len(klist)
+        if n <= self.sample_size:
+            sample = klist
+        else:
+            # Inlined ``randrange(n)`` (CPython's rejection loop over
+            # ``getrandbits``): the identical draw sequence at a
+            # fraction of the call overhead.
+            getrandbits = self._rng.getrandbits
+            kbits = n.bit_length()
+            sample = []
+            for _ in range(self.sample_size):
+                r = getrandbits(kbits)
+                while r >= n:
+                    r = getrandbits(kbits)
+                sample.append(klist[r])
+        mlast = self._mlast
+        mklass = self._mklass
+        density = self._density
+        clock = self._clock
+        cap_bucket = _NUM_BUCKETS - 1
+        best = None
+        victim = -1
+        for k in sample:
+            age = clock - mlast[k]
+            bucket = (age + 1).bit_length() - 1 if age > 0 else 0
+            d = density[mklass[k]][
+                bucket if bucket < cap_bucket else cap_bucket]
+            if best is None or d < best:
+                best = d
+                victim = k
+        self._evictions[mklass[victim]][
+            _age_bucket(clock - mlast[victim])] += 1.0
+        idx = self._kposl[victim]
+        self._kposl[victim] = -1
+        self._kpos[victim] = -1
+        tail = klist.pop()
+        if tail != victim:
+            klist[idx] = tail
+            self._kposl[tail] = idx
+            self._kpos[tail] = idx
+        host = self._host
+        if host._hitpos.item(victim) > p:
+            # Pending events for the victim's later occurrences drop on
+            # residency validation; the first becomes a composite miss.
+            host._inject(victim, p)
+
+    def _reconfigure(self) -> None:
+        # Verbatim reference backward sweep (repro.policies.lhd).
+        self._next_reconf = self._clock + self._reconf_interval
+        for klass in range(2):
+            hits = self._hits[klass]
+            evictions = self._evictions[klass]
+            density = self._density[klass]
+            hits_above = 0.0
+            events_above = 0.0
+            lifetime_above = 0.0
+            for b in range(_NUM_BUCKETS - 1, -1, -1):
+                events = hits[b] + evictions[b]
+                if b < _NUM_BUCKETS - 1:
+                    gap = _bucket_mid(b + 1) - _bucket_mid(b)
+                    lifetime_above += gap * events_above
+                hits_above += hits[b]
+                events_above += events
+                lifetime_above += events
+                if events_above > 0.0 and lifetime_above > 0.0:
+                    density[b] = hits_above / lifetime_above
+            for b in range(_NUM_BUCKETS):
+                hits[b] *= self.ewma_decay
+                evictions[b] *= self.ewma_decay
+
+    def contents(self) -> set:
+        return set(np.nonzero(self._kpos >= 0)[0].tolist())
+
+
+class FastQD(FastEngine):
+    """Array-backed QD wrapper over a pluggable fast main core."""
+
+    name = "QD"
+
+    def __init__(self, capacity: int, num_unique: int,
+                 probation_capacity: int, main_capacity: int,
+                 ghost_entries: int,
+                 core_factory: Callable[["FastQD"], object]) -> None:
+        super().__init__(capacity, num_unique)
+        if probation_capacity + main_capacity != capacity:
+            raise ValueError("probation + main must equal total capacity")
+        self.probation_capacity = int(probation_capacity)
+        self.main_capacity = int(main_capacity)
+        self.ghost = FastGhost(ghost_entries)
+        self._pslot = np.full(num_unique, -1, dtype=np.int64)
+        pcap = self.probation_capacity
+        self._pkeys = np.empty(pcap, dtype=np.int64)
+        self._pvis = np.zeros(pcap, dtype=np.uint8)
+        self._php = 0    # ring head: next insert position
+        self._pn = 0
+        self._visbefore = None
+        self._cleared = {}   # probation slot -> admission position
+        self.core = core_factory(self)
+        self._track_mainhit = bool(self.core.hit_promotes)
+        self._mainhit = None
+
+    def replay(self, ids: np.ndarray, warmup: int = 0) -> np.ndarray:
+        n = int(np.asarray(ids).size)
+        self._mainhit = np.zeros(n, dtype=bool)
+        self.core._alloc(n)
+        return super().replay(ids, warmup)
+
+    # ------------------------------------------------------------------
+    def _classify(self, cids):
+        ps = self._pslot[cids]
+        known = ps >= 0
+        known |= self.core.resident_mask(cids)
+        return known, ps
+
+    def _pre_apply(self, cids, known, aux) -> None:
+        core = self.core
+        core._base = self._base
+        hidx = np.nonzero(known)[0]
+        slots = aux[known]
+        in_prob = slots >= 0
+        pslots = slots[in_prob]
+        visbefore = np.zeros(slots.size, dtype=np.uint8)
+        visbefore[in_prob] = self._pvis[pslots]
+        self._visbefore = visbefore
+        self._pvis[pslots] = 1
+        self._cleared.clear()
+        mh = hidx[~in_prob]
+        if self._track_mainhit and mh.size:
+            self._mainhit[self._base + mh] = True
+        core.pre_hits(cids, hidx, mh, self._last_cand > 0)
+
+    def _post_apply(self, cids, known, aux) -> None:
+        self.core.finish(cids, known)
+
+    def _inject(self, key, position):
+        # A demoted key's later occurrences stop being main hits.
+        if self._track_mainhit:
+            occ, _lo = self._occ_list(int(key))
+            mainhit = self._mainhit
+            base = self._base
+            for q in occ[bisect_right(occ, position):]:
+                mainhit[base + q] = False
+        return super()._inject(key, position)
+
+    # ------------------------------------------------------------------
+    # Reference algorithm bodies
+    # ------------------------------------------------------------------
+    def _insert_main(self, k: int, position: int) -> None:
+        """``main.request`` on a key known to miss there."""
+        self._pslot[k] = -1
+        self.core.insert(k, position)
+        if self._track_mainhit and self._hitpos.item(k) > position:
+            occ, _lo = self._occ_list(k)
+            mainhit = self._mainhit
+            base = self._base
+            for q in occ[bisect_right(occ, position):]:
+                mainhit[base + q] = True
+
+    def _demote_one(self, position: int) -> None:
+        """Pop the probation tail: graduate if visited, else ghost."""
+        pcap = self.probation_capacity
+        tail = (self._php - self._pn) % pcap
+        victim = self._pkeys.item(tail)
+        if self._hitpos.item(victim) > position:
+            occ, _lo = self._occ_list(victim)
+            done = bisect_right(occ, position)
+            fut = len(occ) - done
+            c = self._cleared.get(tail)
+            if c is None:
+                v = done > 0 or bool(
+                    self._visbefore[self._hit_ordinal(occ[0])])
+            else:
+                v = done > bisect_right(occ, c, 0, done)
+        else:
+            fut = 0
+            v = bool(self._pvis.item(tail))
+        self._pn -= 1
+        if v:
+            self._insert_main(victim, position)
+            self._count_promotion(position)
+        else:
+            self.ghost.add(victim)
+            self._pslot[victim] = -1
+            if fut:
+                self._inject(victim, position)
+
+    # ------------------------------------------------------------------
+    def _scalar_pass(self, positions: List[int],
+                     keys: List[int]) -> List[int]:
+        core = self.core
+        pslot = self._pslot
+        pvis = self._pvis
+        pkeys = self._pkeys
+        pcap = self.probation_capacity
+        mainhit = self._mainhit
+        base = self._base
+        deferred = self._deferred
+        track = self._track_mainhit
+        extra = []
+        for p, k in self._stream(positions, keys):
+            core.advance(p)
+            s = pslot.item(k)
+            if s >= 0:
+                pvis[s] = 1
+                extra.append(p)
+                continue
+            if core.resident(k):
+                core.hit(k, p)
+                if track:
+                    mainhit[base + p] = True
+                extra.append(p)
+                continue
+            if self.ghost.remove(k):
+                self._insert_main(k, p)
+                deferred.pop(k, None)
+                continue
+            if self._pn >= pcap:
+                self._demote_one(p)
+            slot = self._php
+            pkeys[slot] = k
+            pvis[slot] = 0
+            pslot[k] = slot
+            self._php = (slot + 1) % pcap
+            self._pn += 1
+            self._cleared[slot] = p
+            if deferred.pop(k, 0):
+                pvis[slot] = 1
+        return extra
+
+    def _finalise(self) -> None:
+        if self._track_mainhit:
+            self.promotions += int(
+                np.count_nonzero(self._mainhit[self._warmup:]))
+
+    def contents(self) -> set:
+        probation = set(np.nonzero(self._pslot >= 0)[0].tolist())
+        return probation | self.core.contents()
+
+
+__all__ = ["FastQD", "_ARCCore", "_LHDCore"]

@@ -3,13 +3,19 @@
 Both queues live in one preallocated pool of ``capacity`` slots with
 shared ``prv``/``nxt`` link arrays (``prv`` toward the head).  Hits in
 either queue only bump the shared frequency counter, so one
-``np.add.at`` covers the whole chunk's classified hits; graduation
+``np.bincount`` covers the whole chunk's classified hits; graduation
 decisions (``freq > 1``) and main-queue lazy promotion (``freq > 0``
 with the saturating cap applied at read time) run in exact scalar code
 on the candidate walk.  Not-yet-due frequency increments (hits after
 the walk position) are subtracted for each decision and re-added for
 survivors; an evicted key's later hits are demoted via ``_inject``,
 re-entering through the ghost queue exactly as the reference does.
+
+Only the structures a vectorized step touches are ndarrays: ``slot_of``
+(the classify gather, list-mirrored for walk reads) and ``freq`` (the
+per-chunk bincount add).  The link arrays and slot keys exist purely
+for the scalar walk, so they are plain Python lists -- list indexing
+beats ndarray item access severalfold on the eviction path.
 """
 
 from __future__ import annotations
@@ -39,10 +45,11 @@ class FastS3FIFO(FastEngine):
         self.main_capacity = int(main_capacity)
         self.ghost = FastGhost(ghost_entries)
         self._slot_of = np.full(num_unique, -1, dtype=np.int64)
-        self._keys = np.empty(capacity, dtype=np.int64)
+        self._slotl = [-1] * num_unique     # walk-side mirror
+        self._keys = [0] * capacity
         self._freq = np.zeros(capacity, dtype=np.int64)
-        self._prv = np.empty(capacity, dtype=np.int64)
-        self._nxt = np.empty(capacity, dtype=np.int64)
+        self._prv = [0] * capacity
+        self._nxt = [0] * capacity
         self._free = list(range(capacity - 1, -1, -1))
         # (head, tail, length) per queue, mutated as attributes so the
         # nested insert/evict helpers stay in sync.
@@ -59,7 +66,8 @@ class FastS3FIFO(FastEngine):
         return slots >= 0, slots
 
     def _pre_apply(self, cids, known, aux) -> None:
-        self._freq += np.bincount(aux[known], minlength=self.capacity)
+        counts = np.bincount(aux[known])
+        self._freq[:counts.size] += counts
 
     def _pending(self, victim: int, position: int) -> int:
         """Pre-applied hit increments of *victim* not yet due at
@@ -84,7 +92,7 @@ class FastS3FIFO(FastEngine):
 
     def _pop_small_tail(self) -> int:
         slot = self._st
-        p = self._prv.item(slot)
+        p = self._prv[slot]
         self._st = p
         if p >= 0:
             self._nxt[p] = -1
@@ -106,7 +114,7 @@ class FastS3FIFO(FastEngine):
 
     def _pop_main_tail(self) -> int:
         slot = self._mt
-        p = self._prv.item(slot)
+        p = self._prv[slot]
         self._mt = p
         if p >= 0:
             self._nxt[p] = -1
@@ -120,10 +128,12 @@ class FastS3FIFO(FastEngine):
     # ------------------------------------------------------------------
     def _evict_from_main(self, position: int) -> None:
         skeys, freq = self._keys, self._freq
+        hitpos = self._hitpos
         while True:
             slot = self._pop_main_tail()
-            victim = skeys.item(slot)
-            fut = self._pending(victim, position)
+            victim = skeys[slot]
+            fut = (self._future_count(victim, position)
+                   if hitpos.item(victim) > position else 0)
             f = freq.item(slot) - fut
             if f > 0:
                 freq[slot] = (f if f <= _MAX_FREQ else _MAX_FREQ) - 1 + fut
@@ -131,6 +141,7 @@ class FastS3FIFO(FastEngine):
                 self._count_promotion(position)
             else:
                 self._slot_of[victim] = -1
+                self._slotl[victim] = -1
                 self._free.append(slot)
                 if fut:
                     self._inject(victim, position)
@@ -138,8 +149,9 @@ class FastS3FIFO(FastEngine):
 
     def _evict_from_small(self, position: int) -> None:
         slot = self._pop_small_tail()
-        victim = self._keys.item(slot)
-        fut = self._pending(victim, position)
+        victim = self._keys[slot]
+        fut = (self._future_count(victim, position)
+               if self._hitpos.item(victim) > position else 0)
         f = self._freq.item(slot) - fut
         if (f if f <= _MAX_FREQ else _MAX_FREQ) > 1:
             # Graduation zeroes the counter; keep the not-yet-due
@@ -152,6 +164,7 @@ class FastS3FIFO(FastEngine):
         else:
             self.ghost.add(victim)
             self._slot_of[victim] = -1
+            self._slotl[victim] = -1
             self._free.append(slot)
             if fut:
                 self._inject(victim, position)
@@ -172,25 +185,27 @@ class FastS3FIFO(FastEngine):
             self._freq[slot] = 0
             self._push_small(slot)
         self._slot_of[k] = slot
+        self._slotl[k] = slot
 
     # ------------------------------------------------------------------
     def _scalar_pass(self, positions: List[int],
                      keys: List[int]) -> List[int]:
-        slot_of = self._slot_of
+        slotl = self._slotl
         freq = self._freq
         deferred = self._deferred
         extra = []
+        append = extra.append
         for p, k in self._stream(positions, keys):
-            s = slot_of.item(k)
+            s = slotl[k]
             if s >= 0:
                 freq[s] += 1
-                extra.append(p)
+                append(p)
                 continue
             self._admit(k, p)
             if deferred:
                 rest = deferred.pop(k, 0)
                 if rest:
-                    freq[slot_of.item(k)] += rest
+                    freq[slotl[k]] += rest
         return extra
 
     def contents(self) -> set:

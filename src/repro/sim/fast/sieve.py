@@ -58,14 +58,14 @@ class FastSieve(FastEngine):
         self._vis[slots] = 1
         self._cleared.clear()
 
-    def _bit_at(self, slot: int, occ: List[int], lo: int, done: int,
+    def _bit_at(self, slot: int, occ: List[int], done: int,
                 position: int) -> bool:
         """Reference visited bit at *position* for a conflicted key:
-        *occ* is its chunk hit-position list starting at index *lo* of
-        the chunk-wide sorted index, *done* the count of hits <= p."""
+        *occ* is its chunk hit-position list, *done* the count of
+        hits <= p."""
         c = self._cleared.get(slot)
         if c is None:
-            return done > 0 or bool(self._visbefore[self._occ_order[lo]])
+            return done > 0 or bool(self._visbefore[self._hit_ordinal(occ[0])])
         if c >= position:
             return False
         return done > bisect_right(occ, c, 0, done)
@@ -85,10 +85,10 @@ class FastSieve(FastEngine):
             while True:
                 victim = skeys.item(node)
                 if hitpos.item(victim) > position:
-                    occ, lo = self._occ_list(victim)
+                    occ, _lo = self._occ_list(victim)
                     done = bisect_right(occ, position)
                     fut = len(occ) - done
-                    v = self._bit_at(node, occ, lo, done, position)
+                    v = self._bit_at(node, occ, done, position)
                 else:
                     fut = 0
                     v = bool(vis.item(node))

@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 from dataclasses import asdict, dataclass
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.exec.executor import Task, run_tasks
@@ -109,7 +110,8 @@ def _run_cell(payload) -> RunRecord:
     return run_one(policy_name, trace, size_fraction, min_capacity)
 
 
-def _fast_cell(payload, timeseries=None) -> Optional[RunRecord]:
+def _fast_cell(payload, timeseries=None,
+               intern_cache=None) -> Optional[RunRecord]:
     """One cell through the shared-trace fast engines, or ``None``.
 
     Produces a record identical to :func:`run_one`'s (the engines'
@@ -130,8 +132,8 @@ def _fast_cell(payload, timeseries=None) -> Optional[RunRecord]:
             timeseries.record_mask(mask, policy=policy_name,
                                    trace=trace.name,
                                    size=str(size_fraction))
-    outcome = BatchRunner().run(policy_name, trace, capacity,
-                                mask_sink=mask_sink)
+    outcome = BatchRunner(intern_cache=intern_cache).run(
+        policy_name, trace, capacity, mask_sink=mask_sink)
     if outcome is None:
         return None
     return RunRecord(
@@ -144,6 +146,26 @@ def _fast_cell(payload, timeseries=None) -> Optional[RunRecord]:
         requests=outcome.requests,
         misses=outcome.misses,
     )
+
+
+def _fast_cell_worker(payload, cache=None) -> RunRecord:
+    """Execution-layer task body for the *parallel* fast phase.
+
+    Unlike :func:`_fast_cell` this raises when the cell cannot be
+    served by a fast engine, so the execution layer records a failure
+    and the cell falls back to the reference phase -- ``None`` would be
+    journalled as a (bogus) success.  Each worker process interns its
+    trace independently; *cache* (an
+    :class:`~repro.sim.fast.interncache.InternCache`, shipped by
+    ``functools.partial``) lets them share that work through the
+    on-disk store instead of repeating it per worker.
+    """
+    record = _fast_cell(payload, intern_cache=cache)
+    if record is None:
+        raise RuntimeError(
+            f"no fast engine for {payload[1]!r}; cell falls back to the "
+            f"reference phase")
+    return record
 
 
 def _cell_tasks(policy_names: Sequence[str], traces: Sequence[Trace],
@@ -253,15 +275,23 @@ def run_sweep(
     are canonicalised before the matrix is built.
 
     With ``fast=True`` (the default) every cell whose policy has a
-    vectorized engine is served in-process from the shared interned
-    trace first -- the trace is interned once and reused across all of
-    its (policy, size) cells, and the per-cell replay is fast enough
-    that worker-process isolation would only add overhead.  Remaining
-    cells (unsupported policies) go through the execution layer as
-    before.  Fast cells are journalled like any other completed cell,
-    so checkpoint/resume semantics are unchanged.  Fault injection
-    plans disable the fast path: faults target the execution layer, so
-    every cell must actually flow through it.
+    vectorized engine is served from the shared interned trace first --
+    the trace is interned once and reused across all of its
+    (policy, size) cells.  With ``workers <= 1`` those cells run
+    in-process; with ``workers > 1`` (and no
+    ``options.timeseries``, whose recorder lives in this process) they
+    fan out across worker processes through the same process-isolating
+    executor the reference cells use, with ``options.intern_cache``
+    letting the workers share the interning work through the on-disk
+    store instead of repeating it per process.  A fast cell that fails
+    in a worker simply falls back to the reference phase -- no retries,
+    no entry in the failure report unless the reference attempt also
+    fails.  Remaining cells (unsupported policies) go through the
+    execution layer as before.  Fast cells are journalled like any
+    other completed cell, so checkpoint/resume semantics are unchanged
+    and ``accelerated`` counts them either way.  Fault injection plans
+    disable the fast path: faults target the execution layer, so every
+    cell must actually flow through it.
 
     ``workers > 1`` gives each cell attempt its own worker process --
     simulation is pure CPU-bound Python, so threads would not help, and
@@ -338,13 +368,40 @@ def run_sweep(
     accelerated = 0
     try:
         with sweep_span:
-            if fast and fault_plan is None:
-                for task in tasks:
-                    if task.key in completed:
-                        continue
+            fast_todo = [task for task in tasks
+                         if task.key not in completed
+                         and has_fast_engine(task.payload[1])]
+            if fast and fault_plan is None and workers > 1 \
+                    and opts.timeseries is None and len(fast_todo) > 1:
+                # Fan the fast cells across worker processes.  Retries
+                # are pointless here (a failed fast cell falls straight
+                # back to the reference phase below), and the exec-path
+                # metrics/spans stay reserved for genuine exec cells --
+                # the fast phase gets one enclosing span and a bulk
+                # counter instead.
+                fanout_span = (tracer.span(
+                    "fast-fanout", cat="sweep", cells=len(fast_todo),
+                    workers=workers) if tracer is not None
+                    else nullcontext())
+                with fanout_span:
+                    fast_outcome = run_tasks(
+                        fast_todo,
+                        partial(_fast_cell_worker, cache=opts.intern_cache),
+                        workers=workers,
+                        retry=NO_RETRY,
+                        journal=journal,
+                        encode=_record_to_json,
+                    )
+                completed.update(fast_outcome.results)
+                accelerated = len(fast_outcome.results)
+                if cells_total is not None:
+                    cells_total["fast"].inc(accelerated)
+            elif fast and fault_plan is None:
+                for task in fast_todo:
                     started = time.perf_counter()
                     cell_start = tracer.now() if tracer is not None else 0.0
-                    record = _fast_cell(task.payload, opts.timeseries)
+                    record = _fast_cell(task.payload, opts.timeseries,
+                                        opts.intern_cache)
                     if record is None:
                         continue
                     completed[task.key] = record

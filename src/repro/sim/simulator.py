@@ -65,12 +65,12 @@ def _materialise(trace: Union[Trace, Sequence, Iterable, np.ndarray]) -> List:
 
 
 def _simulate_fast(policy: EvictionPolicy, trace, warmup: int,
-                   timeseries=None) -> Optional[SimResult]:
+                   timeseries=None, intern_cache=None) -> Optional[SimResult]:
     """One cell through the vectorized engines; ``None`` on fallback."""
     from repro.sim.fast.dispatch import engine_for
     from repro.sim.fast.intern import intern_trace
 
-    interned = intern_trace(trace)
+    interned = intern_trace(trace, cache=intern_cache)
     engine = engine_for(policy, interned.num_unique)
     if engine is None:
         return None
@@ -165,7 +165,8 @@ def simulate(
     if (fast and not listeners
             and not isinstance(policy, OfflinePolicy)
             and isinstance(trace, (Trace, list, tuple, np.ndarray))):
-        result = _simulate_fast(policy, trace, warmup, opts.timeseries)
+        result = _simulate_fast(policy, trace, warmup, opts.timeseries,
+                                opts.intern_cache)
         if result is not None:
             return _record_sim_metrics(result, opts)
 

@@ -85,13 +85,13 @@ class TestSweepMetrics:
                                                   tmp_path):
         registry = MetricsRegistry()
         result = run_sweep(
-            ["FIFO", "ARC"], [small_trace], [0.1],
+            ["FIFO", "LIRS"], [small_trace], [0.1],
             SimOptions(metrics=registry),
             checkpoint=True, runs_dir=tmp_path)
         assert result.metrics is registry
         values = registry.counter_values()
-        # FIFO rides the vectorized fast path; ARC goes through the
-        # executor.
+        # FIFO rides the vectorized fast path; LIRS has no fast engine
+        # and goes through the executor.
         assert values["sweep_cells_total{path=fast}"] == 1
         assert values["sweep_cells_total{path=exec}"] == 1
         assert values["sweep_cells_total{path=resumed}"] == 0

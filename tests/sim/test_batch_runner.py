@@ -39,7 +39,7 @@ def test_outcomes_match_reference_simulate(trace):
 
 def test_unsupported_policy_returns_none(trace):
     runner = BatchRunner()
-    assert runner.run("ARC", trace, 50) is None
+    assert runner.run("LIRS", trace, 50) is None
     # Belady-style offline policies never get a fast engine either.
     assert runner.run_policy(make("LRU", 50), trace) is not None
 
@@ -88,14 +88,14 @@ def test_warmup_passthrough(trace):
 
 @pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_run_sweep_fast_matches_reference(trace):
-    policies = ["FIFO", "LRU", "ARC"]
+    policies = ["FIFO", "LRU", "LIRS"]
     fractions = (0.01, 0.1)
     fast = run_sweep(policies, [trace], size_fractions=fractions)
     slow = run_sweep(policies, [trace], size_fractions=fractions,
                      fast=False)
     assert fast.records == slow.records
     assert fast.ok and slow.ok
-    # FIFO and LRU at both sizes ride the fast path; ARC cannot.
+    # FIFO and LRU at both sizes ride the fast path; LIRS cannot.
     assert fast.accelerated == 4
     assert slow.accelerated == 0
     assert fast.resumed == 0
@@ -111,8 +111,8 @@ def test_simulate_fast_flag_matches_reference(trace):
 
 @pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_simulate_fast_falls_back_for_unsupported(trace):
-    fast = simulate(make("ARC", 64), trace, fast=True)
-    slow = simulate(make("ARC", 64), trace)
+    fast = simulate(make("LIRS", 64), trace, fast=True)
+    slow = simulate(make("LIRS", 64), trace)
     assert (fast.hits, fast.misses) == (slow.hits, slow.misses)
 
 

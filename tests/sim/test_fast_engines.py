@@ -24,7 +24,7 @@ from repro.sim.fast.intern import intern_trace
 from repro.sim.simulator import simulate
 
 POLICIES = sorted(FAST_POLICY_NAMES)
-CAPS = (2, 10, 137, 1000)
+CAPS = (1, 2, 10, 137, 1000)
 
 _rng = np.random.default_rng(42)
 _N = 12_000
@@ -117,12 +117,13 @@ def test_randomized_small_cap_stress(trial):
         noise = rng.integers(0, u, n)
         raw = np.where(rng.random(n) < 0.3, noise, base).astype(np.int64)
     for pname in POLICIES:
-        for cap in (2, 5, 17, u // 2 + 1, u + 3):
+        for cap in (1, 2, 5, 17, u // 2 + 1, u + 3):
             assert_bit_identical(pname, raw, cap)
 
 
 @pytest.mark.parametrize("pname",
-                         ["FIFO", "LRU", "2-bit-CLOCK", "S3-FIFO"])
+                         ["FIFO", "LRU", "2-bit-CLOCK", "S3-FIFO",
+                          "ARC", "LHD", "QD-ARC", "QD-LHD"])
 @pytest.mark.parametrize("warmup", [0, 1, 1000, _N])
 def test_warmup_statistics_match_reference(pname, warmup):
     raw = TRACES["zipf"]
@@ -147,7 +148,7 @@ def test_dispatch_refuses_stale_policies():
     policy.request(1)
     assert engine_for(policy, 5) is None
     assert has_fast_engine("LRU")
-    assert not has_fast_engine("ARC")
+    assert not has_fast_engine("LIRS")
 
 
 @given(keys=st.lists(st.integers(min_value=0, max_value=30),
@@ -159,7 +160,7 @@ def test_property_mask_and_counts(keys, cap):
     reference, for arbitrary small traces."""
     raw = np.asarray(keys, dtype=np.int64)
     interned = intern_trace(raw)
-    for pname in ("FIFO", "LRU", "SIEVE"):
+    for pname in ("FIFO", "LRU", "SIEVE", "ARC", "LHD"):
         spec = REGISTRY[pname]
         if cap < spec.min_capacity:
             continue

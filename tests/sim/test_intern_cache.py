@@ -1,0 +1,129 @@
+"""On-disk intern cache: round trips, corruption, and wiring.
+
+The cache promises that a hit is a correctness proof (entries are
+content-addressed over the raw key bytes), that corrupt entries behave
+as misses and are overwritten, and that ``intern_trace`` uses it
+transparently -- these tests pin each of those down with a tmp_path
+root so nothing touches the real ``runs/`` tree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.fast.intern import intern_trace
+from repro.sim.fast.interncache import InternCache, trace_fingerprint
+from repro.traces.trace import Trace
+
+
+def _trace(keys, name="t"):
+    return Trace(name=name, keys=np.asarray(keys, dtype=np.int64),
+                 family="synthetic")
+
+
+def test_round_trip(tmp_path):
+    cache = InternCache(root=tmp_path)
+    keys = np.array([5, 9, 5, 2, 9, 9], dtype=np.int64)
+    assert cache.load(keys) is None
+    interned = intern_trace(keys)
+    path = cache.store(keys, interned)
+    assert path.exists() and path.parent == tmp_path
+
+    loaded = cache.load(keys)
+    assert loaded is not None
+    assert np.array_equal(loaded.ids, interned.ids)
+    assert np.array_equal(loaded.uniques, interned.uniques)
+    assert loaded.num_unique == interned.num_unique
+    assert cache.stats == {"hits": 1, "misses": 1, "writes": 1,
+                           "invalid": 0}
+
+
+def test_fingerprint_distinguishes_traces():
+    a = np.array([1, 2, 3], dtype=np.int64)
+    b = np.array([1, 2, 4], dtype=np.int64)
+    c = np.array([1, 2, 3, 3], dtype=np.int64)
+    prints = {trace_fingerprint(x) for x in (a, b, c)}
+    assert len(prints) == 3
+    assert trace_fingerprint(a) == trace_fingerprint(a.copy())
+    # The empty trace is well-defined and distinct.
+    empty = np.array([], dtype=np.int64)
+    assert trace_fingerprint(empty) not in prints
+
+
+def test_corrupt_entry_is_invalid_miss_then_overwritten(tmp_path):
+    cache = InternCache(root=tmp_path)
+    keys = np.array([7, 7, 8], dtype=np.int64)
+    interned = intern_trace(keys)
+    path = cache.store(keys, interned)
+    path.write_bytes(b"not an npz archive")
+
+    assert cache.load(keys) is None
+    assert cache.stats["invalid"] == 1
+
+    cache.store(keys, interned)
+    restored = cache.load(keys)
+    assert restored is not None
+    assert np.array_equal(restored.ids, interned.ids)
+
+
+def test_shape_mismatch_rejected(tmp_path):
+    """An entry whose ids length disagrees with the trace is a miss
+    (e.g. a fingerprint collision would be caught, not trusted)."""
+    cache = InternCache(root=tmp_path)
+    keys = np.array([1, 2, 1], dtype=np.int64)
+    interned = intern_trace(keys)
+    path = cache.store(keys, interned)
+    np.savez(path, ids=interned.ids[:-1], uniques=interned.uniques)
+    assert cache.load(keys) is None
+    assert cache.stats["invalid"] == 1
+
+
+def test_store_leaves_no_temp_files(tmp_path):
+    cache = InternCache(root=tmp_path)
+    keys = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+    cache.store(keys, intern_trace(keys))
+    cache.store(keys, intern_trace(keys))   # idempotent overwrite
+    leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".npz"]
+    assert leftovers == []
+    assert len(list(tmp_path.glob("*.npz"))) == 1
+
+
+def test_intern_trace_uses_cache(tmp_path):
+    cache = InternCache(root=tmp_path)
+    trace = _trace([4, 4, 2, 9, 2])
+    first = intern_trace(trace.keys, cache=cache)
+    assert cache.stats["writes"] == 1
+    # A different array object with the same content hits the disk
+    # entry instead of re-interning.
+    again = intern_trace(trace.keys.copy(), cache=cache)
+    assert cache.stats["hits"] == 1
+    assert np.array_equal(first.ids, again.ids)
+    assert np.array_equal(first.uniques, again.uniques)
+
+
+def test_trace_memo_wins_over_disk(tmp_path):
+    """The in-memory per-Trace memo is checked before the disk cache."""
+    cache = InternCache(root=tmp_path)
+    trace = _trace([1, 2, 1])
+    first = intern_trace(trace, cache=cache)
+    second = intern_trace(trace, cache=cache)
+    assert second is first
+    assert cache.stats["hits"] == 0   # memo short-circuited the load
+
+
+def test_default_root_honours_runs_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+    cache = InternCache()
+    assert cache.root == tmp_path / "runs" / "intern-cache"
+
+
+@pytest.mark.parametrize("n", [0, 1, 100])
+def test_round_trip_sizes(tmp_path, n):
+    cache = InternCache(root=tmp_path)
+    rng = np.random.default_rng(n)
+    keys = rng.integers(0, 17, n).astype(np.int64)
+    interned = intern_trace(keys)
+    cache.store(keys, interned)
+    loaded = cache.load(keys)
+    assert loaded is not None
+    assert np.array_equal(loaded.ids, interned.ids)
+    assert loaded.num_unique == interned.num_unique
