@@ -1,0 +1,168 @@
+"""Deterministic open-loop overload smoke run for the CI diff gate.
+
+Plays one seeded step-overload schedule (X6's shape, scaled down to
+smoke size) against a fresh :class:`CacheService` per (policy, mode)
+cell -- ``static`` (fixed limit, deep queue, no deadline) vs
+``adaptive`` (AIMD limiter, bounded drop-oldest queue with a dispatch
+deadline) -- on a virtual clock, then checkpoints everything under a
+known run id:
+
+* ``journal.jsonl`` -- one result line per cell (offered, outcomes,
+  goodput, drop ratio, queue-delay p99, promotions, final limit) plus
+  the final metrics snapshot and the adaptive QD-LP-FIFO cell's
+  windowed time-series -- the input to ``repro diff`` against the
+  committed baseline at
+  ``benchmarks/baselines/overload-smoke/journal.jsonl``;
+* ``timeseries.jsonl`` -- the same windowed curves as standalone JSONL.
+
+Everything runs on seeded numpy arrivals and a
+:class:`~repro.exec.clock.VirtualClock`, so every journalled number is
+bit-reproducible across machines; ``*_seconds`` metrics (none are
+emitted here) would be diff-ignored anyway.
+
+Usage::
+
+    python benchmarks/run_overload_smoke.py --runs-dir runs-ci
+    PYTHONPATH=src python -m repro.cli diff \
+        benchmarks/baselines/overload-smoke/journal.jsonl \
+        runs-ci/overload-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np                                        # noqa: E402
+
+from repro.exec.clock import VirtualClock                 # noqa: E402
+from repro.exec.journal import Journal                    # noqa: E402
+from repro.obs import (                                   # noqa: E402
+    MetricsRegistry,
+    TimeSeriesRecorder,
+)
+from repro.policies.registry import make                  # noqa: E402
+from repro.service.backend import InMemoryBackend         # noqa: E402
+from repro.service.loadgen import run_open_load           # noqa: E402
+from repro.service.overload import (                      # noqa: E402
+    AdmissionQueue,
+    AIMDLimiter,
+    AimdConfig,
+    StaticLimiter,
+    StepArrivals,
+    ServiceCostModel,
+)
+from repro.service.service import CacheService, ServiceConfig  # noqa: E402
+from repro.traces.synthetic import zipf_trace             # noqa: E402
+
+SEED = 20260808
+POLICIES = ("LRU", "FIFO", "QD-LP-FIFO")
+MODES = ("static", "adaptive")
+
+NUM_OBJECTS = 400
+NUM_REQUESTS = 4000
+CACHE_CAPACITY = 40
+RATE = 200.0
+PEAK_RATE = 1200.0
+DURATION = 8.0
+CONCURRENCY = 16
+QUEUE_CAPACITY = 128
+QUEUE_DEADLINE = 0.5
+TARGET_DELAY = 0.05
+COST = ServiceCostModel(base_cost=0.001, miss_penalty=0.004,
+                        promotion_cost=0.002)
+
+#: The one cell whose windowed curves ride the journal (every cell runs
+#: its own virtual clock from zero, so only one can own the recorder's
+#: time base).
+TIMESERIES_CELL = ("QD-LP-FIFO", "adaptive")
+
+
+def run_cell(policy_name: str, mode: str, keys, registry, recorder):
+    """One (policy, mode) cell on a fresh service and virtual clock."""
+    clock = VirtualClock()
+    service = CacheService(make(policy_name, CACHE_CAPACITY),
+                           InMemoryBackend(), ServiceConfig(),
+                           clock=clock)
+    schedule = StepArrivals(rate=RATE, duration=DURATION,
+                            peak_rate=PEAK_RATE, seed=SEED)
+    if mode == "static":
+        queue = AdmissionQueue(capacity=1_000_000, policy="fifo")
+        limiter = StaticLimiter(CONCURRENCY)
+    else:
+        queue = AdmissionQueue(capacity=QUEUE_CAPACITY,
+                               policy="drop-oldest",
+                               deadline=QUEUE_DEADLINE)
+        limiter = AIMDLimiter(AimdConfig(target_delay=TARGET_DELAY,
+                                         max_limit=CONCURRENCY))
+    is_timeseries_cell = (policy_name, mode) == TIMESERIES_CELL
+    report = run_open_load(
+        service, keys, schedule, queue=queue, limiter=limiter, cost=COST,
+        timeseries=recorder if is_timeseries_cell else None,
+        registry=registry,
+        metric_labels={"policy": policy_name, "mode": mode})
+    report.check_conservation()
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs-dir", default="runs-ci",
+                        help="runs root to create the run under")
+    parser.add_argument("--run-id", default="overload-smoke",
+                        help="run id (directory name) for the journal")
+    args = parser.parse_args(argv)
+
+    registry = MetricsRegistry()
+    recorder = TimeSeriesRecorder(registry, cadence=1.0)
+    rng = np.random.default_rng(SEED)
+    keys = zipf_trace(NUM_OBJECTS, NUM_REQUESTS, 1.0, rng).tolist()
+
+    journal = Journal.create(run_id=args.run_id, root=args.runs_dir,
+                             meta={"name": "overload-smoke",
+                                   "seed": SEED})
+    ok = True
+    with journal:
+        for policy_name in POLICIES:
+            for mode in MODES:
+                report = run_cell(policy_name, mode, keys, registry,
+                                  recorder)
+                journal.record_result(
+                    (policy_name, mode),
+                    {
+                        "offered": report.offered,
+                        "outcomes": dict(sorted(
+                            report.outcomes.items())),
+                        "goodput": report.goodput,
+                        "hit_ratio": report.hit_ratio,
+                        "drop_ratio": report.drop_ratio,
+                        "queue_delay_p99": report.queue_delay_p99,
+                        "max_queue_depth": report.max_queue_depth,
+                        "promotions": report.promotions,
+                        "final_limit": report.final_limit,
+                    })
+                print(f"  {policy_name:12s} {mode:8s} "
+                      f"goodput {report.goodput:8.1f} req/s  "
+                      f"drop {report.drop_ratio:6.2%}  "
+                      f"p99 qdelay {report.queue_delay_p99 * 1e3:8.1f}ms")
+        journal.record_metrics(registry.snapshot())
+        journal.record_timeseries(recorder.to_rows())
+    run_dir = Path(args.runs_dir) / args.run_id
+    recorder.write_jsonl(run_dir / "timeseries.jsonl")
+
+    for artifact in ("journal.jsonl", "timeseries.jsonl"):
+        if not (run_dir / artifact).is_file():
+            print(f"missing artifact: {run_dir / artifact}",
+                  file=sys.stderr)
+            ok = False
+    print(f"overload smoke: {len(POLICIES) * len(MODES)} cells, "
+          f"run {run_dir}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

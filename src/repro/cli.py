@@ -168,7 +168,7 @@ def _exec_options(args: argparse.Namespace):
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         ablations, extensions, fig2, fig3, fig5, outage, outage_cluster,
-        table1, throughput)
+        overload_study, table1, throughput)
 
     config = _TIERS[args.tier]
     try:
@@ -185,6 +185,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     runners = {
         "outage": lambda: outage.run(config),
         "outage-cluster": lambda: outage_cluster.run(config),
+        "overload": lambda: overload_study.run(config),
         "table1": lambda: table1.run(config),
         "fig2": lambda: fig2.run(config, workers=args.workers,
                                  options=options),
@@ -237,6 +238,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return EXIT_USAGE
     registry = MetricsRegistry()
+    if args.open_loop:
+        return _run_open_loadgen(args, spec, registry)
     if args.shards:
         return _run_cluster_loadgen(args, spec, registry)
     try:
@@ -268,6 +271,93 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     write_jsonl(registry, metrics_path)
     print(f"metrics snapshot: {metrics_path} "
           f"(render with `repro metrics {metrics_path}`)", file=sys.stderr)
+    return EXIT_OK
+
+
+def _run_open_loadgen(args: argparse.Namespace, spec, registry) -> int:
+    """``repro loadgen --open-loop``: arrival-driven overload mode.
+
+    Demand comes from an arrival schedule on a deterministic
+    VirtualClock instead of closed-loop worker threads, so offered
+    load can exceed capacity: requests queue in a bounded admission
+    queue, dispatch under a static or AIMD-adaptive concurrency limit,
+    and are dropped (deadline/displacement) or shed (queue full) when
+    the system cannot keep up.  Promotion work is charged on a
+    serialised lock timeline via the service-cost model, which is what
+    makes the hit-ratio-vs-throughput trade-off measurable.
+    """
+    import numpy as np
+
+    from repro.experiments.common import results_dir, write_result
+    from repro.exec.clock import VirtualClock
+    from repro.exec.retry import RetryPolicy
+    from repro.obs import TimeSeriesRecorder, write_jsonl
+    from repro.policies.registry import make
+    from repro.service import (
+        CacheService,
+        InMemoryBackend,
+        ServiceConfig,
+        run_open_load,
+    )
+    from repro.service.overload import (
+        AdmissionQueue,
+        AimdConfig,
+        RetryBudgetConfig,
+        ServiceCostModel,
+        make_limiter,
+        make_schedule,
+    )
+    from repro.traces.synthetic import zipf_trace
+
+    try:
+        if args.requests < 1:
+            raise ValueError(f"--requests must be >= 1, got {args.requests}")
+        if args.shards:
+            raise ValueError("--open-loop does not combine with --shards "
+                             "yet; use run_open_cluster_load from Python")
+        schedule = make_schedule(
+            args.arrival, rate=args.rate, duration=args.duration,
+            peak_rate=args.peak_rate, burst=args.burst, seed=args.seed)
+        queue = AdmissionQueue(capacity=args.queue,
+                               policy=args.queue_policy,
+                               deadline=args.queue_deadline)
+        limiter = make_limiter(
+            args.limiter, static_limit=args.max_inflight or 8,
+            aimd=AimdConfig(target_delay=args.target_delay))
+        cost = ServiceCostModel(promotion_cost=args.promotion_cost)
+        retry_budget = (RetryBudgetConfig(deposit=args.retry_budget)
+                        if args.retry_budget is not None else None)
+        config = ServiceConfig(
+            ttl=args.ttl,
+            retry=(RetryPolicy(max_attempts=3, base_delay=0.01)
+                   if retry_budget is not None else ServiceConfig().retry),
+            retry_budget=retry_budget,
+        )
+        clock = VirtualClock()
+        capacity = max(spec.min_capacity, int(args.objects * args.size))
+        service = CacheService(make(spec.name, capacity),
+                               InMemoryBackend(), config, clock=clock,
+                               registry=registry)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    rng = np.random.default_rng(args.seed)
+    keys = zipf_trace(args.objects, args.requests, args.alpha, rng).tolist()
+    recorder = TimeSeriesRecorder(registry, cadence=1.0)
+    report = run_open_load(service, keys, schedule, queue=queue,
+                           limiter=limiter, cost=cost,
+                           timeseries=recorder, registry=registry)
+    report.check_conservation()
+    print(report.render())
+    write_result("loadgen_open", report.render())
+    metrics_path = results_dir() / "loadgen_open_metrics.jsonl"
+    write_jsonl(registry, metrics_path)
+    series_path = results_dir() / "loadgen_open_timeseries.jsonl"
+    recorder.write_jsonl(series_path)
+    print(f"metrics snapshot: {metrics_path}\n"
+          f"windowed series : {series_path} "
+          f"(render with `repro timeseries {series_path}`)",
+          file=sys.stderr)
     return EXIT_OK
 
 
@@ -529,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("id", choices=(
         "table1", "fig2", "fig3", "table2", "fig5", "throughput",
         "ablation-probation", "ablation-ghost", "ablation-clockbits",
-        "extensions", "outage", "outage-cluster"))
+        "extensions", "outage", "outage-cluster", "overload"))
     exp.add_argument("--tier", choices=tuple(_TIERS), default="quick")
     exp.add_argument("--workers", "--jobs", dest="workers", type=int,
                      default=0,
@@ -581,8 +671,51 @@ def build_parser() -> argparse.ArgumentParser:
                       help="virtual seconds between requests "
                            "(cluster mode; implies threads=1)")
     load.add_argument("--max-inflight", type=int, default=None,
-                      help="shed misses beyond this many concurrent fetches")
+                      help="shed misses beyond this many concurrent fetches"
+                           " (open-loop: the static dispatch limit)")
     load.add_argument("--seed", type=int, default=42)
+    load.add_argument("--open-loop", action="store_true",
+                      help="arrival-driven overload mode on a virtual "
+                           "clock: demand follows --arrival/--rate "
+                           "regardless of completions")
+    load.add_argument("--arrival",
+                      choices=("poisson", "onoff", "diurnal", "step"),
+                      default="step",
+                      help="open-loop arrival schedule (default step)")
+    load.add_argument("--rate", type=float, default=200.0,
+                      help="baseline arrival rate in req/s (open-loop)")
+    load.add_argument("--peak-rate", type=float, default=None,
+                      help="step-overload peak rate in req/s "
+                           "(default --burst x --rate)")
+    load.add_argument("--duration", type=float, default=30.0,
+                      help="virtual seconds of open-loop schedule")
+    load.add_argument("--burst", type=float, default=4.0,
+                      help="on/off burst multiplier (and the default "
+                           "peak/base ratio for step)")
+    load.add_argument("--queue", type=int, default=256,
+                      help="admission queue capacity (open-loop)")
+    load.add_argument("--queue-policy",
+                      choices=("fifo", "lifo", "drop-oldest"),
+                      default="fifo",
+                      help="overflow/service discipline of the "
+                           "admission queue")
+    load.add_argument("--queue-deadline", type=float, default=None,
+                      help="seconds a request may wait before it is "
+                           "dropped instead of served late")
+    load.add_argument("--limiter", choices=("static", "aimd"),
+                      default="static",
+                      help="dispatch concurrency limiter (open-loop): "
+                           "static cap or AIMD on observed queue delay")
+    load.add_argument("--target-delay", type=float, default=0.05,
+                      help="AIMD limiter's queue-delay setpoint, seconds")
+    load.add_argument("--promotion-cost", type=float, default=0.002,
+                      help="serialised seconds charged per policy "
+                           "promotion in the service-cost model")
+    load.add_argument("--retry-budget", type=float, default=None,
+                      metavar="RATIO",
+                      help="retry-budget deposit ratio (e.g. 0.1 caps "
+                           "retry amplification at ~10%%); also enables "
+                           "a 3-attempt retry policy")
 
     metrics = sub.add_parser(
         "metrics",

@@ -25,6 +25,7 @@ from repro.cluster.loadgen import (
     SERVED,
     ClusterLoadReport,
     run_cluster_load,
+    run_open_cluster_load,
 )
 from repro.cluster.ring import (
     DEFAULT_VNODES,
@@ -61,6 +62,7 @@ __all__ = [
     "moved_keys",
     "pareto_sizes_kb",
     "run_cluster_load",
+    "run_open_cluster_load",
     "stable_hash",
     "zipf_ranks",
 ]

@@ -41,11 +41,16 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.base import validate_capacity
 from repro.exec.clock import Clock, SystemClock
-from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    Reservoir,
+)
 from repro.cluster.ring import DEFAULT_VNODES, HashRing, moved_keys
 from repro.service.service import (
     ERROR,
     HIT,
+    LATENCY_RESERVOIR_SIZE,
     MISS,
     SHED,
     STALE,
@@ -243,8 +248,11 @@ class ClusterMetrics:
         self.front_hits = 0
         self.replications = 0
         self.replica_probes = 0
-        self._latencies: Dict[str, List[float]] = {
-            outcome: [] for outcome in CLUSTER_OUTCOMES}
+        # Fixed-size latency samples: cluster-wide open-loop runs must
+        # not grow memory one float per request.
+        self._latencies: Dict[str, Reservoir] = {
+            outcome: Reservoir(LATENCY_RESERVOIR_SIZE, seed=index)
+            for index, outcome in enumerate(CLUSTER_OUTCOMES)}
         self.registry = registry
         if registry is not None:
             self._obs_requests = {
@@ -273,7 +281,7 @@ class ClusterMetrics:
         """Account one finished cluster request."""
         with self._lock:
             self.counts[outcome] += 1
-            self._latencies[outcome].append(latency)
+            self._latencies[outcome].add(latency)
             if front:
                 self.front_hits += 1
         if self.registry is not None:
@@ -301,13 +309,13 @@ class ClusterMetrics:
             return sum(self.counts.values())
 
     def latencies(self, outcome: Optional[str] = None) -> List[float]:
-        """Recorded latencies, for one outcome or all of them."""
+        """Sampled latencies, for one outcome or all of them."""
         with self._lock:
             if outcome is not None:
-                return list(self._latencies[outcome])
+                return self._latencies[outcome].values()
             merged: List[float] = []
-            for values in self._latencies.values():
-                merged.extend(values)
+            for reservoir in self._latencies.values():
+                merged.extend(reservoir.values())
             return merged
 
     def snapshot(self) -> Dict[str, int]:

@@ -27,7 +27,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.clock import VirtualClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.service.loadgen import LoadInterrupted, percentile
+from repro.service.overload import (
+    AdmissionQueue,
+    ArrivalSchedule,
+    ConcurrencyLimiter,
+    OpenLoadReport,
+    ServiceCostModel,
+    StaticLimiter,
+    run_open_loop,
+)
 from repro.cluster.cluster import CLUSTER_OUTCOMES, CacheCluster
 
 #: Outcomes that delivered a value to the caller.
@@ -249,4 +260,54 @@ def run_cluster_load(
                    taken, interrupted=False)
 
 
-__all__ = ["SERVED", "ClusterLoadReport", "run_cluster_load"]
+def run_open_cluster_load(
+    cluster: CacheCluster,
+    keys: Sequence,
+    schedule: ArrivalSchedule,
+    queue: Optional[AdmissionQueue] = None,
+    limiter: Optional[ConcurrencyLimiter] = None,
+    cost: Optional[ServiceCostModel] = None,
+    timeseries: Optional[TimeSeriesRecorder] = None,
+    registry: Optional[MetricsRegistry] = None,
+    metric_labels: Optional[dict] = None,
+) -> OpenLoadReport:
+    """Open-loop load against a :class:`CacheCluster`.
+
+    The cluster counterpart of
+    :func:`repro.service.loadgen.run_open_load`: the arrival schedule
+    drives the router, the admission queue and limiter sit in front of
+    it, and promotion cost is aggregated across every shard's policy
+    (each shard's promotions serialise on its own lock in reality, but
+    the single serialised timeline is a conservative upper bound that
+    keeps the model identical to the single-node harness).  Outcomes
+    include ``replica_hit``, so the conservation invariant here is
+    ``hit+miss+replica_hit+stale+shed+dropped+error == offered``.
+    """
+    # `is None` checks: an empty AdmissionQueue is falsy (len() == 0),
+    # so `queue or default` would silently discard the caller's queue.
+    if queue is None:
+        queue = AdmissionQueue(capacity=1024)
+    if limiter is None:
+        limiter = StaticLimiter(8)
+
+    def probe() -> int:
+        return sum(service.policy.promotion_count
+                   for service in cluster.shards.values())
+
+    return run_open_loop(
+        get=cluster.get,
+        arrivals=schedule.times(),
+        keys=keys,
+        clock=cluster.clock,
+        queue=queue,
+        limiter=limiter,
+        cost=cost,
+        promotions_probe=probe,
+        timeseries=timeseries,
+        registry=registry,
+        metric_labels=metric_labels,
+    )
+
+
+__all__ = ["SERVED", "ClusterLoadReport", "run_cluster_load",
+           "run_open_cluster_load"]

@@ -1,0 +1,256 @@
+"""Experiment X6 -- goodput vs hit ratio under step overload.
+
+The hit-ratio-vs-throughput study the ROADMAP asks for (after Qiu,
+Yang and Harchol-Balter, "Can Increasing the Hit Ratio Hurt Cache
+Throughput?"), run end to end on this repo's service stack: the same
+step-overload arrival schedule is played open-loop against one
+:class:`~repro.service.service.CacheService` per policy, with the
+:class:`~repro.service.overload.ServiceCostModel` charging every
+promotion the policy performs on a single serialised lock timeline --
+the six-pointer critical section of the source paper's §2.
+
+Under the surge, each served LRU hit costs a promotion, so LRU's lock
+saturates at ``1 / promotion_cost`` promotions per second and its
+*delivered* goodput collapses below its offline hit ratio's promise.
+FIFO pays no promotions and rides the surge; QD-LP-FIFO promotes only
+on probation-queue reinsertions (a few percent of hits), keeping both
+the hit ratio *and* the goodput.  That crossover -- a worse hit ratio
+delivering strictly more served requests per second -- is the figure
+this experiment produces.
+
+Each policy runs under two admission-control modes:
+
+* **static** -- the legacy configuration: a fixed concurrency limit in
+  front of an effectively unbounded FIFO queue with no deadline.  Under
+  sustained overload the queue grows without bound and p99 queue delay
+  collapses (every request is eventually served, seconds late: a
+  metastable goodput trap).
+* **adaptive** -- the overload-robust configuration: AIMD limiter on
+  observed queue delay, a small bounded queue with ``drop-oldest``
+  overflow and a dispatch deadline.  Excess arrivals are dropped *on
+  time*, so whatever is served is served within the deadline and p99
+  queue delay stays bounded.
+
+Everything runs on a :class:`~repro.exec.clock.VirtualClock` with
+seeded arrivals, so the whole study is deterministic and sleepless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.exec.clock import VirtualClock
+from repro.experiments.common import QUICK, CorpusConfig, write_result
+from repro.policies.registry import make
+from repro.service.backend import InMemoryBackend
+from repro.service.loadgen import run_open_load
+from repro.service.overload import (
+    AdmissionQueue,
+    AIMDLimiter,
+    AimdConfig,
+    OpenLoadReport,
+    ServiceCostModel,
+    StaticLimiter,
+    StepArrivals,
+)
+from repro.service.service import CacheService, ServiceConfig
+from repro.traces.synthetic import zipf_trace
+
+#: eager promotion vs no promotion vs lazy promotion + quick demotion
+POLICIES = ["LRU", "FIFO", "QD-LP-FIFO"]
+
+#: admission-control modes each policy runs under
+MODES = ("static", "adaptive")
+
+
+@dataclass(frozen=True)
+class OverloadScenario:
+    """Workload + overload schedule for one X6 run (validated).
+
+    The default numbers are chosen so the surge saturates the
+    promotion lock but not the parallel servers: with
+    ``promotion_cost = 2 ms`` the lock serves at most 500 promotions/s,
+    so an LRU hit rate above that collapses, while ``concurrency = 16``
+    parallel workers at ``base_cost = 1 ms`` could serve 16 000 req/s
+    if only the lock allowed it.
+    """
+
+    num_objects: int = 2000
+    num_requests: int = 20000      # length of the key sequence (cycled)
+    zipf_alpha: float = 1.0
+    cache_fraction: float = 0.1
+    rate: float = 200.0            # baseline arrivals per second
+    peak_rate: float = 1500.0      # inside the step window
+    duration: float = 30.0         # virtual seconds of schedule
+    base_cost: float = 0.001
+    miss_penalty: float = 0.004
+    promotion_cost: float = 0.002
+    concurrency: int = 16          # static limit / AIMD max limit
+    queue_capacity: int = 128      # adaptive mode's bounded queue
+    queue_deadline: float = 0.5    # adaptive mode's dispatch deadline
+    target_delay: float = 0.05     # AIMD setpoint
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 1 or self.num_requests < 1:
+            raise ValueError("num_objects and num_requests must be >= 1")
+        if not 0.0 < self.cache_fraction <= 1.0:
+            raise ValueError(
+                f"cache_fraction must be in (0, 1], "
+                f"got {self.cache_fraction}")
+        for name, value in (("rate", self.rate),
+                            ("peak_rate", self.peak_rate),
+                            ("duration", self.duration),
+                            ("queue_deadline", self.queue_deadline)):
+            if value <= 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
+        if self.concurrency < 1 or self.queue_capacity < 1:
+            raise ValueError(
+                "concurrency and queue_capacity must be >= 1")
+
+    def schedule(self) -> StepArrivals:
+        """The shared step-overload arrival schedule."""
+        return StepArrivals(rate=self.rate, duration=self.duration,
+                            peak_rate=self.peak_rate, seed=self.seed)
+
+    def cost(self) -> ServiceCostModel:
+        return ServiceCostModel(base_cost=self.base_cost,
+                                miss_penalty=self.miss_penalty,
+                                promotion_cost=self.promotion_cost)
+
+
+@dataclass
+class OverloadRow:
+    """One (policy, mode) cell of the study."""
+
+    policy: str
+    mode: str                      # "static" | "adaptive"
+    report: OpenLoadReport
+
+    @property
+    def goodput(self) -> float:
+        return self.report.goodput
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.report.hit_ratio
+
+    @property
+    def drop_ratio(self) -> float:
+        return self.report.drop_ratio
+
+    @property
+    def p99_queue_delay(self) -> float:
+        return self.report.queue_delay_p99
+
+
+@dataclass
+class OverloadResult:
+    """All (policy, mode) rows plus the scenario they shared."""
+
+    rows: List[OverloadRow]
+    scenario: OverloadScenario
+
+    def row(self, policy: str, mode: str) -> OverloadRow:
+        for row in self.rows:
+            if row.policy == policy and row.mode == mode:
+                return row
+        raise KeyError(f"no row for ({policy!r}, {mode!r})")
+
+    def render(self) -> str:
+        start, end = self.scenario.schedule().window()
+        headers = ["policy", "mode", "goodput req/s", "hit ratio",
+                   "dropped+shed", "p99 qdelay s", "promotions",
+                   "lock busy s", "final limit"]
+        body = []
+        for row in self.rows:
+            body.append([
+                row.policy,
+                row.mode,
+                row.goodput,
+                row.hit_ratio,
+                row.drop_ratio,
+                row.p99_queue_delay,
+                row.report.promotions,
+                row.report.lock_busy,
+                row.report.final_limit,
+            ])
+        return render_table(
+            headers, body,
+            title=f"X6: goodput vs hit ratio under step overload "
+                  f"({self.scenario.rate:.0f}->"
+                  f"{self.scenario.peak_rate:.0f} req/s during "
+                  f"t={start:.0f}s..{end:.0f}s of "
+                  f"{self.scenario.duration:.0f}s; promotion cost "
+                  f"{self.scenario.promotion_cost * 1e3:.1f}ms "
+                  f"serialised)",
+            precision=4)
+
+
+def run_cell(policy_name: str, mode: str, scenario: OverloadScenario,
+             keys: List[int]) -> OverloadRow:
+    """Run one (policy, mode) cell on a fresh service + virtual clock."""
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    clock = VirtualClock()
+    capacity = max(2, int(scenario.num_objects * scenario.cache_fraction))
+    service = CacheService(make(policy_name, capacity), InMemoryBackend(),
+                           ServiceConfig(), clock=clock)
+    if mode == "static":
+        # The legacy shape: fixed limit, deep FIFO queue, no deadline.
+        # Every offered request is eventually served -- arbitrarily late.
+        queue = AdmissionQueue(capacity=1_000_000, policy="fifo",
+                               deadline=None)
+        limiter = StaticLimiter(scenario.concurrency)
+    else:
+        queue = AdmissionQueue(capacity=scenario.queue_capacity,
+                               policy="drop-oldest",
+                               deadline=scenario.queue_deadline)
+        limiter = AIMDLimiter(AimdConfig(
+            target_delay=scenario.target_delay,
+            max_limit=scenario.concurrency))
+    report = run_open_load(service, keys, scenario.schedule(),
+                           queue=queue, limiter=limiter,
+                           cost=scenario.cost())
+    report.check_conservation()
+    return OverloadRow(policy=policy_name, mode=mode, report=report)
+
+
+def run(config: CorpusConfig = QUICK,
+        scenario: Optional[OverloadScenario] = None) -> OverloadResult:
+    """Run the full study and persist the rendered table.
+
+    The corpus tier scales the schedule duration and key-sequence
+    length; rates, costs and the step window are fractional/absolute
+    knobs shared by every tier, so TINY sees the same overload shape
+    in a tenth of the virtual time.
+    """
+    if scenario is None:
+        scenario = OverloadScenario(
+            duration=max(6.0, 30.0 * config.scale),
+            num_requests=max(2000, int(20000 * config.scale)),
+            num_objects=max(200, int(2000 * config.scale)),
+        )
+    rng = np.random.default_rng(scenario.seed)
+    keys = zipf_trace(scenario.num_objects, scenario.num_requests,
+                      scenario.zipf_alpha, rng).tolist()
+    rows = [run_cell(policy, mode, scenario, keys)
+            for policy in POLICIES for mode in MODES]
+    result = OverloadResult(rows=rows, scenario=scenario)
+    write_result("overload", result.render())
+    return result
+
+
+__all__ = [
+    "MODES",
+    "POLICIES",
+    "OverloadResult",
+    "OverloadRow",
+    "OverloadScenario",
+    "run",
+    "run_cell",
+]

@@ -8,8 +8,12 @@ recorded and reports what moved:
 
 * **results** -- ``result`` lines joined by (trace, policy, size);
   compared on miss ratio (absolute threshold -- ratios near zero make
-  relative deltas meaningless) and request counts (which must match
-  exactly for the comparison to mean anything).
+  relative deltas meaningless), request counts (which must match
+  exactly for the comparison to mean anything), and every other
+  numeric payload field (relative threshold, one level of nested
+  dicts flattened as ``field.subfield``) -- so journals whose result
+  rows carry goodput/drop-ratio/promotion numbers instead of the
+  classic requests/misses pair are gated too.
 * **metrics** -- the final ``metrics`` snapshot rows joined by
   (name, labels); counters and gauges compared on relative delta,
   histograms on their count and sum.  Wall-time metrics
@@ -166,6 +170,40 @@ def _record_key(key: Sequence) -> str:
     return f"(trace={trace}, policy={policy}, size={size})"
 
 
+#: Payload fields already covered by the requests + miss-ratio
+#: comparison (``hits`` is derivable from the other two); excluded
+#: from the generic numeric sweep so one perturbation does not show
+#: up three times.
+_CLASSIC_FIELDS = frozenset({"requests", "hits", "misses"})
+
+
+def _payload_numbers(payload: Dict,
+                     thresholds: DiffThresholds) -> Dict[str, float]:
+    """Numeric payload fields beyond the classic requests/misses pair.
+
+    One level of nested dicts (e.g. an ``outcomes`` histogram) is
+    flattened to ``field.subfield``; bools, strings and ``ignore``d
+    names (wall-time ``*_seconds`` by default) are skipped.
+    """
+    out: Dict[str, float] = {}
+    for name, value in payload.items():
+        if name in _CLASSIC_FIELDS or thresholds.ignored(name):
+            continue
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[name] = float(value)
+        elif isinstance(value, dict):
+            for sub, nested in value.items():
+                if isinstance(nested, bool):
+                    continue
+                if not isinstance(nested, (int, float)):
+                    continue
+                if not thresholds.ignored(f"{name}.{sub}"):
+                    out[f"{name}.{sub}"] = float(nested)
+    return out
+
+
 def _diff_results(a: Dict, b: Dict, thresholds: DiffThresholds,
                   report: DiffReport) -> None:
     for key in sorted(set(a) | set(b), key=str):
@@ -190,6 +228,22 @@ def _diff_results(a: Dict, b: Dict, thresholds: DiffThresholds,
             report.rows.append(DiffRow(
                 "results", label, "miss_ratio", mr_a, mr_b,
                 regressed=abs(mr_b - mr_a) > thresholds.miss_ratio_abs))
+        numbers_a = _payload_numbers(pa, thresholds)
+        numbers_b = _payload_numbers(pb, thresholds)
+        for metric in sorted(set(numbers_a) | set(numbers_b)):
+            if metric not in numbers_b:
+                report.only_a.append(f"results {label} {metric}")
+                continue
+            if metric not in numbers_a:
+                report.only_b.append(f"results {label} {metric}")
+                continue
+            va, vb = numbers_a[metric], numbers_b[metric]
+            report.compared += 1
+            if va != vb:
+                rel = abs(vb - va) / max(abs(va), abs(vb), _EPS)
+                report.rows.append(DiffRow(
+                    "results", label, metric, va, vb,
+                    regressed=rel > thresholds.metric_rel))
 
 
 def _metric_values(rows: Optional[List[dict]],

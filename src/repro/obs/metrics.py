@@ -30,6 +30,7 @@ returns plain dict rows -- the one wire format all exporters
 
 from __future__ import annotations
 
+import random
 import threading
 from typing import Dict, Iterable, List, Sequence, Tuple
 
@@ -321,6 +322,47 @@ class MetricsRegistry:
         return out
 
 
+class Reservoir:
+    """Fixed-size uniform sample of a value stream (Vitter Algorithm R).
+
+    Exact percentiles need the raw samples, but storing one float per
+    request makes a million-request open-loop run grow memory linearly.
+    A reservoir keeps a uniformly random, fixed-size subset: after *n*
+    observations every value had probability ``size/n`` of surviving,
+    so sample percentiles converge on stream percentiles while memory
+    stays O(size).  Seeded, hence deterministic per instance.
+
+    Not internally locked -- callers (``ServiceMetrics``,
+    ``ClusterMetrics``) already serialise observations under their own
+    lock, and the extra acquisition per request would be pure overhead.
+    """
+
+    def __init__(self, size: int = 4096, seed: int = 0) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+        self.count = 0           # total observations offered
+        self._rng = random.Random(seed)
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def add(self, value: float) -> None:
+        """Offer one observation to the sample."""
+        self.count += 1
+        if len(self._values) < self.size:
+            self._values.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.size:
+            self._values[slot] = value
+
+    def values(self) -> List[float]:
+        """A copy of the current sample (unordered)."""
+        return list(self._values)
+
+
 def merge_snapshots(snapshots: Iterable[List[dict]]) -> List[dict]:
     """Merge snapshot rows, summing counters/histograms by identity.
 
@@ -366,6 +408,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Reservoir",
     "exponential_buckets",
     "merge_snapshots",
 ]

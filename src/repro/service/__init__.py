@@ -19,7 +19,12 @@ front of a failing backend:
   deterministic backend fault injection on a virtual clock (the
   service-layer sibling of :class:`repro.exec.FaultPlan`).
 * :mod:`repro.service.loadgen` -- closed-loop multi-threaded load
-  harness with per-outcome metrics and latency percentiles.
+  harness with per-outcome metrics and latency percentiles, plus the
+  open-loop wrapper :func:`~repro.service.loadgen.run_open_load`.
+* :mod:`repro.service.overload` -- open-loop overload robustness:
+  arrival schedules, bounded admission queue with deadline-aware drop,
+  static/AIMD concurrency limiters, retry budget, and the service-cost
+  model that charges promotion work on a serialised lock timeline.
 """
 
 from repro.service.backend import (
@@ -42,7 +47,24 @@ from repro.service.faults import (
     BackendFaultPlan,
     InjectedBackendError,
 )
-from repro.service.loadgen import LoadInterrupted, LoadReport, run_load
+from repro.service.loadgen import (
+    LoadInterrupted,
+    LoadReport,
+    run_load,
+    run_open_load,
+)
+from repro.service.overload import (
+    DROPPED,
+    AdmissionQueue,
+    AIMDLimiter,
+    AimdConfig,
+    OpenLoadReport,
+    RetryBudget,
+    RetryBudgetConfig,
+    ServiceCostModel,
+    StaticLimiter,
+    run_open_loop,
+)
 from repro.service.service import (
     ERROR,
     HIT,
@@ -56,6 +78,9 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "AIMDLimiter",
+    "AdmissionQueue",
+    "AimdConfig",
     "Backend",
     "BackendError",
     "BackendFaultPlan",
@@ -66,6 +91,7 @@ __all__ = [
     "CacheService",
     "CallableBackend",
     "CircuitBreaker",
+    "DROPPED",
     "ERROR",
     "FaultInjectedBackend",
     "GetResult",
@@ -77,9 +103,16 @@ __all__ = [
     "LoadReport",
     "MISS",
     "OPEN",
+    "OpenLoadReport",
+    "RetryBudget",
+    "RetryBudgetConfig",
     "SHED",
     "STALE",
     "ServiceConfig",
+    "ServiceCostModel",
     "ServiceMetrics",
+    "StaticLimiter",
     "run_load",
+    "run_open_load",
+    "run_open_loop",
 ]

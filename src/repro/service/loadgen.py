@@ -23,13 +23,24 @@ measured before exiting with code 130.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.clock import VirtualClock
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.timeseries import TimeSeriesRecorder
+from repro.service.overload import (
+    AdmissionQueue,
+    ArrivalSchedule,
+    ConcurrencyLimiter,
+    OpenLoadReport,
+    ServiceCostModel,
+    StaticLimiter,
+    run_open_loop,
+)
 from repro.service.service import OUTCOMES, CacheService
 
 
@@ -42,14 +53,22 @@ class LoadInterrupted(KeyboardInterrupt):
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of *values* (0.0 for an empty input)."""
+    """Nearest-rank percentile of *values* (0.0 for an empty input).
+
+    Standard ceil-based nearest-rank: the p-th percentile of N sorted
+    samples is the value at 1-indexed rank ``ceil(p * N)`` (and the
+    minimum for p = 0).  The previous ``round()``-based rank used
+    banker's rounding, so ties at ``.5`` resolved to the even rank --
+    p50 of ``[1, 2]`` came out as 1 while p50 of ``[1, 2, 3, 4]`` came
+    out as 3, an inconsistency the boundary tests now pin down.
+    """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
 
 
 @dataclass
@@ -217,4 +236,53 @@ def run_load(
                    interrupted=False)
 
 
-__all__ = ["LoadInterrupted", "LoadReport", "percentile", "run_load"]
+def run_open_load(
+    service: CacheService,
+    keys: Sequence,
+    schedule: ArrivalSchedule,
+    queue: Optional[AdmissionQueue] = None,
+    limiter: Optional[ConcurrencyLimiter] = None,
+    cost: Optional[ServiceCostModel] = None,
+    timeseries: Optional[TimeSeriesRecorder] = None,
+    registry: Optional[MetricsRegistry] = None,
+    metric_labels: Optional[dict] = None,
+) -> OpenLoadReport:
+    """Open-loop load against one :class:`CacheService`.
+
+    Unlike :func:`run_load`, demand is an arrival *schedule*: requests
+    arrive at their schedule times whether or not earlier ones
+    finished, wait in a bounded admission *queue*, and dispatch when
+    the *limiter* grants a slot -- so offered load can exceed capacity
+    and the overload behaviour (shed, dropped, queue delay, goodput)
+    becomes measurable.  Service time comes from the *cost* model,
+    with promotion work charged on a serialised lock timeline; the
+    schedule plays out on the service's clock (use a
+    :class:`~repro.exec.clock.VirtualClock` for deterministic runs).
+    The service's own retry budget, if configured, is reported.
+    """
+    # `is None` checks: an empty AdmissionQueue is falsy (len() == 0),
+    # so `queue or default` would silently discard the caller's queue.
+    if queue is None:
+        queue = AdmissionQueue(capacity=1024)
+    if limiter is None:
+        limiter = StaticLimiter(8)
+    probe = service.policy  # promotion_count aggregates inner caches
+    report = run_open_loop(
+        get=service.get,
+        arrivals=schedule.times(),
+        keys=keys,
+        clock=service.clock,
+        queue=queue,
+        limiter=limiter,
+        cost=cost,
+        promotions_probe=lambda: probe.promotion_count,
+        retry_budget=service.retry_budget,
+        timeseries=timeseries,
+        registry=registry,
+        metric_labels=metric_labels,
+    )
+    return report
+
+
+__all__ = ["LoadInterrupted", "LoadReport", "percentile", "run_load",
+           "run_open_load"]

@@ -42,7 +42,11 @@ from typing import Any, Dict, Hashable, List, Optional
 from repro.core.base import CacheListener, EvictionPolicy
 from repro.exec.clock import Clock, SystemClock
 from repro.exec.retry import NO_RETRY, RetryPolicy
-from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    Reservoir,
+)
 from repro.service.backend import Backend
 from repro.service.breaker import (
     STATE_VALUES,
@@ -50,8 +54,18 @@ from repro.service.breaker import (
     CircuitBreaker,
 )
 from repro.service.faults import BackendTimeout
+from repro.service.overload import (
+    AIMDLimiter,
+    AimdConfig,
+    RetryBudget,
+    RetryBudgetConfig,
+)
 
 Key = Hashable
+
+#: Per-outcome latency sample size kept by :class:`ServiceMetrics`.
+#: Percentile error at this size is well under the 5% CI diff gates.
+LATENCY_RESERVOIR_SIZE = 4096
 
 HIT = "hit"        # fresh value served from the cache
 MISS = "miss"      # value fetched from the backend (or coalesced onto one)
@@ -82,6 +96,15 @@ class ServiceConfig:
       (:data:`~repro.exec.retry.NO_RETRY` by default).
     * ``breaker`` -- circuit-breaker configuration, or ``None`` to
       disable the breaker entirely.
+    * ``limiter`` -- adaptive concurrency limiting
+      (:class:`~repro.service.overload.AimdConfig`): the in-flight
+      fetch cap moves with observed fetch latency (AIMD) instead of
+      sitting at a static ``max_inflight``.  Mutually exclusive with
+      ``max_inflight`` -- one knob must own the shed decision.
+    * ``retry_budget`` -- token bucket over the retry path
+      (:class:`~repro.service.overload.RetryBudgetConfig`): retries
+      beyond the budget are cut off instead of amplifying an outage
+      into a retry storm.  ``None`` leaves retries unbudgeted.
     """
 
     ttl: Optional[float] = None
@@ -91,6 +114,8 @@ class ServiceConfig:
     deadline: Optional[float] = None
     retry: RetryPolicy = NO_RETRY
     breaker: Optional[BreakerConfig] = field(default_factory=BreakerConfig)
+    limiter: Optional[AimdConfig] = None
+    retry_budget: Optional[RetryBudgetConfig] = None
 
     def __post_init__(self) -> None:
         if self.ttl is not None and self.ttl <= 0:
@@ -120,6 +145,20 @@ class ServiceConfig:
             raise TypeError(
                 f"breaker must be a BreakerConfig or None, "
                 f"got {type(self.breaker).__name__}")
+        if self.limiter is not None and not isinstance(self.limiter,
+                                                       AimdConfig):
+            raise TypeError(
+                f"limiter must be an AimdConfig or None, "
+                f"got {type(self.limiter).__name__}")
+        if self.limiter is not None and self.max_inflight is not None:
+            raise ValueError(
+                "limiter and max_inflight are mutually exclusive: the "
+                "adaptive limiter replaces the static in-flight cap")
+        if self.retry_budget is not None and not isinstance(
+                self.retry_budget, RetryBudgetConfig):
+            raise TypeError(
+                f"retry_budget must be a RetryBudgetConfig or None, "
+                f"got {type(self.retry_budget).__name__}")
 
 
 @dataclass
@@ -152,8 +191,12 @@ class ServiceMetrics:
     *labels* (e.g. ``{"shard": "s2"}`` from the cluster router) are
     attached to every mirrored metric, which is how per-shard serving
     behaviour stays separable in one shared registry.  The raw
-    per-outcome counts and latency lists stay authoritative: the load
-    generator's percentile report reads exact samples, not buckets.
+    per-outcome counts stay authoritative; latencies are kept as
+    per-outcome fixed-size :class:`~repro.obs.metrics.Reservoir`
+    samples (seeded, so single-threaded runs are deterministic), which
+    holds memory constant on million-request open-loop runs while the
+    load generator's percentile report still reads raw samples, not
+    buckets.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
@@ -164,8 +207,9 @@ class ServiceMetrics:
         self.fetch_attempts = 0
         self.fetch_failures = 0
         self.negative_hits = 0
-        self._latencies: Dict[str, List[float]] = {
-            outcome: [] for outcome in OUTCOMES}
+        self._latencies: Dict[str, Reservoir] = {
+            outcome: Reservoir(LATENCY_RESERVOIR_SIZE, seed=index)
+            for index, outcome in enumerate(OUTCOMES)}
         self.registry = registry
         self.labels = dict(labels or {})
         if registry is not None:
@@ -199,7 +243,7 @@ class ServiceMetrics:
         """Account one finished request."""
         with self._lock:
             self.counts[outcome] += 1
-            self._latencies[outcome].append(latency)
+            self._latencies[outcome].add(latency)
             if coalesced:
                 self.coalesced += 1
         if self.registry is not None:
@@ -242,13 +286,13 @@ class ServiceMetrics:
         return self.requests
 
     def latencies(self, outcome: Optional[str] = None) -> List[float]:
-        """Recorded latencies, for one outcome or all of them."""
+        """Sampled latencies, for one outcome or all of them."""
         with self._lock:
             if outcome is not None:
-                return list(self._latencies[outcome])
+                return self._latencies[outcome].values()
             merged: List[float] = []
-            for values in self._latencies.values():
-                merged.extend(values)
+            for reservoir in self._latencies.values():
+                merged.extend(reservoir.values())
             return merged
 
     def snapshot(self) -> Dict[str, int]:
@@ -334,9 +378,24 @@ class CacheService:
         self.config = config or ServiceConfig()
         self.clock = clock or SystemClock()
         self.metrics = ServiceMetrics(registry, labels=metric_labels)
+        self.limiter: Optional[AIMDLimiter] = (
+            AIMDLimiter(self.config.limiter)
+            if self.config.limiter is not None else None)
+        self.retry_budget: Optional[RetryBudget] = (
+            RetryBudget(self.config.retry_budget)
+            if self.config.retry_budget is not None else None)
         self.breaker: Optional[CircuitBreaker] = (
             CircuitBreaker(self.config.breaker, self.clock)
             if self.config.breaker is not None else None)
+        if registry is not None and self.limiter is not None:
+            limit_gauge = registry.gauge(
+                "service_inflight_limit",
+                "Current adaptive in-flight fetch limit",
+                **(metric_labels or {}))
+            limit_gauge.set(self.limiter.limit)
+            self._limit_gauge = limit_gauge
+        else:
+            self._limit_gauge = None
         if registry is not None and self.breaker is not None:
             gauge = registry.gauge("service_breaker_state",
                                    "0=closed, 1=half-open, 2=open",
@@ -382,8 +441,13 @@ class CacheService:
                 flight.waiters += 1
             else:
                 # Load shedding: refuse to queue more backend work.
-                if (self.config.max_inflight is not None
-                        and len(self._flights) >= self.config.max_inflight):
+                # The cap is either the static max_inflight knob or the
+                # adaptive limiter's current limit.
+                inflight_cap = self.config.max_inflight
+                if inflight_cap is None and self.limiter is not None:
+                    inflight_cap = self.limiter.limit
+                if (inflight_cap is not None
+                        and len(self._flights) >= inflight_cap):
                     stale = self._stale_entry(key, t0)
                     if stale is not None:
                         return self._finish(key, stale.value, STALE,
@@ -392,7 +456,7 @@ class CacheService:
                     return self._finish(
                         key, None, SHED, False, t0,
                         error=f"load shed: {len(self._flights)} fetches "
-                              f"in flight (max {self.config.max_inflight})")
+                              f"in flight (max {inflight_cap})")
                 # Open breaker: degrade instantly, no flight.
                 if self.breaker is not None and not self.breaker.allow():
                     stale = self._stale_entry(key, t0)
@@ -516,7 +580,10 @@ class CacheService:
         attempt = 1
         error: Optional[str] = None
         # Attempt 1 was authorised by the allow() that created the
-        # flight (or the breaker is disabled).
+        # flight (or the breaker is disabled).  It also earns the
+        # retry budget its deposit: first tries fund future retries.
+        if self.retry_budget is not None:
+            self.retry_budget.record_request()
         allowed = True
         try:
             while True:
@@ -528,6 +595,13 @@ class CacheService:
                     self._settle(key, flight, MISS, fetched, None)
                     return self._finish(key, fetched, MISS, False, t0)
                 if attempt >= retry.max_attempts:
+                    break
+                # Retries spend whole tokens; an empty bucket means the
+                # backend is already saturated with first tries, so the
+                # retry is cut off rather than amplifying the outage.
+                if (self.retry_budget is not None
+                        and not self.retry_budget.try_spend()):
+                    error = f"{error} [retry budget exhausted]"
                     break
                 self.clock.sleep(retry.backoff(attempt))
                 attempt += 1
@@ -551,6 +625,11 @@ class CacheService:
             # Whatever happened -- including an unexpected exception --
             # the flight must be released or followers deadlock.
             self._release(key, flight)
+            if self.limiter is not None:
+                now = self.clock.now()
+                self.limiter.on_complete(now - t0, now)
+                if self._limit_gauge is not None:
+                    self._limit_gauge.set(self.limiter.limit)
 
     def _attempt_fetch(self, key: Key) -> tuple:
         """One backend fetch attempt; returns ``(value, error-or-None)``.
@@ -628,6 +707,7 @@ class CacheService:
 __all__ = [
     "ERROR",
     "HIT",
+    "LATENCY_RESERVOIR_SIZE",
     "MISS",
     "OUTCOMES",
     "SHED",

@@ -1,0 +1,137 @@
+"""X6 integration: the goodput-vs-hit-ratio crossover, deterministic.
+
+Runs the full study at the TINY tier (virtual clock, seeded arrivals)
+and asserts the paper-level claims the experiment exists to show:
+promotion-heavy LRU loses delivered goodput under a step overload
+while FIFO and QD-LP-FIFO ride it, and the adaptive admission stack
+keeps p99 queue delay bounded where the static stack collapses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import overload_study
+from repro.experiments.common import CorpusConfig
+from repro.experiments.overload_study import (
+    MODES,
+    POLICIES,
+    OverloadScenario,
+)
+
+TINY = CorpusConfig(scale=0.1, traces_per_family=1)
+
+
+@pytest.fixture(autouse=True)
+def results_tmpdir(tmp_path, monkeypatch):
+    """Redirect results/ artifacts into the test's tmp dir."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    yield tmp_path
+
+
+@pytest.fixture(scope="module")
+def study():
+    """One TINY run shared by every assertion (it is the slow part)."""
+    return overload_study.run(TINY)
+
+
+class TestStudyShape:
+    def test_full_grid_of_rows(self, study):
+        assert len(study.rows) == len(POLICIES) * len(MODES)
+        for policy in POLICIES:
+            for mode in MODES:
+                row = study.row(policy, mode)
+                assert row.policy == policy and row.mode == mode
+
+    def test_conservation_in_every_cell(self, study):
+        for row in study.rows:
+            row.report.check_conservation()
+            assert row.report.offered > 0
+
+    def test_unknown_row_raises(self, study):
+        with pytest.raises(KeyError):
+            study.row("LRU", "imaginary")
+
+    def test_render_mentions_the_study(self, study):
+        text = study.render()
+        assert "X6" in text
+        for policy in POLICIES:
+            assert policy in text
+
+
+class TestPaperClaims:
+    def test_lazy_promotion_beats_lru_on_goodput(self, study):
+        """The headline: under overload, fewer promotions = more served."""
+        lru = study.row("LRU", "adaptive")
+        fifo = study.row("FIFO", "adaptive")
+        qdlp = study.row("QD-LP-FIFO", "adaptive")
+        assert fifo.goodput > lru.goodput
+        assert qdlp.goodput > lru.goodput
+
+    def test_qdlp_keeps_the_hit_ratio_too(self, study):
+        """QD-LP-FIFO is not trading hit ratio for its goodput."""
+        lru = study.row("LRU", "adaptive")
+        qdlp = study.row("QD-LP-FIFO", "adaptive")
+        assert qdlp.goodput > lru.goodput
+        assert qdlp.hit_ratio > lru.hit_ratio * 0.9
+
+    def test_promotion_lock_is_the_bottleneck(self, study):
+        """LRU pays promotions for ~every hit; FIFO pays none."""
+        lru = study.row("LRU", "adaptive").report
+        fifo = study.row("FIFO", "adaptive").report
+        assert fifo.promotions == 0
+        assert fifo.lock_busy == 0.0
+        assert lru.promotions > 0
+        assert lru.lock_busy > 0.0
+
+    def test_adaptive_bounds_p99_where_static_collapses(self, study):
+        """The robustness claim, on the worst-behaved policy (LRU)."""
+        static = study.row("LRU", "static")
+        adaptive = study.row("LRU", "adaptive")
+        scenario = study.scenario
+        # Static mode queues everything: requests are served later than
+        # the deadline the adaptive stack enforces, and its unbounded
+        # backlog dwarfs the adaptive mode's bounded queue.
+        assert static.p99_queue_delay > scenario.queue_deadline
+        assert static.p99_queue_delay > 2 * adaptive.p99_queue_delay
+        assert (static.report.max_queue_depth
+                > 2 * scenario.queue_capacity)
+        # Adaptive mode drops on time instead: p99 of *served* requests
+        # stays within the dispatch deadline.
+        assert adaptive.p99_queue_delay <= scenario.queue_deadline
+        assert adaptive.drop_ratio > 0.0
+
+    def test_lru_sheds_more_than_lazy_policies(self, study):
+        lru = study.row("LRU", "adaptive")
+        qdlp = study.row("QD-LP-FIFO", "adaptive")
+        assert lru.drop_ratio > qdlp.drop_ratio
+
+
+class TestDeterminism:
+    def test_same_scenario_same_numbers(self, study, results_tmpdir):
+        again = overload_study.run(TINY)
+        for row, row2 in zip(study.rows, again.rows):
+            assert (row.policy, row.mode) == (row2.policy, row2.mode)
+            assert row.report.outcomes == row2.report.outcomes
+            assert row.goodput == row2.goodput
+            assert row.p99_queue_delay == row2.p99_queue_delay
+        # This rerun happened inside our own results dir: the rendered
+        # table must have been persisted as an artifact.
+        assert list(results_tmpdir.rglob("*overload*")), \
+            "expected a persisted overload artifact"
+
+
+class TestScenarioValidation:
+    def test_rejects_bad_cache_fraction(self):
+        with pytest.raises(ValueError, match="cache_fraction"):
+            OverloadScenario(cache_fraction=0.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="peak_rate"):
+            OverloadScenario(peak_rate=-1.0)
+
+    def test_rejects_bad_mode(self):
+        scenario = OverloadScenario(duration=1.0, num_requests=100,
+                                    num_objects=50)
+        with pytest.raises(ValueError, match="mode"):
+            overload_study.run_cell("LRU", "sideways", scenario, [1, 2])

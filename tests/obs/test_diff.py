@@ -96,6 +96,73 @@ class TestResults:
         assert "[MISSING in B]" in report.render()
 
 
+class TestGenericPayloadFields:
+    """Result payloads beyond the classic requests/misses pair."""
+
+    def overload_payload(self, goodput=500.0, dropped=100):
+        return {"offered": 4000, "goodput": goodput,
+                "drop_ratio": dropped / 4000,
+                "outcomes": {"hit": 2000, "miss": 1900 - dropped + 100,
+                             "dropped": dropped},
+                "policy": "LRU", "mode": "adaptive",
+                "elapsed_seconds": 1.23, "interrupted": False}
+
+    def state(self, **kwargs):
+        return JournalState(
+            results={("LRU", "adaptive", "?"): self.overload_payload(
+                **kwargs)})
+
+    def test_identical_payloads_agree(self):
+        report = diff_states(self.state(), self.state())
+        assert report.ok and report.rows == []
+        # offered, goodput, drop_ratio + 3 outcomes.* + the classic
+        # requests/miss_ratio pair; strings, bools and *_seconds skipped.
+        assert report.compared == 8
+
+    def test_numeric_field_beyond_tolerance_regresses(self):
+        report = diff_states(self.state(goodput=500.0),
+                             self.state(goodput=750.0))
+        [row] = report.regressions
+        assert (row.section, row.metric) == ("results", "goodput")
+        assert "[REGRESSED]" in report.render()
+
+    def test_nested_outcome_counts_compared(self):
+        report = diff_states(self.state(dropped=100),
+                             self.state(dropped=400))
+        metrics = {row.metric for row in report.regressions}
+        assert "outcomes.dropped" in metrics
+
+    def test_numeric_drift_within_tolerance_is_ok(self):
+        report = diff_states(self.state(goodput=500.0),
+                             self.state(goodput=510.0))  # 2% < 5%
+        assert report.ok
+        assert any(row.metric == "goodput" for row in report.rows)
+
+    def test_wall_time_payload_fields_ignored(self):
+        a, b = self.state(), self.state()
+        b.results[("LRU", "adaptive", "?")]["elapsed_seconds"] = 99.0
+        assert diff_states(a, b).ok
+
+    def test_field_missing_on_one_side_reported(self):
+        a, b = self.state(), self.state()
+        del b.results[("LRU", "adaptive", "?")]["goodput"]
+        report = diff_states(a, b)
+        assert not report.ok
+        assert any("goodput" in key for key in report.only_a)
+
+    def test_zero_tolerance_catches_any_change(self):
+        thresholds = DiffThresholds(metric_rel=0.0, miss_ratio_abs=0.0,
+                                    timeseries_rel=0.0)
+        report = diff_states(self.state(goodput=500.0),
+                             self.state(goodput=500.0001), thresholds)
+        assert not report.ok
+
+    def test_classic_fields_not_double_counted(self):
+        # misses moves -> exactly one miss_ratio row, no hits/misses rows
+        report = diff_states(make_state(miss_a=200), make_state(miss_a=250))
+        assert [row.metric for row in report.rows] == ["miss_ratio"]
+
+
 class TestMetrics:
     def test_relative_threshold(self):
         a = make_state(metrics=[counter_row("sweep_cells_total", 100)])

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.exec.clock import VirtualClock
@@ -110,3 +112,91 @@ class TestStateMachine:
             (10.0, OPEN, HALF_OPEN),
             (10.0, HALF_OPEN, CLOSED),
         ]
+
+
+class TestHalfOpenProbeConcurrency:
+    """Races on the half-open probe slots: exactly N winners, ever.
+
+    The half-open state's whole point is to cap the load a possibly
+    still-dead backend sees; a race that grants two probes when one is
+    configured defeats it.  These tests gate ``half_open_probes`` under
+    real thread contention (the lock inside :meth:`allow` makes the
+    slot grant atomic with the state refresh).
+    """
+
+    def race_allow(self, breaker, threads):
+        """Call ``allow()`` once per thread, all released together."""
+        barrier = threading.Barrier(threads)
+        results = []
+        results_lock = threading.Lock()
+
+        def contender():
+            barrier.wait()
+            granted = breaker.allow()
+            with results_lock:
+                results.append(granted)
+
+        pool = [threading.Thread(target=contender) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in pool)
+        return results
+
+    def test_single_probe_slot_admits_exactly_one_of_many(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0, probes=1)
+        breaker.record_failure()
+        clock.advance(5.0)
+        results = self.race_allow(breaker, threads=16)
+        assert len(results) == 16
+        assert results.count(True) == 1
+        # The race must not have corrupted the state machine: still
+        # half-open, exactly one open->half-open transition recorded.
+        assert breaker.state == HALF_OPEN
+        moves = [(src, dst) for _, src, dst in breaker.transitions]
+        assert moves.count((OPEN, HALF_OPEN)) == 1
+
+    def test_n_probe_slots_admit_exactly_n(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0, probes=3)
+        breaker.record_failure()
+        clock.advance(5.0)
+        results = self.race_allow(breaker, threads=12)
+        assert results.count(True) == 3
+
+    def test_losing_threads_see_clean_reopen_after_probe_failure(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0, probes=1)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert self.race_allow(breaker, threads=8).count(True) == 1
+        # The winning probe fails: straight back to open with a fresh
+        # cooldown, and the next half-open window grants exactly one
+        # slot again (the probe counter was reset, not leaked).
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(5.0)
+        results = self.race_allow(breaker, threads=8)
+        assert results.count(True) == 1
+
+    def test_probe_success_closes_and_unblocks_everyone(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0, probes=1)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert self.race_allow(breaker, threads=8).count(True) == 1
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # Closed state has no slot accounting: everyone gets through.
+        results = self.race_allow(breaker, threads=8)
+        assert results.count(True) == 8
+
+    def test_repeated_half_open_cycles_never_leak_slots(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0, probes=2)
+        breaker.record_failure()       # trip it once; stays tripped
+        for _ in range(5):
+            clock.advance(5.0)
+            assert breaker.state == HALF_OPEN
+            results = self.race_allow(breaker, threads=10)
+            assert results.count(True) == 2
+            breaker.record_failure()   # re-open, next cycle
+            assert breaker.state == OPEN

@@ -37,7 +37,26 @@ class TestPercentile:
         values = list(range(1, 101))       # 1..100
         assert percentile(values, 0.0) == 1
         assert percentile(values, 1.0) == 100
-        assert percentile(values, 0.5) == 51  # nearest-rank on 0..99 idx
+        # ceil-based nearest rank: ceil(0.5 * 100) = rank 50 -> value 50
+        assert percentile(values, 0.5) == 50
+        assert percentile(values, 0.99) == 99
+        assert percentile(values, 0.991) == 100
+
+    def test_even_length_p50_is_lower_middle(self):
+        # The old round()-based rank used banker's rounding, so p50 of
+        # an even-length list picked whichever middle the tie rounded
+        # to.  Ceil-based nearest rank always takes the lower middle.
+        assert percentile([1.0, 2.0], 0.5) == 1.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 0.5) == 3.0
+
+    def test_odd_length_p50_is_middle(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 0.5) == 3.0
+
+    def test_single_value_every_fraction(self):
+        for fraction in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert percentile([7.0], fraction) == 7.0
 
     def test_unsorted_input(self):
         assert percentile([5.0, 1.0, 3.0], 1.0) == 5.0
@@ -45,6 +64,8 @@ class TestPercentile:
     def test_rejects_bad_fraction(self):
         with pytest.raises(ValueError):
             percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
 
 
 class TestRunLoadValidation:
