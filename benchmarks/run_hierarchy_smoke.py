@@ -1,0 +1,128 @@
+"""Deterministic tiered-hierarchy smoke run for the CI diff gate.
+
+Replays one seeded zipf trace with log-normal sizes through a two-tier
+DRAM -> flash -> backend hierarchy for a small grid of DRAM policies x
+flash admission controllers (X7's shape, scaled down to smoke size),
+then checkpoints everything under a known run id:
+
+* ``journal.jsonl`` -- one result line per cell (overall/DRAM/flash
+  hit counts, demotion outcome counts, flash write bytes, write
+  amplification, backend fetches, total cost) plus the final metrics
+  snapshot -- the input to ``repro diff`` against the committed
+  baseline at ``benchmarks/baselines/hierarchy-smoke/journal.jsonl``.
+
+Every number derives from seeded numpy sampling and synchronous
+replay, so the journal is bit-reproducible across machines.
+
+Usage::
+
+    python benchmarks/run_hierarchy_smoke.py --runs-dir runs-ci
+    PYTHONPATH=src python -m repro.cli diff \
+        benchmarks/baselines/hierarchy-smoke/journal.jsonl \
+        runs-ci/hierarchy-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.exec.journal import Journal                    # noqa: E402
+from repro.hierarchy import (                             # noqa: E402
+    dram_flash_config,
+    simulate_hierarchy,
+)
+from repro.obs import MetricsRegistry                     # noqa: E402
+from repro.sized.workloads import (                       # noqa: E402
+    attach_sizes,
+    unique_bytes,
+)
+from repro.traces.zipf import zipf_ranks                  # noqa: E402
+
+SEED = 20260808
+SIZE_SEED = 1
+NUM_OBJECTS = 600
+NUM_REQUESTS = 8000
+ALPHA = 0.9
+DRAM_FRACTION = 0.10
+FLASH_FRACTION = 0.20
+
+DRAM_POLICIES = ("Sized-LRU", "Sized-FIFO", "Sized-QD-LP-FIFO")
+ADMISSIONS = ("admit-all", "ghost")
+
+
+def run_cell(policy, admission, sized, dram_bytes, flash_bytes,
+             registry):
+    """One (DRAM policy, flash admission) cell on a fresh hierarchy."""
+    config = dram_flash_config(
+        dram_bytes=dram_bytes, flash_bytes=flash_bytes,
+        dram_policy=policy, flash_admission=admission)
+    return simulate_hierarchy(
+        config, sized, registry=registry,
+        metric_labels={"policy": policy, "admission": admission})
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs-dir", default="runs-ci",
+                        help="runs root to create the run under")
+    parser.add_argument("--run-id", default="hierarchy-smoke",
+                        help="run id (directory name) for the journal")
+    args = parser.parse_args(argv)
+
+    keys = zipf_ranks(NUM_OBJECTS, ALPHA, NUM_REQUESTS, seed=SEED)
+    sized = attach_sizes(keys.tolist(), "lognormal", seed=SIZE_SEED)
+    footprint = unique_bytes(sized)
+    dram_bytes = max(4096, round(footprint * DRAM_FRACTION))
+    flash_bytes = max(4096, round(footprint * FLASH_FRACTION))
+
+    registry = MetricsRegistry()
+    journal = Journal.create(run_id=args.run_id, root=args.runs_dir,
+                             meta={"name": "hierarchy-smoke",
+                                   "seed": SEED,
+                                   "footprint_bytes": footprint})
+    ok = True
+    with journal:
+        for policy in DRAM_POLICIES:
+            for admission in ADMISSIONS:
+                result = run_cell(policy, admission, sized, dram_bytes,
+                                  flash_bytes, registry)
+                dram = result.tier_report("dram")
+                flash = result.tier_report("flash")
+                journal.record_result(
+                    (policy, admission),
+                    {
+                        "requests": result.requests,
+                        "overall_hits": result.overall_hits,
+                        "backend_fetches": result.backend_fetches,
+                        "dram_hits": dram.hits,
+                        "flash_hits": flash.hits,
+                        "demoted_admitted": flash.demoted_in_admitted,
+                        "demoted_refreshed": flash.demoted_in_refreshed,
+                        "demoted_rejected": flash.demoted_in_rejected,
+                        "flash_write_bytes": flash.write_bytes,
+                        "flash_write_amp": round(
+                            flash.write_amplification, 6),
+                        "total_cost": round(result.total_cost, 3),
+                    })
+                print(f"  {policy:18s} {admission:9s} "
+                      f"hit {result.overall_hit_ratio:6.4f}  "
+                      f"flash W {flash.write_bytes:>10d}B  "
+                      f"wamp {flash.write_amplification:5.3f}")
+        journal.record_metrics(registry.snapshot())
+    run_dir = Path(args.runs_dir) / args.run_id
+    if not (run_dir / "journal.jsonl").is_file():
+        print(f"missing artifact: {run_dir / 'journal.jsonl'}",
+              file=sys.stderr)
+        ok = False
+    print(f"hierarchy smoke: {len(DRAM_POLICIES) * len(ADMISSIONS)} "
+          f"cells, run {run_dir}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,8 @@ Package map:
   tracer and exporters (see docs/observability.md).
 * :mod:`repro.traces` -- synthetic workload generators and the Table 1
   corpus.
+* :mod:`repro.hierarchy` -- multi-tier DRAM -> flash -> backend cache
+  with demotion-on-eviction and admission control (docs/hierarchy.md).
 * :mod:`repro.analysis` -- miss-ratio reductions, win fractions, tables.
 * :mod:`repro.experiments` -- one module per paper table/figure.
 """
@@ -56,7 +58,21 @@ from repro.policies import (
     SOTA_NAMES,
     make,
 )
-from repro.policies.registry import canonical_name, resolve
+from repro.policies.registry import (
+    canonical_name,
+    canonical_sized_name,
+    make_sized,
+    resolve,
+    resolve_sized,
+    sized_names,
+)
+from repro.hierarchy import (
+    CacheHierarchy,
+    HierarchyConfig,
+    TierConfig,
+    dram_flash_config,
+    simulate_hierarchy,
+)
 from repro.exec import (
     ExecOptions,
     FailureReport,
@@ -108,6 +124,15 @@ __all__ = [
     "make",
     "resolve",
     "canonical_name",
+    "make_sized",
+    "resolve_sized",
+    "canonical_sized_name",
+    "sized_names",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "TierConfig",
+    "dram_flash_config",
+    "simulate_hierarchy",
     "ExecOptions",
     "FailureReport",
     "FaultPlan",

@@ -4,6 +4,7 @@ Subcommands::
 
     repro list                      # the policy zoo, by category
     repro simulate ...              # one policy x one trace
+    repro hierarchy ...             # DRAM->flash->backend tiered replay
     repro corpus ...                # materialise the synthetic corpus
     repro experiment <id> ...       # regenerate a paper table/figure
     repro loadgen ...               # hammer the cache service layer
@@ -15,6 +16,7 @@ Examples::
 
     repro simulate --policy QD-LP-FIFO --family cdn --size 0.1
     repro simulate --policy LRU --trace mytrace.csv --size 0.01
+    repro hierarchy --family cdn --policy qd-lp-fifo --admission ghost
     repro corpus --out traces/ --format binary --traces-per-family 2
     repro experiment fig5 --tier quick
     repro experiment fig5 --tier full --checkpoint --retries 3
@@ -56,7 +58,7 @@ _SWEEP_IDS = ("fig2", "fig5", "extensions")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    from repro.policies.registry import _SPECS
+    from repro.policies.registry import _SPECS, sized_names
 
     by_category: dict = {}
     for spec in _SPECS:
@@ -66,6 +68,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"{category}:")
         for name in by_category.get(category, []):
             print(f"  {name}")
+    print("sized (byte-budgeted; `repro hierarchy`, tier configs):")
+    for name in sized_names():
+        print(f"  {name}")
     return EXIT_OK
 
 
@@ -120,6 +125,41 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from repro.hierarchy import dram_flash_config, simulate_hierarchy
+    from repro.sized.workloads import attach_sizes, unique_bytes
+
+    trace = _load_trace(args)
+    if trace is None:
+        return EXIT_USAGE
+    sized = attach_sizes(trace, args.size_dist, seed=args.size_seed)
+    footprint = unique_bytes(sized)
+    dram_bytes = args.dram_bytes or max(
+        4096, round(footprint * args.dram_fraction))
+    flash_bytes = args.flash_bytes or max(
+        4096, round(footprint * args.flash_fraction))
+    try:
+        config = dram_flash_config(
+            dram_bytes=dram_bytes, flash_bytes=flash_bytes,
+            dram_policy=args.policy, flash_policy=args.flash_policy,
+            flash_admission=args.admission, ttl=args.ttl,
+            promote_on_hit=not args.no_promote)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    result = simulate_hierarchy(config, sized)
+    print(f"trace     : {trace.name} ({trace.num_requests} requests, "
+          f"{footprint} footprint bytes)")
+    print(f"dram      : {dram_bytes} bytes, "
+          f"{config.tiers[0].policy}")
+    print(f"flash     : {flash_bytes} bytes, "
+          f"{config.tiers[1].policy}, admission={args.admission}")
+    if args.ttl:
+        print(f"ttl       : {args.ttl} requests")
+    print(result.render())
+    return EXIT_OK
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     from repro.traces.corpus import build_corpus
     from repro.traces.io import write_binary, write_csv
@@ -168,7 +208,7 @@ def _exec_options(args: argparse.Namespace):
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         ablations, extensions, fig2, fig3, fig5, outage, outage_cluster,
-        overload_study, table1, throughput)
+        overload_study, table1, throughput, tiered)
 
     config = _TIERS[args.tier]
     try:
@@ -199,6 +239,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "ablation-clockbits": lambda: ablations.run_clock_bits_sweep(config),
         "extensions": lambda: extensions.run(config, workers=args.workers,
                                              options=options),
+        "tiered": lambda: tiered.run(config),
     }
     try:
         result = runners[args.id]()
@@ -607,6 +648,45 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--size", type=float, default=0.1,
                      help="cache size as a fraction of unique objects")
 
+    hier = sub.add_parser(
+        "hierarchy",
+        help="replay one trace through a DRAM->flash->backend hierarchy")
+    hier.add_argument("--trace", help="CSV or .bin trace file")
+    hier.add_argument("--family", default="cdn",
+                      help="synthetic family when no --trace (default cdn)")
+    hier.add_argument("--index", type=int, default=0)
+    hier.add_argument("--scale", type=float, default=1.0)
+    hier.add_argument("--seed", type=int, default=42)
+    hier.add_argument("--policy", default="qd-lp-fifo",
+                      help="DRAM-tier policy (unified sized registry)")
+    hier.add_argument("--flash-policy", default="fifo",
+                      help="flash-tier policy (default fifo)")
+    hier.add_argument("--admission", default="admit-all",
+                      choices=("admit-all", "ghost", "frequency"),
+                      help="flash admission controller")
+    hier.add_argument("--dram-bytes", type=int, default=None,
+                      help="DRAM budget in bytes (overrides "
+                           "--dram-fraction)")
+    hier.add_argument("--flash-bytes", type=int, default=None,
+                      help="flash budget in bytes (overrides "
+                           "--flash-fraction)")
+    hier.add_argument("--dram-fraction", type=float, default=0.1,
+                      help="DRAM budget as a fraction of the byte "
+                           "footprint (default 0.1)")
+    hier.add_argument("--flash-fraction", type=float, default=0.2,
+                      help="flash budget as a fraction of the byte "
+                           "footprint (default 0.2)")
+    hier.add_argument("--ttl", type=int, default=0,
+                      help="object TTL in requests (0 = no expiry)")
+    hier.add_argument("--no-promote", action="store_true",
+                      help="lazy promotion: serve flash hits in place "
+                           "instead of copying back into DRAM")
+    hier.add_argument("--size-dist", choices=("lognormal", "pareto"),
+                      default="lognormal",
+                      help="object-size distribution (default lognormal)")
+    hier.add_argument("--size-seed", type=int, default=1,
+                      help="seed for the size distribution (default 1)")
+
     corpus = sub.add_parser("corpus", help="build / export the corpus")
     corpus.add_argument("--scale", type=float, default=1.0)
     corpus.add_argument("--traces-per-family", type=int, default=None)
@@ -619,7 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("id", choices=(
         "table1", "fig2", "fig3", "table2", "fig5", "throughput",
         "ablation-probation", "ablation-ghost", "ablation-clockbits",
-        "extensions", "outage", "outage-cluster", "overload"))
+        "extensions", "outage", "outage-cluster", "overload", "tiered"))
     exp.add_argument("--tier", choices=tuple(_TIERS), default="quick")
     exp.add_argument("--workers", "--jobs", dest="workers", type=int,
                      default=0,
@@ -799,6 +879,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "list": _cmd_list,
         "simulate": _cmd_simulate,
+        "hierarchy": _cmd_hierarchy,
         "corpus": _cmd_corpus,
         "experiment": _cmd_experiment,
         "loadgen": _cmd_loadgen,

@@ -11,6 +11,8 @@
   outage through the service layer.
 * :mod:`repro.experiments.outage_cluster` -- X3-cluster, killing one
   shard of a consistent-hash cluster with and without replication.
+* :mod:`repro.experiments.tiered` -- X7, the DRAM -> flash -> backend
+  hierarchy: QD in DRAM cuts flash writes at equal-or-better hit ratio.
 """
 
 from repro.experiments import (
@@ -26,6 +28,7 @@ from repro.experiments import (
     outage_cluster,
     table1,
     throughput,
+    tiered,
 )
 from repro.experiments.common import FULL, QUICK, TINY, CorpusConfig
 
@@ -42,6 +45,7 @@ __all__ = [
     "outage_cluster",
     "table1",
     "throughput",
+    "tiered",
     "FULL",
     "QUICK",
     "TINY",

@@ -17,23 +17,23 @@ Sized-QD-LP-FIFO is the strongest on the *byte* miss ratio.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
-
+from typing import Dict
 
 from repro.analysis.tables import render_table
 from repro.experiments.common import QUICK, CorpusConfig, write_result
-from repro.sized.policies import GDSF, SizedClock, SizedFIFO, SizedLRU
-from repro.sized.qd import SizedQDLPFIFO
+from repro.policies.registry import make_sized
 from repro.sized.simulator import simulate_sized
 from repro.sized.workloads import attach_sizes, unique_bytes
 
-POLICIES: List[Tuple[str, Callable]] = [
-    ("Sized-FIFO", SizedFIFO),
-    ("Sized-LRU", SizedLRU),
-    ("Sized-2-bit-CLOCK", lambda b: SizedClock(b, bits=2)),
-    ("Sized-QD-LP-FIFO", SizedQDLPFIFO),
-    ("GDSF", GDSF),
-]
+#: Canonical unified-registry names; built via make_sized, so this
+#: study exercises exactly what `repro simulate`/`repro hierarchy` can.
+POLICIES = (
+    "Sized-FIFO",
+    "Sized-LRU",
+    "Sized-2-bit-CLOCK",
+    "Sized-QD-LP-FIFO",
+    "GDSF",
+)
 
 WEB_FAMILIES = ("cdn", "tencent_photo", "wiki", "twitter")
 
@@ -50,7 +50,7 @@ class SizedStudyResult:
     def render(self) -> str:
         body = [[name, self.object_miss_ratio[name],
                  self.byte_miss_ratio[name]]
-                for name, _ in POLICIES]
+                for name in POLICIES]
         return render_table(
             ["policy", "object miss ratio", "byte miss ratio"],
             body,
@@ -63,13 +63,13 @@ def run(config: CorpusConfig = QUICK, size_fraction: float = 0.1,
         size_seed: int = 1) -> SizedStudyResult:
     """Run the size-aware comparison on the web families."""
     traces = config.scaled(families=WEB_FAMILIES).build()
-    sums_obj = {name: 0.0 for name, _ in POLICIES}
-    sums_byte = {name: 0.0 for name, _ in POLICIES}
+    sums_obj = {name: 0.0 for name in POLICIES}
+    sums_byte = {name: 0.0 for name in POLICIES}
     for trace in traces:
         sized = attach_sizes(trace, "lognormal", seed=size_seed)
         capacity = max(4096, round(unique_bytes(sized) * size_fraction))
-        for name, factory in POLICIES:
-            result = simulate_sized(factory(capacity), sized)
+        for name in POLICIES:
+            result = simulate_sized(make_sized(name, capacity), sized)
             sums_obj[name] += result.miss_ratio
             sums_byte[name] += result.byte_miss_ratio
     count = len(traces)

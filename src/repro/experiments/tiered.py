@@ -1,0 +1,145 @@
+"""Experiment X7 -- the tiered hierarchy: QD saves flash writes.
+
+The HotOS paper argues quick demotion at the DRAM level; this
+experiment extends the claim one level down.  A two-tier DRAM ->
+flash -> backend hierarchy (:func:`repro.hierarchy.dram_flash_config`)
+replays the web-family traces with heavy-tailed sizes; every DRAM
+eviction is demoted into flash, so the DRAM policy directly controls
+the flash write volume -- the resource that wears flash out and that
+production tiered caches provision around.
+
+Grid: DRAM policy (via the unified sized registry) x flash admission
+controller, at a fixed DRAM budget (a small fraction of the byte
+footprint) and a larger flash budget.  The QD story to reproduce:
+
+* **Sized-QD-LP-FIFO in DRAM writes less flash than Sized-LRU** at the
+  same DRAM budget with an overall hit ratio no worse -- quick
+  demotion filters one-hit wonders in DRAM, so they get evicted (and
+  demoted) *before* accumulating reuse state, and fewer DRAM misses
+  means fewer insertions, evictions and therefore flash writes.
+* **Ghost admission compounds it**: demoted one-hit wonders are
+  remembered but not written, cutting write amplification further at a
+  modest hit-ratio cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import QUICK, CorpusConfig, write_result
+from repro.hierarchy import dram_flash_config, simulate_hierarchy
+from repro.sized.workloads import attach_sizes, unique_bytes
+
+#: DRAM policies under test -- unified-registry names, resolved by
+#: make_sized inside the hierarchy (no bespoke factory table here).
+DRAM_POLICIES = (
+    "Sized-FIFO",
+    "Sized-LRU",
+    "Sized-2-bit-CLOCK",
+    "Sized-QD-LP-FIFO",
+)
+
+#: Flash admission controllers compared for every DRAM policy.
+ADMISSIONS = ("admit-all", "ghost")
+
+WEB_FAMILIES = ("cdn", "tencent_photo", "wiki", "twitter")
+
+Cell = Tuple[str, str]  # (dram policy, flash admission)
+
+
+@dataclass
+class TieredStudyResult:
+    """Mean hierarchy metrics per (DRAM policy, flash admission) cell."""
+
+    hit_ratio: Dict[Cell, float]
+    dram_hit_ratio: Dict[Cell, float]
+    flash_write_bytes: Dict[Cell, float]
+    flash_write_amp: Dict[Cell, float]
+    cost_per_request: Dict[Cell, float]
+    num_traces: int
+    dram_fraction: float
+    flash_fraction: float
+
+    def flash_write_savings(self, admission: str = "admit-all",
+                            baseline: str = "Sized-LRU",
+                            challenger: str = "Sized-QD-LP-FIFO") -> float:
+        """Fractional flash-write reduction of *challenger* vs *baseline*."""
+        base = self.flash_write_bytes[(baseline, admission)]
+        if base == 0:
+            return 0.0
+        return 1.0 - self.flash_write_bytes[(challenger, admission)] / base
+
+    def render(self) -> str:
+        body = []
+        for admission in ADMISSIONS:
+            for policy in DRAM_POLICIES:
+                cell = (policy, admission)
+                body.append([
+                    policy, admission,
+                    self.hit_ratio[cell],
+                    self.dram_hit_ratio[cell],
+                    self.flash_write_bytes[cell] / 2 ** 20,
+                    self.flash_write_amp[cell],
+                    self.cost_per_request[cell],
+                ])
+        table = render_table(
+            ["DRAM policy", "flash admission", "hit ratio", "DRAM hits",
+             "flash MiB written", "write amp", "cost/request"],
+            body,
+            title=(f"X7: DRAM->flash->backend on {self.num_traces} web "
+                   f"traces (DRAM {self.dram_fraction:.0%} / flash "
+                   f"{self.flash_fraction:.0%} of byte footprint)"))
+        savings = self.flash_write_savings()
+        ghost_savings = self.flash_write_savings(admission="ghost")
+        return (f"{table}\n"
+                f"QD-LP-FIFO vs LRU flash-write savings: "
+                f"{savings:+.1%} (admit-all), {ghost_savings:+.1%} (ghost)")
+
+
+def run(config: CorpusConfig = QUICK, dram_fraction: float = 0.10,
+        flash_fraction: float = 0.20,
+        size_seed: int = 1) -> TieredStudyResult:
+    """Run the tiered grid over the web families and average per cell."""
+    traces = config.scaled(families=WEB_FAMILIES).build()
+    cells: List[Cell] = [(policy, admission) for policy in DRAM_POLICIES
+                         for admission in ADMISSIONS]
+    sums = {metric: {cell: 0.0 for cell in cells}
+            for metric in ("hit", "dram_hit", "flash_bytes", "wamp",
+                           "cost")}
+    for trace in traces:
+        sized = attach_sizes(trace, "lognormal", seed=size_seed)
+        footprint = unique_bytes(sized)
+        dram_bytes = max(4096, round(footprint * dram_fraction))
+        flash_bytes = max(4096, round(footprint * flash_fraction))
+        for policy, admission in cells:
+            hierarchy_config = dram_flash_config(
+                dram_bytes=dram_bytes, flash_bytes=flash_bytes,
+                dram_policy=policy, flash_admission=admission)
+            result = simulate_hierarchy(hierarchy_config, sized)
+            flash = result.tier_report("flash")
+            cell = (policy, admission)
+            sums["hit"][cell] += result.overall_hit_ratio
+            sums["dram_hit"][cell] += result.tier_report("dram").hit_ratio
+            sums["flash_bytes"][cell] += flash.write_bytes
+            sums["wamp"][cell] += flash.write_amplification
+            sums["cost"][cell] += result.cost_per_request
+    n = max(1, len(traces))
+    result = TieredStudyResult(
+        hit_ratio={c: v / n for c, v in sums["hit"].items()},
+        dram_hit_ratio={c: v / n for c, v in sums["dram_hit"].items()},
+        flash_write_bytes={c: v / n for c, v in
+                           sums["flash_bytes"].items()},
+        flash_write_amp={c: v / n for c, v in sums["wamp"].items()},
+        cost_per_request={c: v / n for c, v in sums["cost"].items()},
+        num_traces=len(traces),
+        dram_fraction=dram_fraction,
+        flash_fraction=flash_fraction,
+    )
+    write_result("tiered", result.render())
+    return result
+
+
+__all__ = ["DRAM_POLICIES", "ADMISSIONS", "WEB_FAMILIES",
+           "TieredStudyResult", "run"]

@@ -1,0 +1,218 @@
+"""Frozen configuration for the multi-tier storage hierarchy.
+
+The hierarchy is configured the way :class:`~repro.service.ServiceConfig`
+and :class:`~repro.sim.options.SimOptions` configure their subsystems:
+one frozen dataclass per concept, every field validated eagerly in
+``__post_init__`` with a precise message, and no ad-hoc keyword drift.
+
+* :class:`TierConfig` -- one storage level: a byte capacity (routed
+  through :func:`~repro.core.base.validate_capacity`), a policy spec
+  resolved through the unified sized registry
+  (:func:`repro.policies.registry.make_sized`), per-access read/write
+  costs, an admission-controller spec gating demotions *into* the
+  tier, and a ``kind`` tag (``dram``/``flash``/...) -- flash tiers get
+  write-amplification accounting.
+* :class:`HierarchyConfig` -- the ordered tier stack plus the backend
+  cost model, hierarchy-level promotion behaviour, and an optional TTL
+  (in requests) applied to the key stream via
+  :func:`repro.traces.ttl.apply_ttl`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.base import validate_capacity
+
+#: Admission-controller spec names accepted by TierConfig.admission.
+ADMISSION_KINDS = ("admit-all", "ghost", "frequency")
+
+#: Tier kind tags; ``flash`` enables write-amplification reporting.
+TIER_KINDS = ("dram", "flash", "disk")
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """One storage tier (validated eagerly; reject ad-hoc kwargs).
+
+    * ``name`` -- unique tier label (also the ``tier=`` metric label).
+    * ``capacity_bytes`` -- the tier's byte budget (>= 1).
+    * ``policy`` -- sized-policy spec resolved through the unified
+      registry; any spelling :func:`~repro.policies.registry.make_sized`
+      accepts (``"lru"``, ``"Sized-QD-LP-FIFO"``, ``"gdsf"``, ...).
+    * ``policy_params`` -- keyword parameters forwarded to the policy
+      constructor (``bits``, ``probation_fraction``, ...).
+    * ``read_cost`` / ``write_cost`` -- abstract cost units charged per
+      lookup touching this tier and per object written into it
+      (Qiu/Yang/Harchol-Balter: account per-tier access *cost*, not
+      just hit ratio).
+    * ``admission`` -- controller gating demotions into this tier:
+      ``admit-all``, ``ghost`` (probationary: first demotion is
+      remembered but rejected; a repeat within the ghost window is
+      admitted) or ``frequency`` (admit after ``threshold`` demotion
+      sightings).
+    * ``kind`` -- ``dram``, ``flash`` or ``disk``; flash tiers report
+      write amplification.
+    """
+
+    name: str
+    capacity_bytes: int
+    policy: str = "lru"
+    policy_params: Tuple[Tuple[str, object], ...] = ()
+    read_cost: float = 1.0
+    write_cost: float = 1.0
+    admission: str = "admit-all"
+    admission_params: Tuple[Tuple[str, object], ...] = ()
+    kind: str = "dram"
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(
+                f"tier name must be a non-empty string, got {self.name!r}")
+        object.__setattr__(
+            self, "capacity_bytes",
+            validate_capacity(self.capacity_bytes, what="capacity_bytes"))
+        from repro.policies.registry import resolve_sized
+
+        # Resolve eagerly so a typo fails at config time, not mid-run,
+        # and journals always record the canonical spelling.
+        object.__setattr__(self, "policy", resolve_sized(self.policy).name)
+        if isinstance(self.policy_params, dict):
+            object.__setattr__(self, "policy_params",
+                               tuple(sorted(self.policy_params.items())))
+        else:
+            object.__setattr__(self, "policy_params",
+                               tuple(self.policy_params))
+        if self.read_cost < 0 or self.write_cost < 0:
+            raise ValueError(
+                f"tier {self.name!r}: read_cost/write_cost must be >= 0, "
+                f"got {self.read_cost}/{self.write_cost}")
+        if self.admission not in ADMISSION_KINDS:
+            raise ValueError(
+                f"tier {self.name!r}: admission must be one of "
+                f"{', '.join(ADMISSION_KINDS)}, got {self.admission!r}")
+        if isinstance(self.admission_params, dict):
+            object.__setattr__(self, "admission_params",
+                               tuple(sorted(self.admission_params.items())))
+        else:
+            object.__setattr__(self, "admission_params",
+                               tuple(self.admission_params))
+        if self.kind not in TIER_KINDS:
+            raise ValueError(
+                f"tier {self.name!r}: kind must be one of "
+                f"{', '.join(TIER_KINDS)}, got {self.kind!r}")
+
+    @property
+    def policy_kwargs(self) -> Dict[str, object]:
+        """``policy_params`` as a plain keyword dict."""
+        return dict(self.policy_params)
+
+    @property
+    def admission_kwargs(self) -> Dict[str, object]:
+        """``admission_params`` as a plain keyword dict."""
+        return dict(self.admission_params)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """The ordered tier stack, top (fastest) first.
+
+    * ``tiers`` -- at least one :class:`TierConfig`; names must be
+      unique.  Tier 0 is where fetched/promoted objects land; evictions
+      from tier *i* demote into tier *i+1*; evictions from the last
+      tier leave the hierarchy.
+    * ``backend_read_cost`` -- cost charged when every tier misses and
+      the object is fetched from the backend.
+    * ``promote_on_hit`` -- ``True`` copies a lower-tier hit back into
+      tier 0 (the copy below stays; refreshing it later is free);
+      ``False`` is hierarchy-level lazy promotion: serve in place.
+    * ``ttl`` -- requests an object stays fresh; ``0`` disables expiry.
+      Applied by rewriting the key stream through
+      :func:`repro.traces.ttl.apply_ttl` (lazy expiry: the stale copy
+      lingers in whatever tier holds it until evicted).
+    * ``ttl_jitter`` / ``ttl_seed`` -- per-object TTL jitter fraction
+      and its seed, forwarded to ``apply_ttl``.
+    """
+
+    tiers: Tuple[TierConfig, ...] = field(default_factory=tuple)
+    backend_read_cost: float = 100.0
+    promote_on_hit: bool = True
+    ttl: int = 0
+    ttl_jitter: float = 0.0
+    ttl_seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tiers", tuple(self.tiers))
+        if not self.tiers:
+            raise ValueError("HierarchyConfig needs at least one tier")
+        for tier in self.tiers:
+            if not isinstance(tier, TierConfig):
+                raise TypeError(
+                    f"tiers must be TierConfig instances, "
+                    f"got {type(tier).__name__}")
+        names = [tier.name for tier in self.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tier names must be unique, got {names}")
+        if self.backend_read_cost < 0:
+            raise ValueError(
+                f"backend_read_cost must be >= 0, "
+                f"got {self.backend_read_cost}")
+        if self.ttl < 0:
+            raise ValueError(f"ttl must be >= 0 requests, got {self.ttl}")
+        if not 0.0 <= self.ttl_jitter < 1.0:
+            raise ValueError(
+                f"ttl_jitter must be in [0, 1), got {self.ttl_jitter}")
+
+    @property
+    def tier_names(self) -> Tuple[str, ...]:
+        """The tier labels, top first."""
+        return tuple(tier.name for tier in self.tiers)
+
+
+def dram_flash_config(
+    dram_bytes: int,
+    flash_bytes: int,
+    dram_policy: str = "qd-lp-fifo",
+    flash_policy: str = "fifo",
+    flash_admission: str = "admit-all",
+    *,
+    dram_policy_params: Optional[dict] = None,
+    flash_admission_params: Optional[dict] = None,
+    ttl: int = 0,
+    promote_on_hit: bool = True,
+) -> HierarchyConfig:
+    """The canonical two-tier DRAM -> flash -> backend configuration.
+
+    Costs follow the usual orders of magnitude: DRAM reads are the
+    unit, flash reads ~25x, flash writes ~250x (write amplification is
+    what the X7 experiment measures), backend fetches ~2500x.
+    """
+    return HierarchyConfig(
+        tiers=(
+            TierConfig(name="dram", capacity_bytes=dram_bytes,
+                       policy=dram_policy,
+                       policy_params=tuple(sorted(
+                           (dram_policy_params or {}).items())),
+                       read_cost=1.0, write_cost=1.0, kind="dram"),
+            TierConfig(name="flash", capacity_bytes=flash_bytes,
+                       policy=flash_policy,
+                       read_cost=25.0, write_cost=250.0,
+                       admission=flash_admission,
+                       admission_params=tuple(sorted(
+                           (flash_admission_params or {}).items())),
+                       kind="flash"),
+        ),
+        backend_read_cost=2500.0,
+        promote_on_hit=promote_on_hit,
+        ttl=ttl,
+    )
+
+
+__all__ = [
+    "ADMISSION_KINDS",
+    "TIER_KINDS",
+    "TierConfig",
+    "HierarchyConfig",
+    "dram_flash_config",
+]

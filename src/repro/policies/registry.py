@@ -28,6 +28,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.base import EvictionPolicy
+from repro.sized.base import SizedEvictionPolicy
+from repro.sized.policies import GDSF, SizedClock, SizedFIFO, SizedLRU
+from repro.sized.qd import SizedQDCache, SizedQDLPFIFO
 from repro.core.adaptive_qd import AdaptiveQDLPFIFO
 from repro.core.clock import FIFOReinsertion, KBitClock
 from repro.core.lp_variants import PeriodicPromotionLRU, PromoteOldOnlyLRU
@@ -166,6 +169,141 @@ for _alias, _target in ALIASES.items():
     _LOOKUP.setdefault(_normalize(_alias), REGISTRY[_target])
 
 
+# ----------------------------------------------------------------------
+# Size-aware (byte-budgeted) policies: same registry machinery
+# ----------------------------------------------------------------------
+
+#: Sized policy constructor: ``factory(capacity_bytes, **params)``.
+SizedFactory = Callable[..., SizedEvictionPolicy]
+
+
+def _sized_clock(default_bits: int) -> SizedFactory:
+    """Sized CLOCK factory whose ``bits`` default matches the name."""
+
+    def build(capacity_bytes: int, bits: int = default_bits) -> SizedClock:
+        return SizedClock(capacity_bytes, bits=bits)
+
+    return build
+
+
+def _sized_qd_gdsf(capacity_bytes: int, **params: float) -> SizedQDCache:
+    return SizedQDCache(capacity_bytes, GDSF, **params)
+
+
+_SIZED_SPECS: List[PolicySpec] = [
+    PolicySpec("Sized-FIFO", SizedFIFO, "sized"),
+    PolicySpec("Sized-LRU", SizedLRU, "sized"),
+    PolicySpec("Sized-2-bit-CLOCK", _sized_clock(2), "sized"),
+    PolicySpec("Sized-3-bit-CLOCK", _sized_clock(3), "sized"),
+    PolicySpec("GDSF", GDSF, "sized"),
+    PolicySpec("Sized-QD-LP-FIFO", SizedQDLPFIFO, "sized", min_capacity=2),
+    PolicySpec("Sized-QD-GDSF", _sized_qd_gdsf, "sized", min_capacity=2),
+]
+
+SIZED_REGISTRY: Dict[str, PolicySpec] = {
+    spec.name: spec for spec in _SIZED_SPECS}
+
+#: Unsized canonical name -> its size-aware counterpart, letting every
+#: unsized spelling (and alias -- ``clock``, ``qdlpfifo``, ...) resolve
+#: through the one alias table: ``make_sized("lru", ...)`` works.
+SIZED_COUNTERPARTS: Dict[str, str] = {
+    "FIFO": "Sized-FIFO",
+    "LRU": "Sized-LRU",
+    "2-bit-CLOCK": "Sized-2-bit-CLOCK",
+    "3-bit-CLOCK": "Sized-3-bit-CLOCK",
+    "QD-LP-FIFO": "Sized-QD-LP-FIFO",
+}
+
+#: Spelled-out sized aliases beyond case/separator normalisation.
+SIZED_ALIASES: Dict[str, str] = {
+    "sizedclock": "Sized-2-bit-CLOCK",
+    "greedydualsizefrequency": "GDSF",
+    "greedydualsize": "GDSF",
+    "qdgdsf": "Sized-QD-GDSF",
+}
+
+_SIZED_LOOKUP: Dict[str, PolicySpec] = {}
+for _spec in _SIZED_SPECS:
+    _SIZED_LOOKUP[_normalize(_spec.name)] = _spec
+for _alias, _target in SIZED_ALIASES.items():
+    _SIZED_LOOKUP.setdefault(_normalize(_alias), SIZED_REGISTRY[_target])
+
+
+def resolve_sized(name: str) -> PolicySpec:
+    """Look up a size-aware policy through the unified registry.
+
+    *name* may be a canonical sized name (``Sized-LRU``, ``GDSF``), any
+    case/separator variant, a sized alias, **or any unsized spelling**
+    (canonical or alias: ``lru``, ``clock``, ``qd_lp_fifo``) that has a
+    size-aware counterpart.  Raises ``KeyError`` with did-you-mean
+    suggestions on a typo, or naming the missing counterpart when the
+    unsized policy has no size-aware build.
+    """
+    spec = _SIZED_LOOKUP.get(_normalize(name))
+    if spec is not None:
+        return spec
+    # An unsized spelling (name or alias) with a sized counterpart?
+    unsized = _LOOKUP.get(_normalize(name))
+    if unsized is not None:
+        counterpart = SIZED_COUNTERPARTS.get(unsized.name)
+        if counterpart is not None:
+            return SIZED_REGISTRY[counterpart]
+        raise KeyError(
+            f"policy {unsized.name!r} has no size-aware counterpart "
+            f"(sized policies: {', '.join(sorted(SIZED_REGISTRY))})")
+    candidates = set(_SIZED_LOOKUP) | {
+        _normalize(n) for n in SIZED_COUNTERPARTS}
+    close = difflib.get_close_matches(_normalize(name), candidates, n=3,
+                                      cutoff=0.6)
+    suggestions = sorted({
+        _SIZED_LOOKUP[c].name if c in _SIZED_LOOKUP
+        else SIZED_REGISTRY[SIZED_COUNTERPARTS[_LOOKUP[c].name]].name
+        for c in close})
+    hint = (f"; did you mean {' or '.join(repr(s) for s in suggestions)}?"
+            if suggestions else "")
+    known = ", ".join(sorted(SIZED_REGISTRY))
+    raise KeyError(
+        f"unknown sized policy {name!r}{hint} "
+        f"(known sized policies: {known})")
+
+
+def make_sized(name: str, capacity_bytes: int,
+               **params: object) -> SizedEvictionPolicy:
+    """Instantiate the size-aware policy registered under *name*.
+
+    The byte-budget twin of :func:`make`: same alias resolution, same
+    did-you-mean errors, same parameter passthrough (``bits`` for the
+    sized CLOCK family, ``probation_fraction``/``ghost_factor`` for the
+    sized QD wrappers).  Unsized spellings resolve to their sized
+    counterpart, so ``make_sized("lru", 1 << 20)`` builds a
+    ``Sized-LRU``.
+    """
+    spec = resolve_sized(name)
+    if isinstance(capacity_bytes, int) and not isinstance(
+            capacity_bytes, bool) and capacity_bytes < spec.min_capacity:
+        raise ValueError(
+            f"{spec.name} needs capacity_bytes >= {spec.min_capacity}, "
+            f"got {capacity_bytes}")
+    try:
+        return spec.factory(capacity_bytes, **params)
+    except TypeError as exc:
+        if params:
+            raise TypeError(
+                f"policy {spec.name!r} rejected parameters "
+                f"{sorted(params)}: {exc}") from exc
+        raise
+
+
+def canonical_sized_name(name: str) -> str:
+    """The sized registry name *name* resolves to (e.g. ``lru`` -> ``Sized-LRU``)."""
+    return resolve_sized(name).name
+
+
+def sized_names() -> List[str]:
+    """All registered size-aware policy names."""
+    return [spec.name for spec in _SIZED_SPECS]
+
+
 def resolve(name: str) -> PolicySpec:
     """Look up *name* (canonical, any case/separator variant, or alias).
 
@@ -233,4 +371,12 @@ __all__ = [
     "canonical_name",
     "names",
     "Factory",
+    "SIZED_REGISTRY",
+    "SIZED_ALIASES",
+    "SIZED_COUNTERPARTS",
+    "make_sized",
+    "resolve_sized",
+    "canonical_sized_name",
+    "sized_names",
+    "SizedFactory",
 ]

@@ -10,7 +10,11 @@
 * :mod:`repro.sized.simulator` -- (keys, sizes) replay.
 """
 
-from repro.sized.base import SizedEvictionPolicy, SizedStats
+from repro.sized.base import (
+    SizedCacheListener,
+    SizedEvictionPolicy,
+    SizedStats,
+)
 from repro.sized.policies import GDSF, SizedClock, SizedFIFO, SizedLRU
 from repro.sized.qd import SizedGhost, SizedQDCache, SizedQDLPFIFO
 from repro.sized.simulator import SizedSimResult, simulate_sized
@@ -23,6 +27,7 @@ from repro.sized.workloads import (
 )
 
 __all__ = [
+    "SizedCacheListener",
     "SizedEvictionPolicy",
     "SizedStats",
     "GDSF",

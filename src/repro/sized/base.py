@@ -19,11 +19,31 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Hashable, List
 
 from repro.core.base import validate_capacity
 
 Key = Hashable
+
+
+class SizedCacheListener:
+    """Observer receiving sized-cache content-change events.
+
+    The sized counterpart of :class:`~repro.core.base.CacheListener`,
+    carrying the object's *size* so byte-level consumers (the storage
+    hierarchy's demotion path, write-amplification accounting) need no
+    side table.  ``on_admit`` fires when an object enters the cache's
+    data store; ``on_evict`` when it leaves -- including the
+    resized-object-no-longer-fits drop paths.  Internal moves between
+    segments of a composite cache (probation -> main in the sized QD
+    wrapper) fire neither: the object stays cached.
+    """
+
+    def on_admit(self, key: Key, size: int) -> None:
+        """Called when *key* (of *size* bytes) enters the cache."""
+
+    def on_evict(self, key: Key, size: int) -> None:
+        """Called when *key* (of *size* bytes) leaves the cache."""
 
 
 @dataclass
@@ -87,10 +107,30 @@ class SizedEvictionPolicy(ABC):
             capacity_bytes, what="capacity_bytes")
         self.used_bytes = 0
         self.stats = SizedStats()
+        self._listeners: List[SizedCacheListener] = []
 
     @abstractmethod
     def request(self, key: Key, size: int) -> bool:
         """Process one request; returns True on a hit."""
+
+    # ------------------------------------------------------------------
+    # Listener plumbing
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: SizedCacheListener) -> None:
+        """Register *listener* for admit/evict events."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: SizedCacheListener) -> None:
+        """Unregister a previously added *listener*."""
+        self._listeners.remove(listener)
+
+    def _notify_admit(self, key: Key, size: int) -> None:
+        for listener in self._listeners:
+            listener.on_admit(key, size)
+
+    def _notify_evict(self, key: Key, size: int) -> None:
+        for listener in self._listeners:
+            listener.on_evict(key, size)
 
     @abstractmethod
     def __contains__(self, key: Key) -> bool:
@@ -113,4 +153,5 @@ class SizedEvictionPolicy(ABC):
                 f"bytes={self.used_bytes}/{self.capacity_bytes}>")
 
 
-__all__ = ["Key", "SizedStats", "SizedEvictionPolicy"]
+__all__ = ["Key", "SizedStats", "SizedCacheListener",
+           "SizedEvictionPolicy"]

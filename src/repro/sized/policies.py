@@ -40,6 +40,7 @@ class SizedFIFO(SizedEvictionPolicy):
         self._make_room(size)
         self._queue[key] = size
         self.used_bytes += size
+        self._notify_admit(key, size)
         return False
 
     def _resize(self, key: Key, old: int, new: int) -> None:
@@ -49,7 +50,9 @@ class SizedFIFO(SizedEvictionPolicy):
             self._evict_one(skip=key)
         if self.used_bytes > self.capacity_bytes:
             # The resized object alone no longer fits: drop it.
-            self.used_bytes -= self._queue.pop(key)
+            dropped = self._queue.pop(key)
+            self.used_bytes -= dropped
+            self._notify_evict(key, dropped)
 
     def _make_room(self, size: int) -> None:
         while self.used_bytes + size > self.capacity_bytes:
@@ -61,7 +64,9 @@ class SizedFIFO(SizedEvictionPolicy):
                 break
         else:  # pragma: no cover - skip is the only resident
             return
-        self.used_bytes -= self._queue.pop(victim)
+        victim_size = self._queue.pop(victim)
+        self.used_bytes -= victim_size
+        self._notify_evict(victim, victim_size)
 
     def __contains__(self, key: Key) -> bool:
         return key in self._queue
@@ -94,19 +99,25 @@ class SizedLRU(SizedEvictionPolicy):
         if not self.admits(size):
             return False
         while self.used_bytes + size > self.capacity_bytes:
-            _, victim_size = self._queue.popitem(last=False)
+            victim, victim_size = self._queue.popitem(last=False)
             self.used_bytes -= victim_size
+            self._notify_evict(victim, victim_size)
         self._queue[key] = size
         self.used_bytes += size
+        self._notify_admit(key, size)
         return False
 
     def _shrink(self, skip: Key) -> None:
         while self.used_bytes > self.capacity_bytes and len(self._queue) > 1:
             victim = next(k for k in self._queue if k != skip)
-            self.used_bytes -= self._queue.pop(victim)
+            victim_size = self._queue.pop(victim)
+            self.used_bytes -= victim_size
+            self._notify_evict(victim, victim_size)
         if self.used_bytes > self.capacity_bytes:
             # The resized object alone no longer fits: drop it.
-            self.used_bytes -= self._queue.pop(skip)
+            dropped = self._queue.pop(skip)
+            self.used_bytes -= dropped
+            self._notify_evict(skip, dropped)
 
     def __contains__(self, key: Key) -> bool:
         return key in self._queue
@@ -152,6 +163,7 @@ class SizedClock(SizedEvictionPolicy):
         node = self._queue.push_head(key)
         node.extra = size
         self.used_bytes += size
+        self._notify_admit(key, size)
         return False
 
     def _make_room(self, size: int, skip: Optional[Key] = None) -> None:
@@ -161,6 +173,7 @@ class SizedClock(SizedEvictionPolicy):
                 # fits on its own: drop it.
                 node = self._queue.pop_tail()
                 self.used_bytes -= node.extra
+                self._notify_evict(node.key, node.extra)
                 return
             node = self._queue.pop_tail()
             if node.key == skip:
@@ -171,6 +184,7 @@ class SizedClock(SizedEvictionPolicy):
                 self._queue.push_head_node(node)
             else:
                 self.used_bytes -= node.extra
+                self._notify_evict(node.key, node.extra)
 
     def __contains__(self, key: Key) -> bool:
         return key in self._queue
@@ -224,6 +238,7 @@ class GDSF(SizedEvictionPolicy):
             self._evict_one()
         self._push(key, 1, size)
         self.used_bytes += size
+        self._notify_admit(key, size)
         return False
 
     def _evict_one(self) -> None:
@@ -235,6 +250,7 @@ class GDSF(SizedEvictionPolicy):
                 del self._meta[key]
                 self.used_bytes -= meta[2]
                 self._inflation = priority
+                self._notify_evict(key, meta[2])
                 return
 
     def _shrink(self, skip: Key) -> None:
@@ -249,10 +265,12 @@ class GDSF(SizedEvictionPolicy):
                 # Everything else is gone and the resized object
                 # alone still does not fit: drop it too.
                 priority, _, key = skip_entry
-                self.used_bytes -= self._meta.pop(key)[2]
+                dropped = self._meta.pop(key)[2]
+                self.used_bytes -= dropped
                 # The evictions above may have raised the clock past
                 # the stashed priority; never wind it back.
                 self._inflation = max(self._inflation, priority)
+                self._notify_evict(key, dropped)
                 return
             priority, counter, key = heapq.heappop(self._heap)
             meta = self._meta.get(key)
@@ -264,12 +282,14 @@ class GDSF(SizedEvictionPolicy):
                     del self._meta[key]
                     self.used_bytes -= meta[2]
                     self._inflation = priority
+                    self._notify_evict(key, meta[2])
                     return
                 skip_entry = (priority, counter, key)
                 continue
             del self._meta[key]
             self.used_bytes -= meta[2]
             self._inflation = priority
+            self._notify_evict(key, meta[2])
         if skip_entry is not None:
             heapq.heappush(self._heap, skip_entry)
 

@@ -17,11 +17,27 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Optional
 
-from repro.sized.base import Key, SizedEvictionPolicy
+from repro.sized.base import Key, SizedCacheListener, SizedEvictionPolicy
 from repro.sized.policies import SizedClock
 from repro.utils.linkedlist import KeyedList
 
 SizedMainFactory = Callable[[int], SizedEvictionPolicy]
+
+
+class _MainEvictionForwarder(SizedCacheListener):
+    """Re-fires the inner main cache's evictions as composite events.
+
+    Admissions are *not* forwarded: an object entering the main cache
+    is either an internal probation->main graduation (no composite
+    event -- the object stays cached) or a direct admission the
+    composite reports itself.
+    """
+
+    def __init__(self, outer: "SizedQDCache") -> None:
+        self._outer = outer
+
+    def on_evict(self, key: Key, size: int) -> None:
+        self._outer._notify_evict(key, size)
 
 
 class SizedGhost:
@@ -86,6 +102,7 @@ class SizedQDCache(SizedEvictionPolicy):
             self.main_bytes = 1
             self.probation_bytes = capacity_bytes - 1
         self.main = main_factory(self.main_bytes)
+        self.main.add_listener(_MainEvictionForwarder(self))
         self.ghost = SizedGhost(round(self.main_bytes * ghost_factor))
         self._probation: KeyedList[Key] = KeyedList()  # node.extra = size
         self._probation_used = 0
@@ -117,11 +134,14 @@ class SizedQDCache(SizedEvictionPolicy):
             # Proven once already -- or too large to ever prove itself
             # in probation: admit straight into the main cache.
             self.main.request(key, size)
+            if key in self.main:
+                self._notify_admit(key, size)
         else:
             self._drain_probation(size)
             node = self._probation.push_head(key)
             node.extra = size
             self._probation_used += size
+            self._notify_admit(key, size)
         self._sync_used()
         return False
 
@@ -138,9 +158,14 @@ class SizedQDCache(SizedEvictionPolicy):
             # case it graduates to the main cache (it was just hit).
             self._probation_used -= node.extra
             if node.visited or node.key == skip:
+                # Internal graduation: stays cached, no composite event
+                # (unless the main cache itself refuses the object).
                 self.main.request(node.key, node.extra)
+                if node.key not in self.main:
+                    self._notify_evict(node.key, node.extra)
             else:
                 self.ghost.add(node.key, node.extra)
+                self._notify_evict(node.key, node.extra)
 
     def _sync_used(self) -> None:
         self.used_bytes = self._probation_used + self.main.used_bytes

@@ -1,0 +1,64 @@
+"""X7 tiered experiment: runs at tiny tier and reproduces the QD story."""
+
+import pytest
+
+from repro.experiments import tiered
+from repro.experiments.common import TINY
+
+
+@pytest.fixture(scope="module")
+def tiny_result(tmp_path_factory):
+    import os
+    results = tmp_path_factory.mktemp("results")
+    old = os.environ.get("REPRO_RESULTS_DIR")
+    os.environ["REPRO_RESULTS_DIR"] = str(results)
+    try:
+        yield tiered.run(TINY)
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_RESULTS_DIR", None)
+        else:
+            os.environ["REPRO_RESULTS_DIR"] = old
+
+
+class TestTieredStudy:
+    def test_covers_the_grid(self, tiny_result):
+        assert tiny_result.num_traces == 4
+        for policy in tiered.DRAM_POLICIES:
+            for admission in tiered.ADMISSIONS:
+                assert (policy, admission) in tiny_result.hit_ratio
+
+    def test_metrics_sane(self, tiny_result):
+        for cell, ratio in tiny_result.hit_ratio.items():
+            assert 0 < ratio < 1, cell
+        for cell, amp in tiny_result.flash_write_amp.items():
+            assert amp >= 1.0, cell
+        for cell, cost in tiny_result.cost_per_request.items():
+            assert cost > 0, cell
+
+    def test_qd_story_flash_write_savings(self, tiny_result):
+        """The headline: QD cuts flash writes at a no-worse hit ratio."""
+        qd = ("Sized-QD-LP-FIFO", "admit-all")
+        lru = ("Sized-LRU", "admit-all")
+        assert tiny_result.flash_write_bytes[qd] < \
+            tiny_result.flash_write_bytes[lru]
+        assert tiny_result.hit_ratio[qd] >= tiny_result.hit_ratio[lru]
+        assert tiny_result.flash_write_savings() > 0
+
+    def test_ghost_admission_slashes_writes(self, tiny_result):
+        """Probationary admission cuts write volume for every policy."""
+        for policy in tiered.DRAM_POLICIES:
+            assert tiny_result.flash_write_bytes[(policy, "ghost")] < \
+                0.5 * tiny_result.flash_write_bytes[(policy, "admit-all")]
+
+    def test_deterministic(self, tiny_result):
+        again = tiered.run(TINY)
+        assert again.hit_ratio == tiny_result.hit_ratio
+        assert again.flash_write_bytes == tiny_result.flash_write_bytes
+
+    def test_render_mentions_the_savings(self, tiny_result):
+        text = tiny_result.render()
+        assert "X7" in text
+        assert "flash-write savings" in text
+        for policy in tiered.DRAM_POLICIES:
+            assert policy in text

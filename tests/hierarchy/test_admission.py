@@ -1,0 +1,106 @@
+"""Admission controllers: ghost probation, frequency threshold, bounds."""
+
+import pytest
+
+from repro.hierarchy.admission import (
+    AdmitAll,
+    FrequencyAdmission,
+    GhostAdmission,
+    make_admission,
+)
+
+
+class TestAdmitAll:
+    def test_always_admits(self):
+        controller = AdmitAll()
+        assert controller.admit("a", 100)
+        assert controller.admit("a", 100)
+
+
+class TestGhostAdmission:
+    def test_reject_then_admit_on_repeat(self):
+        controller = GhostAdmission(capacity_bytes=1 << 20)
+        assert not controller.admit("a", 100)   # remembered, rejected
+        assert controller.admit("a", 100)       # repeat: admitted
+        # admission consumed the ghost entry: next demotion starts over
+        assert not controller.admit("a", 100)
+
+    def test_one_hit_wonders_never_admitted(self):
+        controller = GhostAdmission(capacity_bytes=1 << 20)
+        admitted = [controller.admit(key, 10) for key in range(100)]
+        assert not any(admitted)
+
+    def test_ghost_capacity_bounds_memory(self):
+        # Ghost holds ~10 objects of size 100; an old entry is evicted
+        # before its repeat arrives, so it is rejected again.
+        controller = GhostAdmission(capacity_bytes=1000)
+        controller.admit("old", 100)
+        for key in range(20):
+            controller.admit(key, 100)
+        assert not controller.admit("old", 100)
+
+    def test_forget(self):
+        controller = GhostAdmission(capacity_bytes=1 << 20)
+        controller.admit("a", 100)
+        controller.forget("a")
+        assert not controller.admit("a", 100)
+
+    def test_bad_ghost_factor(self):
+        with pytest.raises(ValueError):
+            GhostAdmission(capacity_bytes=1024, ghost_factor=0)
+
+
+class TestFrequencyAdmission:
+    def test_admit_at_threshold(self):
+        controller = FrequencyAdmission(threshold=3)
+        assert not controller.admit("a", 10)
+        assert not controller.admit("a", 10)
+        assert controller.admit("a", 10)
+        # admission reset the counter
+        assert not controller.admit("a", 10)
+
+    def test_lookups_count_as_sightings(self):
+        controller = FrequencyAdmission(threshold=2)
+        controller.record_lookup("a", 10)
+        assert controller.admit("a", 10)
+
+    def test_threshold_one_is_admit_all(self):
+        controller = FrequencyAdmission(threshold=1)
+        assert controller.admit("fresh", 10)
+
+    def test_bounded_counter_table(self):
+        controller = FrequencyAdmission(threshold=2, max_entries=4)
+        controller.record_lookup("a", 10)
+        for key in range(10):
+            controller.record_lookup(key, 10)
+        # "a" was evicted from the bounded table: back to one sighting
+        assert not controller.admit("a", 10)
+        assert len(controller._counts) <= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyAdmission(threshold=0)
+        with pytest.raises(ValueError):
+            FrequencyAdmission(max_entries=0)
+
+
+class TestMakeAdmission:
+    def test_builds_each_kind(self):
+        assert isinstance(make_admission("admit-all", 1024), AdmitAll)
+        assert isinstance(make_admission("ghost", 1024), GhostAdmission)
+        assert isinstance(make_admission("frequency", 1024),
+                          FrequencyAdmission)
+
+    def test_params_forwarded(self):
+        controller = make_admission("frequency", 1024, threshold=5)
+        assert controller.threshold == 5
+
+    def test_unknown_spec(self):
+        with pytest.raises(KeyError) as excinfo:
+            make_admission("tinylfu", 1024)
+        assert "admit-all" in excinfo.value.args[0]
+
+    def test_bad_params_name_the_controller(self):
+        with pytest.raises(TypeError) as excinfo:
+            make_admission("ghost", 1024, threshold=2)
+        assert "ghost" in str(excinfo.value)

@@ -1,0 +1,69 @@
+"""CLI coverage for `repro hierarchy` and `repro experiment tiered`."""
+
+from repro.cli import build_parser, main
+
+
+class TestHierarchyParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["hierarchy"])
+        assert args.family == "cdn"
+        assert args.policy == "qd-lp-fifo"
+        assert args.flash_policy == "fifo"
+        assert args.admission == "admit-all"
+        assert args.dram_fraction == 0.1
+        assert args.ttl == 0
+
+
+class TestHierarchyCommand:
+    def test_happy_path(self, capsys):
+        code = main(["hierarchy", "--family", "cdn", "--scale", "0.1",
+                     "--admission", "ghost"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sized-QD-LP-FIFO" in out
+        assert "overall hit ratio" in out
+        assert "write amp" in out
+
+    def test_explicit_bytes_override_fractions(self, capsys):
+        code = main(["hierarchy", "--family", "cdn", "--scale", "0.1",
+                     "--dram-bytes", "65536",
+                     "--flash-bytes", "262144"])
+        assert code == 0
+        assert "dram      : 65536 bytes" in capsys.readouterr().out
+
+    def test_ttl_and_no_promote(self, capsys):
+        code = main(["hierarchy", "--family", "wiki", "--scale", "0.1",
+                     "--ttl", "200", "--no-promote",
+                     "--policy", "lru"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ttl       : 200 requests" in out
+        assert "Sized-LRU" in out
+
+    def test_unknown_policy_is_user_error(self, capsys):
+        code = main(["hierarchy", "--family", "cdn", "--scale", "0.1",
+                     "--policy", "nosuch"])
+        assert code == 2
+        assert "unknown sized policy" in capsys.readouterr().err
+
+    def test_unknown_family_is_user_error(self, capsys):
+        code = main(["hierarchy", "--family", "nope"])
+        assert code == 2
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_list_shows_sized_section(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sized" in out
+        assert "Sized-QD-LP-FIFO" in out
+        assert "GDSF" in out
+
+
+class TestTieredExperiment:
+    def test_dispatches_and_renders(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["experiment", "tiered", "--tier", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "X7" in out
+        assert "flash-write savings" in out
+        assert (tmp_path / "tiered.txt").exists()
