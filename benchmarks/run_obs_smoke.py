@@ -11,7 +11,14 @@ under a known run id.  The run directory then holds:
 * ``trace.json`` -- Chrome trace-event export (validated on write),
   uploaded as a CI artifact and loadable in ``chrome://tracing``;
 * ``timeseries.jsonl`` -- the windowed curves as standalone JSONL for
-  ``repro timeseries`` without journal access.
+  ``repro timeseries`` without journal access;
+* ``reqtrace.jsonl`` + ``reqtrace.chrome.json`` -- kept request traces
+  from a seeded LRU overload run with tail sampling.  The JSONL is
+  diffed at **zero tolerance** against
+  ``benchmarks/baselines/obs-smoke/reqtrace.jsonl`` when
+  ``--reqtrace-baseline`` is given: head sampling, tail-keep rules,
+  span ids and virtual-clock latencies are all seeded, so any byte of
+  drift is a real behaviour change in the tracing stack.
 
 The simulated workload is a seeded working-set-shift trace, so every
 simulated quantity (results, sim counters, windowed curves) is
@@ -20,7 +27,8 @@ and ``repro diff`` ignores those by default.
 
 Usage::
 
-    python benchmarks/run_obs_smoke.py --runs-dir runs-ci
+    python benchmarks/run_obs_smoke.py --runs-dir runs-ci \
+        --reqtrace-baseline benchmarks/baselines/obs-smoke/reqtrace.jsonl
     PYTHONPATH=src python -m repro.cli diff \
         benchmarks/baselines/obs-smoke/journal.jsonl \
         runs-ci/obs-smoke --miss-ratio-tolerance 0.05
@@ -29,6 +37,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -61,6 +70,18 @@ CLUSTER_SHARDS = 4
 CLUSTER_REQUESTS = 4000
 CLUSTER_UNIVERSE = 800
 CLUSTER_TICK = 0.01
+
+# Request-trace phase: an LRU service under a seeded step overload,
+# head-sampled at 20% with tail keep rules, all on a VirtualClock.
+# Every kept trace -- ids, spans, latencies, keep reasons -- is
+# bit-reproducible, which is what lets CI diff the JSONL at zero
+# tolerance.
+REQTRACE_SAMPLE = 0.2
+REQTRACE_REQUESTS = 6000
+REQTRACE_UNIVERSE = 400
+REQTRACE_RATE = 120.0
+REQTRACE_PEAK = 800.0
+REQTRACE_DURATION = 8.0
 
 
 def build_trace() -> Trace:
@@ -112,12 +133,97 @@ def run_cluster_phase(registry: MetricsRegistry) -> None:
           f"{report.outcomes['replica_hit']} replica hits")
 
 
+def run_reqtrace_phase(registry: MetricsRegistry):
+    """Drive the seeded request-trace overload run into *registry*.
+
+    An LRU :class:`CacheService` on a VirtualClock, offered a step
+    overload through the open-loop engine with request tracing on.
+    Returns the :class:`RequestTracer` so the caller can write the
+    kept traces into the run directory once it exists; the sampler
+    counters (``reqtrace_*``) land in the shared registry and are
+    regression-gated by ``repro diff`` alongside everything else.
+    """
+    from repro.exec.clock import VirtualClock
+    from repro.obs import RequestTracer
+    from repro.policies.registry import make
+    from repro.service import (
+        CacheService,
+        InMemoryBackend,
+        ServiceConfig,
+        run_open_load,
+    )
+    from repro.service.overload import (
+        AdmissionQueue,
+        ServiceCostModel,
+        make_limiter,
+        make_schedule,
+    )
+    from repro.traces.synthetic import zipf_trace
+
+    clock = VirtualClock()
+    tracer = RequestTracer(sample=REQTRACE_SAMPLE, seed=SEED,
+                           clock=clock, registry=registry)
+    service = CacheService(make("LRU", 64), InMemoryBackend(),
+                           ServiceConfig(), clock=clock,
+                           registry=registry, tracer=tracer)
+    rng = np.random.default_rng(SEED)
+    keys = zipf_trace(REQTRACE_UNIVERSE, REQTRACE_REQUESTS, 1.1,
+                      rng).tolist()
+    schedule = make_schedule("step", rate=REQTRACE_RATE,
+                             duration=REQTRACE_DURATION,
+                             peak_rate=REQTRACE_PEAK, seed=SEED)
+    report = run_open_load(service, keys, schedule,
+                           queue=AdmissionQueue(capacity=128,
+                                                deadline=0.25),
+                           limiter=make_limiter("static",
+                                                static_limit=4),
+                           cost=ServiceCostModel(), registry=registry,
+                           tracer=tracer)
+    report.check_conservation()
+    summary = tracer.summary()
+    print(f"obs smoke reqtrace: {report.offered} offered, "
+          f"{summary['kept']} kept of {summary['sampled']} sampled "
+          f"/ {summary['requests']} requests")
+    return tracer
+
+
+def check_reqtrace_baseline(trace_path: Path, baseline: Path) -> bool:
+    """Zero-tolerance comparison of kept traces against the baseline.
+
+    Both files are compared as parsed JSON rows (not raw bytes) so
+    the gate is insensitive to key ordering but catches any change in
+    sampling decisions, span structure, ids, or latencies.
+    """
+    current = [json.loads(line)
+               for line in trace_path.read_text().splitlines()]
+    expected = [json.loads(line)
+                for line in baseline.read_text().splitlines()]
+    if current == expected:
+        print(f"reqtrace baseline: {len(current)} traces match "
+              f"{baseline}")
+        return True
+    print(f"reqtrace baseline MISMATCH vs {baseline}: "
+          f"{len(current)} traces now, {len(expected)} expected",
+          file=sys.stderr)
+    for index, (now, then) in enumerate(zip(current, expected)):
+        if now != then:
+            print(f"  first divergent row {index}: "
+                  f"trace {then.get('trace_id')} -> "
+                  f"{now.get('trace_id')}", file=sys.stderr)
+            break
+    return False
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs-dir", default="runs-ci",
                         help="runs root to create the run under")
     parser.add_argument("--run-id", default="obs-smoke",
                         help="run id (directory name) for the journal")
+    parser.add_argument("--reqtrace-baseline", default=None,
+                        help="committed reqtrace.jsonl to diff the "
+                             "kept request traces against at zero "
+                             "tolerance")
     args = parser.parse_args(argv)
 
     registry = MetricsRegistry()
@@ -126,11 +232,13 @@ def main(argv=None) -> int:
     opts = SimOptions(metrics=registry, timeseries=recorder,
                       tracer=tracer)
 
-    # The cluster phase shares the registry (its counters ride the
-    # journal's metrics line) but not the recorder: the sweep samples
-    # on request counts, the cluster on virtual seconds, and mixing
-    # the two time bases would corrupt the windowed curves.
+    # The cluster and reqtrace phases share the registry (their
+    # counters ride the journal's metrics line) but not the recorder:
+    # the sweep samples on request counts, the others on virtual
+    # seconds, and mixing the two time bases would corrupt the
+    # windowed curves.
     run_cluster_phase(registry)
+    reqtracer = run_reqtrace_phase(registry)
 
     result = run_sweep(list(POLICIES), [build_trace()],
                        size_fractions=SIZES, options=opts,
@@ -138,6 +246,9 @@ def main(argv=None) -> int:
                        runs_dir=args.runs_dir)
     run_dir = Path(args.runs_dir) / args.run_id
     recorder.write_jsonl(run_dir / "timeseries.jsonl")
+    reqtrace_path = run_dir / "reqtrace.jsonl"
+    reqtracer.write_jsonl(reqtrace_path)
+    reqtracer.write_chrome_trace(run_dir / "reqtrace.chrome.json")
 
     print(f"obs smoke sweep: {len(result.records)} cells "
           f"({result.accelerated} fast), run {run_dir}")
@@ -148,10 +259,15 @@ def main(argv=None) -> int:
     if not result.ok:
         print(f"FAILED cells: {result.failures}", file=sys.stderr)
         return 1
-    for artifact in ("journal.jsonl", "trace.json", "timeseries.jsonl"):
+    for artifact in ("journal.jsonl", "trace.json", "timeseries.jsonl",
+                     "reqtrace.jsonl", "reqtrace.chrome.json"):
         if not (run_dir / artifact).is_file():
             print(f"missing artifact: {run_dir / artifact}",
                   file=sys.stderr)
+            return 1
+    if args.reqtrace_baseline is not None:
+        if not check_reqtrace_baseline(reqtrace_path,
+                                       Path(args.reqtrace_baseline)):
             return 1
     return 0
 

@@ -10,6 +10,7 @@ Subcommands::
     repro loadgen ...               # hammer the cache service layer
     repro metrics ...               # render an observability snapshot
     repro timeseries ...            # windowed curves as sparklines/CSV
+    repro trace ...                 # list/show/export kept request traces
     repro diff RUN_A RUN_B          # regression-diff two run journals
 
 Examples::
@@ -25,6 +26,9 @@ Examples::
     repro loadgen --policy QD-LP-FIFO --threads 8 --requests 20000
     repro metrics --run RUN_ID --select 'sweep_*' --labels path=fast
     repro timeseries --run RUN_ID --select 'sim_misses*'
+    repro loadgen --open-loop --trace-sample 0.05 --requests 20000
+    repro trace list results/loadgen_open_reqtrace.jsonl --slowest 10
+    repro trace show results/loadgen_open_reqtrace.jsonl ab12cd
     repro diff baseline-run fresh-run --miss-ratio-tolerance 0.05
 
 Exit codes::
@@ -258,6 +262,38 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _make_request_tracer(args: argparse.Namespace, registry, clock=None):
+    """Build the loadgen's :class:`RequestTracer` (None when not asked).
+
+    ``--trace-sample`` opts in; the tracer shares the run's seed, clock
+    and metrics registry so kept traces, exemplars and the
+    ``reqtrace_*`` counters all line up.
+    """
+    if args.trace_sample is None:
+        return None
+    from repro.obs import RequestTracer
+
+    return RequestTracer(sample=args.trace_sample, seed=args.seed,
+                         clock=clock, registry=registry)
+
+
+def _write_trace_outputs(tracer, args: argparse.Namespace,
+                         stem: str) -> None:
+    """Flush kept traces to JSONL + validated Chrome trace and say where."""
+    from repro.experiments.common import results_dir
+
+    out = (Path(args.trace_out) if args.trace_out
+           else results_dir() / f"{stem}_reqtrace.jsonl")
+    tracer.write_jsonl(out)
+    chrome = out.with_suffix(".chrome.json")
+    tracer.write_chrome_trace(chrome)
+    stats = tracer.summary()
+    print(f"request traces : {out} (kept {stats['kept']} of "
+          f"{stats['sampled']} sampled / {stats['requests']} requests; "
+          f"render with `repro trace list {out}`)\n"
+          f"chrome trace   : {chrome}", file=sys.stderr)
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -286,9 +322,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     try:
         config = ServiceConfig(ttl=args.ttl, max_inflight=args.max_inflight)
         capacity = max(spec.min_capacity, int(args.objects * args.size))
+        tracer = _make_request_tracer(args, registry)
         service = CacheService(make(spec.name, capacity),
                                InMemoryBackend(), config,
-                               registry=registry)
+                               registry=registry, tracer=tracer)
         if args.requests < 1 or args.threads < 1:
             raise ValueError("--requests and --threads must be >= 1")
     except (TypeError, ValueError) as exc:
@@ -312,6 +349,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     write_jsonl(registry, metrics_path)
     print(f"metrics snapshot: {metrics_path} "
           f"(render with `repro metrics {metrics_path}`)", file=sys.stderr)
+    if tracer is not None:
+        _write_trace_outputs(tracer, args, "loadgen")
     return EXIT_OK
 
 
@@ -376,9 +415,10 @@ def _run_open_loadgen(args: argparse.Namespace, spec, registry) -> int:
         )
         clock = VirtualClock()
         capacity = max(spec.min_capacity, int(args.objects * args.size))
+        tracer = _make_request_tracer(args, registry, clock=clock)
         service = CacheService(make(spec.name, capacity),
                                InMemoryBackend(), config, clock=clock,
-                               registry=registry)
+                               registry=registry, tracer=tracer)
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -387,7 +427,8 @@ def _run_open_loadgen(args: argparse.Namespace, spec, registry) -> int:
     recorder = TimeSeriesRecorder(registry, cadence=1.0)
     report = run_open_load(service, keys, schedule, queue=queue,
                            limiter=limiter, cost=cost,
-                           timeseries=recorder, registry=registry)
+                           timeseries=recorder, registry=registry,
+                           tracer=tracer)
     report.check_conservation()
     print(report.render())
     write_result("loadgen_open", report.render())
@@ -399,6 +440,8 @@ def _run_open_loadgen(args: argparse.Namespace, spec, registry) -> int:
           f"windowed series : {series_path} "
           f"(render with `repro timeseries {series_path}`)",
           file=sys.stderr)
+    if tracer is not None:
+        _write_trace_outputs(tracer, args, "loadgen_open")
     return EXIT_OK
 
 
@@ -437,12 +480,14 @@ def _run_cluster_loadgen(args: argparse.Namespace, spec,
         tick = args.tick if args.tick is not None else (0.01 if kill else 0.0)
         threads = 1 if kill else args.threads
         clock = VirtualClock() if tick else None
+        tracer = _make_request_tracer(args, registry, clock=clock)
         cluster = build_cluster(
             lambda: make(spec.name, capacity),
             shards=args.shards,
             config=config,
             clock=clock,
             registry=registry,
+            tracer=tracer,
         )
         checkpoints = None
         if kill:
@@ -475,6 +520,8 @@ def _run_cluster_loadgen(args: argparse.Namespace, spec,
     print(f"metrics snapshot: {metrics_path} "
           f"(render with `repro metrics {metrics_path} "
           f"--labels shard=*`)", file=sys.stderr)
+    if tracer is not None:
+        _write_trace_outputs(tracer, args, "loadgen_cluster")
     return EXIT_OK
 
 
@@ -604,6 +651,63 @@ def _cmd_timeseries(args: argparse.Namespace) -> int:
         print(render_csv(series_map), end="")
     else:
         print(render_sparklines(series_map, width=args.width))
+    return EXIT_OK
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace list|show|export`` over a kept-trace JSONL file."""
+    import json
+
+    from repro.obs import (
+        chrome_from_rows,
+        read_trace_jsonl,
+        render_trace_list,
+        render_trace_tree,
+        validate_chrome_trace,
+    )
+
+    try:
+        rows = read_trace_jsonl(args.source)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.source}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.action == "list":
+        print(render_trace_list(rows, slowest=args.slowest,
+                                outcome=args.outcome))
+        return EXIT_OK
+    if args.action == "show":
+        # Prefix match, the way `git show` treats abbreviated hashes --
+        # `repro metrics` exemplar lines print full 12-hex ids, but a
+        # unique prefix is enough.
+        if not args.trace_id:
+            print("error: empty trace id", file=sys.stderr)
+            return EXIT_USAGE
+        matches = [row for row in rows
+                   if row["trace_id"].startswith(args.trace_id)]
+        if not matches:
+            print(f"error: no kept trace matching {args.trace_id!r} "
+                  f"in {args.source}", file=sys.stderr)
+            return EXIT_RUNTIME
+        if len(matches) > 1:
+            ids = ", ".join(row["trace_id"] for row in matches)
+            print(f"error: ambiguous trace id {args.trace_id!r} "
+                  f"(matches: {ids})", file=sys.stderr)
+            return EXIT_USAGE
+        print(render_trace_tree(matches[0]))
+        return EXIT_OK
+    # export: rebuild the chrome document from rows so a hand-merged or
+    # filtered JSONL still exports, and re-validate before writing.
+    doc = chrome_from_rows(rows)
+    try:
+        validate_chrome_trace(doc)
+    except ValueError as exc:
+        print(f"error: invalid chrome trace: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=1), encoding="utf-8")
+    print(f"chrome trace: {out} ({len(rows)} trace(s); open in "
+          f"chrome://tracing or ui.perfetto.dev)")
     return EXIT_OK
 
 
@@ -796,6 +900,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="retry-budget deposit ratio (e.g. 0.1 caps "
                            "retry amplification at ~10%%); also enables "
                            "a 3-attempt retry policy")
+    load.add_argument("--trace-sample", type=float, default=None,
+                      metavar="P",
+                      help="head-sample this fraction of requests into "
+                           "per-request traces (tail rules keep errors, "
+                           "drops and the slow tail); off by default")
+    load.add_argument("--trace-out", metavar="PATH",
+                      help="kept-trace JSONL path (default "
+                           "results/<mode>_reqtrace.jsonl; a validated "
+                           ".chrome.json is written next to it)")
 
     metrics = sub.add_parser(
         "metrics",
@@ -839,6 +952,35 @@ def build_parser() -> argparse.ArgumentParser:
                                  "glob (e.g. 'sim_misses*LRU*')")
     timeseries.add_argument("--width", type=int, default=64,
                             help="sparkline width in characters")
+
+    trace = sub.add_parser(
+        "trace",
+        help="list/show/export kept request traces")
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    trace_list = trace_sub.add_parser(
+        "list", help="table of kept traces in a reqtrace .jsonl file")
+    trace_list.add_argument("source",
+                            help="kept-trace .jsonl (written by "
+                                 "`repro loadgen --trace-sample`)")
+    trace_list.add_argument("--slowest", type=int, default=None,
+                            metavar="N",
+                            help="only the N slowest traces, "
+                                 "slowest first")
+    trace_list.add_argument("--outcome", metavar="NAME",
+                            help="only traces with this root outcome "
+                                 "(e.g. error, dropped, shed)")
+    trace_show = trace_sub.add_parser(
+        "show", help="one kept trace as an indented span tree")
+    trace_show.add_argument("source", help="kept-trace .jsonl file")
+    trace_show.add_argument("trace_id",
+                            help="trace id (unique prefix accepted; "
+                                 "`repro metrics` exemplar lines print "
+                                 "the full id)")
+    trace_export = trace_sub.add_parser(
+        "export", help="re-export kept traces as chrome://tracing JSON")
+    trace_export.add_argument("source", help="kept-trace .jsonl file")
+    trace_export.add_argument("--out", required=True, metavar="PATH",
+                              help="chrome trace-event JSON to write")
 
     diff = sub.add_parser(
         "diff",
@@ -885,6 +1027,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "loadgen": _cmd_loadgen,
         "metrics": _cmd_metrics,
         "timeseries": _cmd_timeseries,
+        "trace": _cmd_trace,
         "diff": _cmd_diff,
     }[args.command]
     try:

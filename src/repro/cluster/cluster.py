@@ -37,7 +37,8 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Hashable, List,
+                    Optional, Tuple)
 
 from repro.core.base import validate_capacity
 from repro.exec.clock import Clock, SystemClock
@@ -47,6 +48,7 @@ from repro.obs.metrics import (
     Reservoir,
 )
 from repro.cluster.ring import DEFAULT_VNODES, HashRing, moved_keys
+from repro.obs.reqtrace import NOT_SAMPLED
 from repro.service.service import (
     ERROR,
     HIT,
@@ -56,6 +58,9 @@ from repro.service.service import (
     STALE,
     CacheService,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.reqtrace import ActiveSpan, RequestTracer, TraceContext
 
 Key = Hashable
 
@@ -277,18 +282,26 @@ class ClusterMetrics:
                 "Replica reads attempted while a primary was unavailable")
 
     def record(self, outcome: str, latency: float,
-               front: bool = False) -> None:
-        """Account one finished cluster request."""
+               front: bool = False, exemplar: Optional[str] = None) -> bool:
+        """Account one finished cluster request.
+
+        ``exemplar`` optionally offers a trace id to the latency
+        histogram (first observation per bucket wins); returns True
+        when it was taken so the caller can pin that trace.
+        """
         with self._lock:
             self.counts[outcome] += 1
             self._latencies[outcome].add(latency)
             if front:
                 self.front_hits += 1
+        took = False
         if self.registry is not None:
             self._obs_requests[outcome].inc()
-            self._obs_latency[outcome].observe(latency)
+            took = self._obs_latency[outcome].observe(latency,
+                                                      exemplar=exemplar)
             if front:
                 self._obs_front.inc()
+        return took
 
     def record_replication(self, copies: int) -> None:
         with self._lock:
@@ -412,6 +425,7 @@ class CacheCluster:
         config: Optional[ClusterConfig] = None,
         clock: Optional[Clock] = None,
         registry: Optional[MetricsRegistry] = None,
+        tracer: Optional["RequestTracer"] = None,
     ) -> None:
         if not shards:
             raise ValueError("a cluster needs at least one shard")
@@ -422,6 +436,9 @@ class CacheCluster:
                     f"got {type(service).__name__}")
         self.config = config or ClusterConfig()
         self.clock = clock or SystemClock()
+        # Request tracing is opt-in; shards should share this tracer
+        # (build_cluster wires it) so their spans nest under ours.
+        self.tracer = tracer
         self.shards: Dict[str, CacheService] = dict(shards)
         self.ring = HashRing(self.shards, vnodes=self.config.vnodes)
         self.metrics = ClusterMetrics(registry)
@@ -450,20 +467,44 @@ class CacheCluster:
     # ------------------------------------------------------------------
     # Serving path
     # ------------------------------------------------------------------
-    def get(self, key: Key) -> ClusterGetResult:
-        """Serve one request for *key* (thread-safe)."""
+    def get(self, key: Key,
+            ctx: Optional["TraceContext"] = None) -> ClusterGetResult:
+        """Serve one request for *key* (thread-safe).
+
+        ``ctx`` optionally joins an existing request trace (e.g. the
+        open-loop engine's root span); shard-level spans then nest
+        under this cluster hop.
+        """
         t0 = self.clock.now()
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start("cluster.get", ctx=ctx, start=t0,
+                                     key=repr(key))
+        # Once the cluster owns the sampling decision, un-sampled
+        # requests propagate NOT_SAMPLED so the per-shard services
+        # (which share this tracer) don't head-sample fresh roots of
+        # their own mid-stack.
+        if span is not None:
+            child_ctx = span.ctx
+        elif self.tracer is not None:
+            child_ctx = NOT_SAMPLED
+        else:
+            child_ctx = ctx
         hot = self.hot_tracker.observe(key)
 
         # 1. Front cache: absorb the very hottest keys before routing.
         if self.front_cache is not None:
             boxed = self.front_cache.get(key)
             if boxed is not None:
+                if span is not None:
+                    span.note(front_cache=True)
                 return self._finish(key, boxed[0], HIT, None, t0,
-                                    front=True)
+                                    front=True, span=span)
 
         owners = self.ring.owners(key, 1 + self.config.replicas)
         primary, replicas = owners[0], owners[1:]
+        if span is not None:
+            span.note(shard=primary)
 
         # 2. Primary down or failing fast: degrade along the replica
         #    set.  A cached copy serves as ``replica_hit``; a cold key
@@ -473,7 +514,13 @@ class CacheCluster:
         #    go and the arc degrades honestly to errors.
         primary_down = self._shard_down(primary, t0)
         if primary_down or self.shards[primary].breaker_open:
-            served = self._try_replicas(key, replicas, t0)
+            if span is not None:
+                if primary_down:
+                    span.note(primary_down=True)
+                else:
+                    span.note(primary_breaker="open")
+                    span.mark("breaker-open")
+            served = self._try_replicas(key, replicas, t0, span=span)
             if served is not None:
                 return served
             if primary_down:
@@ -485,19 +532,22 @@ class CacheCluster:
                     return self._finish(
                         key, None, ERROR, primary, t0,
                         error=f"shard {primary!r} down; no replica "
-                              f"could serve {key!r}")
-                result = self.shards[fallback].get(key)
+                              f"could serve {key!r}", span=span)
+                if span is not None:
+                    span.note(failover=fallback)
+                result = self.shards[fallback].get(key, ctx=child_ctx)
                 return self._finish(key, result.value, result.outcome,
-                                    fallback, t0, error=result.error)
+                                    fallback, t0, error=result.error,
+                                    span=span)
             # Breaker open but the shard process is up: let the shard
             # degrade deterministically (stale / fast error).
 
         # 3. Normal path: the primary shard serves.
-        result = self.shards[primary].get(key)
+        result = self.shards[primary].get(key, ctx=child_ctx)
 
         # 4. Backend failed at the primary: last-ditch replica read.
         if result.outcome == ERROR and replicas:
-            served = self._try_replicas(key, replicas, t0)
+            served = self._try_replicas(key, replicas, t0, span=span)
             if served is not None:
                 return served
 
@@ -521,22 +571,30 @@ class CacheCluster:
                 self.front_cache.put(key, result.value)
 
         return self._finish(key, result.value, result.outcome, primary,
-                            t0, error=result.error)
+                            t0, error=result.error, span=span)
 
     #: alias so the cluster can stand in where a callable is expected
     __call__ = get
 
-    def _try_replicas(self, key: Key, replicas: List[str],
-                      t0: float) -> Optional[ClusterGetResult]:
+    def _try_replicas(self, key: Key, replicas: List[str], t0: float,
+                      span: Optional["ActiveSpan"] = None
+                      ) -> Optional[ClusterGetResult]:
         """Read *key* from its replica shards, in ring order."""
         for name in replicas:
             if self._shard_down(name, self.clock.now()):
                 continue
             self.metrics.record_replica_probe()
+            probe = (span.child("replica.peek", shard=name)
+                     if span is not None else None)
             peeked = self.shards[name].peek(key, allow_stale=True)
+            if probe is not None:
+                probe.end(found=peeked is not None,
+                          **({"outcome": peeked.outcome}
+                             if peeked is not None else {}))
             if peeked is not None:
                 outcome = REPLICA_HIT if peeked.outcome == HIT else STALE
-                return self._finish(key, peeked.value, outcome, name, t0)
+                return self._finish(key, peeked.value, outcome, name, t0,
+                                    span=span)
         return None
 
     def _shard_down(self, name: str, now: float) -> bool:
@@ -548,9 +606,19 @@ class CacheCluster:
 
     def _finish(self, key: Key, value: Any, outcome: str,
                 shard: Optional[str], t0: float, front: bool = False,
-                error: Optional[str] = None) -> ClusterGetResult:
+                error: Optional[str] = None,
+                span: Optional["ActiveSpan"] = None) -> ClusterGetResult:
         latency = self.clock.now() - t0
-        self.metrics.record(outcome, latency, front=front)
+        took = self.metrics.record(
+            outcome, latency, front=front,
+            exemplar=span.trace_id if span is not None else None)
+        if span is not None:
+            if took:
+                span.mark("exemplar")
+            if shard is not None:
+                span.note(served_by=shard)
+            span.end(outcome=outcome,
+                     **({"error": error} if error else {}))
         return ClusterGetResult(key=key, value=value, outcome=outcome,
                                 shard=shard, latency=latency, front=front,
                                 error=error)
@@ -715,6 +783,7 @@ def build_cluster(
     clock: Optional[Clock] = None,
     registry: Optional[MetricsRegistry] = None,
     backend_factory: Optional[Callable[[str], "Any"]] = None,
+    tracer: Optional["RequestTracer"] = None,
 ) -> CacheCluster:
     """Assemble a ready-to-serve cluster of homogeneous shards.
 
@@ -750,9 +819,10 @@ def build_cluster(
             clock=clock,
             registry=registry,
             metric_labels={"shard": name},
+            tracer=tracer,
         )
     cluster = CacheCluster(members, config=config, clock=clock,
-                           registry=registry)
+                           registry=registry, tracer=tracer)
     cluster.plans = plans
     return cluster
 

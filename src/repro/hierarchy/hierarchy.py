@@ -25,12 +25,15 @@ counter is bit-reproducible given the same trace.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional
 
 from repro.hierarchy.config import HierarchyConfig, TierConfig
 from repro.hierarchy.tier import ADMITTED, Tier
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.options import reject_mixed_options, warn_deprecated_kwarg
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.reqtrace import ActiveSpan, RequestTracer, TraceContext
 
 Key = Hashable
 
@@ -84,12 +87,19 @@ class CacheHierarchy:
     def __init__(self, config: Optional[HierarchyConfig] = None, *,
                  registry: Optional[MetricsRegistry] = None,
                  metric_labels: Optional[Dict[str, str]] = None,
+                 tracer: Optional["RequestTracer"] = None,
                  **legacy: object) -> None:
         self.config = coerce_hierarchy_config("CacheHierarchy", config,
                                               legacy)
         self.tiers: List[Tier] = [
             Tier(tier_config, registry, metric_labels)
             for tier_config in self.config.tiers]
+        # Request tracing is opt-in.  The hierarchy replay is
+        # synchronous and clockless, so its spans are instantaneous
+        # markers: what they add is the *shape* of a request -- which
+        # tiers were probed, what was demoted where and with what
+        # admission verdict.
+        self.tracer = tracer
         self.requests = 0
         self.backend_fetches = 0
         self.total_cost = 0.0
@@ -108,17 +118,27 @@ class CacheHierarchy:
         return any(key in tier for tier in self.tiers)
 
     # ------------------------------------------------------------------
-    def request(self, key: Key, size: int) -> str:
+    def request(self, key: Key, size: int,
+                ctx: Optional["TraceContext"] = None) -> str:
         """Serve one request; returns the serving tier's name or ``"miss"``.
 
         ``size`` must be >= 1 (the policies validate); objects larger
         than every tier's budget pass straight through to the backend
-        on every request.
+        on every request.  ``ctx`` optionally joins an existing request
+        trace; per-tier lookup/demotion spans then nest under it.
         """
         self.requests += 1
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start("hierarchy.request", ctx=ctx,
+                                     key=repr(key), size=size)
         hit_index = -1
         for index, tier in enumerate(self.tiers):
-            if tier.lookup(key, size):
+            hit = tier.lookup(key, size)
+            if span is not None:
+                probe = span.child("tier.lookup", tier=tier.name)
+                probe.end(hit=hit)
+            if hit:
                 hit_index = index
                 break
         if hit_index >= 0:
@@ -129,9 +149,13 @@ class CacheHierarchy:
                 top = self.tiers[0]
                 if top.insert(key, size):
                     self.total_cost += top.config.write_cost
+                    if span is not None:
+                        span.note(promoted_to=top.name)
             # A same-tier hit can still evict (resize on a size
             # change): cascade unconditionally so no victim lingers.
-            self._cascade()
+            self._cascade(span=span)
+            if span is not None:
+                span.end(outcome=served.name)
             return served.name
         # Miss everywhere: fetch from the backend, fill the top tier.
         self.backend_fetches += 1
@@ -139,10 +163,12 @@ class CacheHierarchy:
         top = self.tiers[0]
         if top.insert(key, size):
             self.total_cost += top.config.write_cost
-        self._cascade()
+        self._cascade(span=span)
+        if span is not None:
+            span.end(outcome="miss")
         return "miss"
 
-    def _cascade(self) -> None:
+    def _cascade(self, span: Optional["ActiveSpan"] = None) -> None:
         """Demote buffered evictions downward, one forward pass.
 
         Demotions only flow toward slower tiers, so a single top-down
@@ -159,8 +185,16 @@ class CacheHierarchy:
             for key, size in evicted:
                 tier.stats.demoted_out += 1
                 if below is None:
+                    if span is not None:
+                        demote = span.child("tier.demote", tier=tier.name,
+                                            key=repr(key))
+                        demote.end(verdict="evicted")
                     continue
                 outcome = below.demote_in(key, size)
+                if span is not None:
+                    demote = span.child("tier.demote", tier=below.name,
+                                        key=repr(key))
+                    demote.end(verdict=outcome)
                 if outcome == ADMITTED:
                     self.total_cost += below.config.write_cost
 

@@ -20,6 +20,12 @@ artifacts that accumulated as the repo grew:
 * :mod:`repro.obs.span` -- :class:`SpanTracer`, sweep→cell→attempt run
   tracing exported as Chrome trace-event JSON for
   ``chrome://tracing``/Perfetto.
+* :mod:`repro.obs.reqtrace` -- :class:`RequestTracer`, per-request
+  distributed tracing: seeded head sampling plus tail-based keep rules
+  (errors, drops, breaker-opens, slow requests), a propagated
+  :class:`TraceContext` joining service / cluster / hierarchy /
+  open-loop spans into one tree, and histogram exemplars linking
+  ``repro metrics`` buckets to ``repro trace show``.
 * :mod:`repro.obs.diff` -- :func:`diff_runs`, cross-run regression
   diffing of journal snapshots and time series; behind ``repro diff``.
 
@@ -60,6 +66,17 @@ from repro.obs.metrics import (
     exponential_buckets,
     merge_snapshots,
 )
+from repro.obs.reqtrace import (
+    NOT_SAMPLED,
+    ActiveSpan,
+    RequestTracer,
+    TailRules,
+    TraceContext,
+    chrome_from_rows,
+    read_trace_jsonl,
+    render_trace_list,
+    render_trace_tree,
+)
 from repro.obs.span import (
     CHROME_TRACE_SCHEMA,
     Span,
@@ -96,7 +113,9 @@ __all__ = [
     "EVICT",
     "EVENT_KINDS",
     "GHOST_HIT",
+    "NOT_SAMPLED",
     "PROMOTE",
+    "ActiveSpan",
     "CacheEvent",
     "CacheTracer",
     "Counter",
@@ -106,9 +125,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RequestTracer",
     "Span",
     "SpanTracer",
+    "TailRules",
     "TimeSeriesRecorder",
+    "TraceContext",
+    "chrome_from_rows",
     "diff_runs",
     "diff_states",
     "exponential_buckets",
@@ -117,9 +140,12 @@ __all__ = [
     "parse_prometheus_values",
     "read_jsonl",
     "read_timeseries_jsonl",
+    "read_trace_jsonl",
     "render_csv",
     "render_metrics_table",
     "render_sparklines",
+    "render_trace_list",
+    "render_trace_tree",
     "series_from_rows",
     "series_key",
     "sparkline",

@@ -172,9 +172,40 @@ def render_metrics_table(source: Union[MetricsRegistry, Sequence[dict]],
             body.append([row["name"], labels, row["type"], count,
                          row["sum"],
                          _bucket_quantile(row, 0.99) if count else None])
-    return render_table(
+    table = render_table(
         ["metric", "labels", "type", "value/count", "sum", "~p99"],
         body, title=title, precision=4)
+    exemplar_lines = _render_exemplars(_as_rows(source))
+    if exemplar_lines:
+        table += "\n\nexemplars (resolve with `repro trace show`):\n" \
+            + "\n".join(exemplar_lines)
+    return table
+
+
+def _render_exemplars(rows: Rows) -> List[str]:
+    """One "p99 bucket -> trace" line per histogram row with exemplars."""
+    lines: List[str] = []
+    for row in rows:
+        if row.get("type") != "histogram" or not row.get("exemplars"):
+            continue
+        labels = ",".join(f"{k}={v}"
+                          for k, v in sorted(row["labels"].items()))
+        series = f"{row['name']}{{{labels}}}" if labels else row["name"]
+        p99 = _bucket_quantile(row, 0.99)
+        # The exemplar whose bucket covers the p99 estimate, falling
+        # back to the highest bucket that has one.
+        best = None
+        for bound, trace_id, value in row["exemplars"]:
+            best = (bound, trace_id, value)
+            if bound == "+Inf" or float(bound) >= p99:
+                break
+        if best is None:  # pragma: no cover - guarded by the check above
+            continue
+        bound, trace_id, value = best
+        le = bound if bound == "+Inf" else f"{float(bound):.6g}"
+        lines.append(f"  {series} p99 bucket le={le} -> "
+                     f"trace {trace_id} ({value:.6g})")
+    return lines
 
 
 def _bucket_quantile(row: dict, q: float) -> float:

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import random
 import threading
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 LabelPairs = Tuple[Tuple[str, str], ...]
 
@@ -167,9 +167,19 @@ class Histogram(_Metric):
         self._counts = [0] * (len(bounds) + 1)  # +1 for +Inf
         self._sum = 0.0
         self._count = 0
+        # bucket index -> (exemplar trace id, observed value); first
+        # observation to land in a bucket wins, so a deterministic run
+        # always exports the same exemplar set.
+        self._exemplars: Dict[int, Tuple[str, float]] = {}
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, exemplar: Optional[str] = None) -> bool:
+        """Record one observation.
+
+        ``exemplar`` optionally offers a trace id for the bucket the
+        value lands in; it is stored only if that bucket has none yet.
+        Returns True when the exemplar was taken -- callers use this to
+        pin the corresponding trace in the request tracer's buffer.
+        """
         index = len(self.bounds)
         for i, bound in enumerate(self.bounds):
             if value <= bound:
@@ -179,6 +189,10 @@ class Histogram(_Metric):
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None and index not in self._exemplars:
+                self._exemplars[index] = (str(exemplar), value)
+                return True
+        return False
 
     @property
     def count(self) -> int:
@@ -230,16 +244,25 @@ class Histogram(_Metric):
             counts = list(self._counts)
             total_sum = self._sum
             total_count = self._count
+            exemplars = dict(self._exemplars)
         cumulative = []
         running = 0
         for count in counts[:-1]:
             running += count
             cumulative.append(running)
-        return {"type": self.kind, "name": self.name,
-                "labels": self.label_dict,
-                "buckets": [list(pair) for pair in
-                            zip(self.bounds, cumulative)],
-                "sum": total_sum, "count": total_count}
+        row = {"type": self.kind, "name": self.name,
+               "labels": self.label_dict,
+               "buckets": [list(pair) for pair in
+                           zip(self.bounds, cumulative)],
+               "sum": total_sum, "count": total_count}
+        if exemplars:
+            # Bounds as JSON-safe values: the overflow bucket's +Inf
+            # becomes the string "+Inf" (strict JSON has no Infinity).
+            row["exemplars"] = [
+                [self.bounds[i] if i < len(self.bounds) else "+Inf",
+                 trace_id, value]
+                for i, (trace_id, value) in sorted(exemplars.items())]
+        return row
 
 
 class MetricsRegistry:

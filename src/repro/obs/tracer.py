@@ -153,10 +153,15 @@ class CacheTracer(CacheListener):
         return self._ages_zero_hit + self._ages_hit
 
     def mean_eviction_age(self, zero_hit_only: bool = False) -> float:
-        """Mean demotion age (NaN when no tenure completed)."""
+        """Mean demotion age; 0.0 when no tenure has completed yet.
+
+        Zero (not NaN): :meth:`summary` feeds snapshot rows that must
+        stay strict-JSON serialisable and diffable -- ``NaN != NaN``
+        would make every fresh-tracer snapshot a spurious regression.
+        """
         ages = self.eviction_ages(zero_hit_only)
         if not ages:
-            return float("nan")
+            return 0.0
         return sum(ages) / len(ages)
 
     def summary(self) -> Dict[str, float]:

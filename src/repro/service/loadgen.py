@@ -246,6 +246,7 @@ def run_open_load(
     timeseries: Optional[TimeSeriesRecorder] = None,
     registry: Optional[MetricsRegistry] = None,
     metric_labels: Optional[dict] = None,
+    tracer=None,
 ) -> OpenLoadReport:
     """Open-loop load against one :class:`CacheService`.
 
@@ -280,6 +281,7 @@ def run_open_load(
         timeseries=timeseries,
         registry=registry,
         metric_labels=metric_labels,
+        tracer=tracer,
     )
     return report
 

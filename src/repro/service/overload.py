@@ -52,6 +52,7 @@ from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -65,7 +66,11 @@ from typing import (
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.reqtrace import NOT_SAMPLED
 from repro.obs.timeseries import TimeSeriesRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.reqtrace import RequestTracer
 
 Key = Hashable
 
@@ -745,6 +750,7 @@ def run_open_loop(
     timeseries: Optional[TimeSeriesRecorder] = None,
     registry: Optional[MetricsRegistry] = None,
     metric_labels: Optional[Dict[str, str]] = None,
+    tracer: Optional["RequestTracer"] = None,
 ) -> OpenLoadReport:
     """Drive open-loop *arrivals* through *get* and measure delivery.
 
@@ -759,6 +765,14 @@ def run_open_loop(
     bound method; *promotions_probe* returns the cumulative promotion
     count behind it.  Keys are dealt to arrivals in order, cycling if
     the schedule outlasts the key sequence.
+
+    With a *tracer* (:class:`~repro.obs.reqtrace.RequestTracer` on the
+    same *clock*) the engine owns the per-request root span: queue wait
+    and the serialised promotion-lock interval become child spans, the
+    context is propagated into *get* -- which must then accept a
+    ``ctx=`` keyword, as ``CacheService.get``/``CacheCluster.get`` do --
+    and admission drops become ``dropped`` roots the tail sampler
+    always keeps.
     """
     if not keys:
         raise ValueError("keys must be non-empty")
@@ -788,10 +802,20 @@ def run_open_loop(
     def count(outcome: str) -> None:
         outcomes[outcome] = outcomes.get(outcome, 0) + 1
 
-    def drop(entry: QueuedRequest) -> None:
+    def drop(entry: QueuedRequest, reason: str = "deadline") -> None:
         count(DROPPED)
         if obs.registry is not None:
             obs.dropped.inc()
+        if tracer is not None:
+            # A dropped request still gets a root: queue wait is all
+            # that happened to it, and "dropped" is a tail-keep outcome.
+            now = clock.now()
+            root = tracer.start("request", start=entry.arrived,
+                                key=repr(entry.key))
+            if root is not None:
+                root.add_span("queue.wait", entry.arrived, now,
+                              reason=reason)
+                root.end(outcome=DROPPED, at=now)
 
     def dispatch(now: float) -> None:
         nonlocal inflight, lock_free_at, lock_busy, seq, min_limit_seen
@@ -803,8 +827,23 @@ def run_open_loop(
                 break
             delay = now - entry.arrived
             delays.append(delay)
+            root = (tracer.start("request", start=entry.arrived,
+                                 key=repr(entry.key))
+                    if tracer is not None else None)
+            if root is not None and delay > 0.0:
+                root.add_span("queue.wait", entry.arrived, now,
+                              depth=len(queue))
             before = promotions_probe() if promotions_probe else 0
-            result = get(entry.key)
+            if tracer is not None:
+                # Always propagate a context once a tracer owns the
+                # roots: NOT_SAMPLED tells the service the head-sampling
+                # decision is made, so it doesn't start a root of its
+                # own for requests that lost the coin flip.
+                result = get(entry.key,
+                             ctx=root.ctx if root is not None
+                             else NOT_SAMPLED)
+            else:
+                result = get(entry.key)
             promos = ((promotions_probe() - before)
                       if promotions_probe else 0)
             count(result.outcome)
@@ -822,6 +861,15 @@ def run_open_loop(
                 lock_free_at = lock_start + lock_time
                 lock_busy += lock_time
                 completion = max(completion, lock_free_at)
+                if root is not None:
+                    # The promotion-cost span: time this request's
+                    # promotions occupied the serialised lock timeline
+                    # (the paper's per-request cost of eager promotion).
+                    root.add_span("promotion.lock", lock_start,
+                                  lock_free_at, promotions=promos,
+                                  waited=round(lock_start - work_start, 9))
+            if root is not None:
+                root.end(outcome=result.outcome, at=completion)
             sojourns.append(completion - entry.arrived)
             heapq.heappush(events, (completion, seq, _DEPARTURE, delay))
             seq += 1
@@ -838,7 +886,7 @@ def run_open_loop(
                 obs.offered.inc()
             admitted, displaced = queue.offer(payload, now)
             if displaced is not None:
-                drop(displaced)
+                drop(displaced, reason="displaced")
             if not admitted:
                 count("shed")
                 if obs.registry is not None:

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional
 
 from repro.core.base import CacheListener, EvictionPolicy
 from repro.exec.clock import Clock, SystemClock
@@ -60,6 +60,9 @@ from repro.service.overload import (
     RetryBudget,
     RetryBudgetConfig,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.reqtrace import ActiveSpan, RequestTracer, TraceContext
 
 Key = Hashable
 
@@ -239,18 +242,26 @@ class ServiceMetrics:
                 "Requests answered from the negative cache", **extra)
 
     def record(self, outcome: str, latency: float,
-               coalesced: bool) -> None:
-        """Account one finished request."""
+               coalesced: bool, exemplar: Optional[str] = None) -> bool:
+        """Account one finished request.
+
+        ``exemplar`` optionally offers a trace id to the latency
+        histogram's bucket (see :meth:`Histogram.observe`); returns
+        True when it was taken, so the caller can pin that trace.
+        """
         with self._lock:
             self.counts[outcome] += 1
             self._latencies[outcome].add(latency)
             if coalesced:
                 self.coalesced += 1
+        took = False
         if self.registry is not None:
             self._obs_requests[outcome].inc()
-            self._obs_latency[outcome].observe(latency)
+            took = self._obs_latency[outcome].observe(latency,
+                                                      exemplar=exemplar)
             if coalesced:
                 self._obs_coalesced.inc()
+        return took
 
     def record_fetch(self, ok: bool) -> None:
         """Account one backend fetch attempt."""
@@ -318,7 +329,8 @@ class _Entry:
 class _Flight:
     """One in-progress backend fetch that followers can latch onto."""
 
-    __slots__ = ("event", "outcome", "value", "error", "waiters")
+    __slots__ = ("event", "outcome", "value", "error", "waiters",
+                 "leader_trace_id", "leader_span_id")
 
     def __init__(self) -> None:
         self.event = threading.Event()
@@ -326,6 +338,11 @@ class _Flight:
         self.value: Any = None
         self.error: Optional[str] = None
         self.waiters = 0
+        # When the leader's request is traced, followers link their
+        # spans to the leader's so a coalesced trace shows *whose*
+        # fetch actually served it.
+        self.leader_trace_id: Optional[str] = None
+        self.leader_span_id: Optional[int] = None
 
 
 class _StoreReaper(CacheListener):
@@ -364,6 +381,7 @@ class CacheService:
         clock: Optional[Clock] = None,
         registry: Optional[MetricsRegistry] = None,
         metric_labels: Optional[Dict[str, str]] = None,
+        tracer: Optional["RequestTracer"] = None,
     ) -> None:
         if not isinstance(policy, EvictionPolicy):
             raise TypeError(
@@ -377,6 +395,9 @@ class CacheService:
         self.backend = backend
         self.config = config or ServiceConfig()
         self.clock = clock or SystemClock()
+        # Request tracing is opt-in; must share this service's clock so
+        # span timestamps and request latencies agree.
+        self.tracer = tracer
         self.metrics = ServiceMetrics(registry, labels=metric_labels)
         self.limiter: Optional[AIMDLimiter] = (
             AIMDLimiter(self.config.limiter)
@@ -412,9 +433,19 @@ class CacheService:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def get(self, key: Key) -> GetResult:
-        """Serve one request for *key* (thread-safe)."""
+    def get(self, key: Key,
+            ctx: Optional["TraceContext"] = None) -> GetResult:
+        """Serve one request for *key* (thread-safe).
+
+        ``ctx`` optionally joins an existing request trace (propagated
+        by the cluster router or the open-loop engine); without a
+        tracer it is ignored and the request path is unchanged.
+        """
         t0 = self.clock.now()
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start("service.get", ctx=ctx, start=t0,
+                                     key=repr(key), **self.metrics.labels)
         flight: Optional[_Flight] = None
         is_leader = False
         with self._lock:
@@ -424,16 +455,19 @@ class CacheService:
                 age = t0 - entry.fetched_at
                 if self.config.ttl is None or age <= self.config.ttl:
                     self.policy.request(key)  # hit: policy may promote
-                    return self._finish(key, entry.value, HIT, False, t0)
+                    return self._finish(key, entry.value, HIT, False, t0,
+                                        span=span)
             # Recent backend failure: fail fast without a fetch.
             negative = self._negative.get(key)
             if negative is not None:
                 error, expires_at = negative
                 if t0 < expires_at:
                     self.metrics.record_negative_hit()
+                    if span is not None:
+                        span.note(negative_cache=True)
                     return self._finish(
                         key, None, ERROR, False, t0,
-                        error=f"negative-cached: {error}")
+                        error=f"negative-cached: {error}", span=span)
                 del self._negative[key]
             # Someone is already fetching this key: join their flight.
             flight = self._flights.get(key)
@@ -448,31 +482,47 @@ class CacheService:
                     inflight_cap = self.limiter.limit
                 if (inflight_cap is not None
                         and len(self._flights) >= inflight_cap):
+                    if span is not None:
+                        span.note(shed=True, inflight=len(self._flights),
+                                  inflight_cap=inflight_cap)
                     stale = self._stale_entry(key, t0)
                     if stale is not None:
+                        if span is not None:
+                            span.note(served_stale=True)
                         return self._finish(key, stale.value, STALE,
                                             False, t0,
-                                            error="load shed; served stale")
+                                            error="load shed; served stale",
+                                            span=span)
                     return self._finish(
                         key, None, SHED, False, t0,
                         error=f"load shed: {len(self._flights)} fetches "
-                              f"in flight (max {inflight_cap})")
+                              f"in flight (max {inflight_cap})", span=span)
                 # Open breaker: degrade instantly, no flight.
                 if self.breaker is not None and not self.breaker.allow():
+                    if span is not None:
+                        span.note(breaker="open")
+                        span.mark("breaker-open")
                     stale = self._stale_entry(key, t0)
                     if stale is not None:
+                        if span is not None:
+                            span.note(served_stale=True)
                         return self._finish(key, stale.value, STALE,
                                             False, t0,
-                                            error="circuit open; served stale")
+                                            error="circuit open; served stale",
+                                            span=span)
                     return self._finish(key, None, ERROR, False, t0,
-                                        error="circuit breaker open")
+                                        error="circuit breaker open",
+                                        span=span)
                 flight = _Flight()
+                if span is not None:
+                    flight.leader_trace_id = span.trace_id
+                    flight.leader_span_id = span.span_id
                 self._flights[key] = flight
                 is_leader = True
 
         if not is_leader:
-            return self._follow(key, flight, t0)
-        return self._lead(key, flight, t0)
+            return self._follow(key, flight, t0, span=span)
+        return self._lead(key, flight, t0, span=span)
 
     #: alias so the service can stand in where a callable is expected
     __call__ = get
@@ -565,20 +615,44 @@ class CacheService:
     # ------------------------------------------------------------------
     # Leader / follower paths
     # ------------------------------------------------------------------
-    def _follow(self, key: Key, flight: _Flight, t0: float) -> GetResult:
+    def _follow(self, key: Key, flight: _Flight, t0: float,
+                span: Optional["ActiveSpan"] = None) -> GetResult:
         """Wait for the in-flight fetch and inherit its outcome."""
+        if span is not None:
+            # Cross-trace link: this request rode another request's
+            # fetch; record whose so the trace viewer can join them.
+            span.note(coalesced=True)
+            if flight.leader_trace_id is not None:
+                span.note(leader_trace=flight.leader_trace_id,
+                          leader_span=flight.leader_span_id)
         if not flight.event.wait(self.FOLLOWER_WAIT):  # pragma: no cover
             return self._finish(key, None, ERROR, True, t0,
                                 error="timed out waiting for the "
-                                      "coalesced fetch")
+                                      "coalesced fetch", span=span)
         return self._finish(key, flight.value, flight.outcome, True, t0,
-                            error=flight.error)
+                            error=flight.error, span=span)
 
-    def _lead(self, key: Key, flight: _Flight, t0: float) -> GetResult:
+    def _lead(self, key: Key, flight: _Flight, t0: float,
+              span: Optional["ActiveSpan"] = None) -> GetResult:
         """Run the backend fetch (with retries) and settle the flight."""
         retry = self.config.retry
         attempt = 1
         error: Optional[str] = None
+        breaker_seen = (len(self.breaker.transitions)
+                        if self.breaker is not None else 0)
+
+        def annotate() -> None:
+            """Fold what the fetch loop did into the request span."""
+            if span is None:
+                return
+            if attempt > 1:
+                span.note(retries=attempt - 1)
+            if self.breaker is not None:
+                fresh = self.breaker.transitions[breaker_seen:]
+                if fresh:
+                    span.mark("breaker-open")
+                    span.note(breaker_transitions=[
+                        f"{old}->{new}" for _ts, old, new in fresh])
         # Attempt 1 was authorised by the allow() that created the
         # flight (or the breaker is disabled).  It also earns the
         # retry budget its deposit: first tries fund future retries.
@@ -590,10 +664,16 @@ class CacheService:
                 if not allowed:
                     error = error or "circuit breaker open"
                     break
+                fetch_span = (span.child("service.fetch", attempt=attempt)
+                              if span is not None else None)
                 fetched, error = self._attempt_fetch(key)
+                if fetch_span is not None:
+                    fetch_span.end(**({"error": error} if error else {}))
                 if error is None:
                     self._settle(key, flight, MISS, fetched, None)
-                    return self._finish(key, fetched, MISS, False, t0)
+                    annotate()
+                    return self._finish(key, fetched, MISS, False, t0,
+                                        span=span)
                 if attempt >= retry.max_attempts:
                     break
                 # Retries spend whole tokens; an empty bucket means the
@@ -602,6 +682,8 @@ class CacheService:
                 if (self.retry_budget is not None
                         and not self.retry_budget.try_spend()):
                     error = f"{error} [retry budget exhausted]"
+                    if span is not None:
+                        span.note(retry_budget_exhausted=True)
                     break
                 self.clock.sleep(retry.backoff(attempt))
                 attempt += 1
@@ -614,13 +696,19 @@ class CacheService:
                 if self.config.negative_ttl > 0:
                     self._negative[key] = (
                         error, now + self.config.negative_ttl)
+                    if span is not None:
+                        span.note(negative_cached=True)
                 stale = self._stale_entry(key, now)
+            annotate()
             if stale is not None:
+                if span is not None:
+                    span.note(served_stale=True)
                 self._settle(key, flight, STALE, stale.value, error)
                 return self._finish(key, stale.value, STALE, False, t0,
-                                    error=error)
+                                    error=error, span=span)
             self._settle(key, flight, ERROR, None, error)
-            return self._finish(key, None, ERROR, False, t0, error=error)
+            return self._finish(key, None, ERROR, False, t0, error=error,
+                                span=span)
         finally:
             # Whatever happened -- including an unexpected exception --
             # the flight must be released or followers deadlock.
@@ -697,9 +785,19 @@ class CacheService:
         return None
 
     def _finish(self, key: Key, value: Any, outcome: str, coalesced: bool,
-                t0: float, error: Optional[str] = None) -> GetResult:
+                t0: float, error: Optional[str] = None,
+                span: Optional["ActiveSpan"] = None) -> GetResult:
         latency = self.clock.now() - t0
-        self.metrics.record(outcome, latency, coalesced)
+        took = self.metrics.record(
+            outcome, latency, coalesced,
+            exemplar=span.trace_id if span is not None else None)
+        if span is not None:
+            if took:
+                # This trace is now referenced from a histogram bucket;
+                # pin it so `repro trace show <id>` can resolve it.
+                span.mark("exemplar")
+            span.end(outcome=outcome,
+                     **({"error": error} if error else {}))
         return GetResult(key=key, value=value, outcome=outcome,
                          coalesced=coalesced, latency=latency, error=error)
 

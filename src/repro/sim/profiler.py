@@ -82,11 +82,61 @@ class ProfileResult:
         return [e.residency for e in self.events if e.hits == 0]
 
     def mean_zero_hit_age(self) -> float:
-        """Mean demotion age of never-hit tenures (NaN when none)."""
+        """Mean demotion age of never-hit tenures; 0.0 when none.
+
+        Zero rather than NaN so the value survives strict-JSON export
+        and ``repro diff`` comparison (NaN != NaN).
+        """
         ages = self.zero_hit_eviction_ages()
         if not ages:
-            return float("nan")
+            return 0.0
         return float(np.mean(ages))
+
+    def snapshot_rows(self, labels: Union[Dict[str, str], None] = None
+                      ) -> List[dict]:
+        """This profile as ``repro.obs`` snapshot rows.
+
+        Fig. 2e / Fig. 3 data used to live in a bespoke path; exporting
+        it in the metrics wire format means the JSONL / Prometheus /
+        table exporters (and the journal + ``repro diff``) all work on
+        lifetime results unchanged:
+
+        * ``profile_requests_total`` / ``profile_misses_total`` /
+          ``profile_tenures_total{tenure=hit|zero-hit}`` counters,
+        * ``profile_space_time_requests_total{tenure=}`` counters --
+          the paper's space-time-consumed aggregate,
+        * ``profile_eviction_age_requests{tenure=}`` histograms over
+          the standard eviction-age buckets.
+
+        Every row carries ``policy=<name>`` plus any extra *labels*.
+        """
+        from repro.obs.metrics import (DEFAULT_AGE_BUCKETS,
+                                       MetricsRegistry)
+
+        base = {"policy": self.policy, **(labels or {})}
+        registry = MetricsRegistry()
+        registry.counter("profile_requests_total",
+                         "Requests replayed by the profiler",
+                         **base).inc(self.requests)
+        registry.counter("profile_misses_total",
+                         "Misses during the profiled replay",
+                         **base).inc(self.misses)
+        for event in self.events:
+            tenure = "zero-hit" if event.hits == 0 else "hit"
+            registry.counter(
+                "profile_tenures_total",
+                "Completed admit->evict tenures",
+                tenure=tenure, **base).inc()
+            registry.counter(
+                "profile_space_time_requests_total",
+                "Space-time consumed (request-slots) by tenures",
+                tenure=tenure, **base).inc(event.residency)
+            registry.histogram(
+                "profile_eviction_age_requests",
+                "Eviction-age distribution (requests)",
+                buckets=DEFAULT_AGE_BUCKETS,
+                tenure=tenure, **base).observe(event.residency)
+        return registry.snapshot()
 
 
 def profile(

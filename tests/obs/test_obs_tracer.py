@@ -1,5 +1,6 @@
 """CacheTracer: event streams, ring bounds, eviction ages, registry feed."""
 
+import json
 import math
 
 import pytest
@@ -77,9 +78,20 @@ class TestEvictionAges:
         assert 0 < len(zero_hit) < len(all_ages)
         assert all(age >= 0 for age in all_ages)
 
-    def test_mean_age_nan_before_first_eviction(self):
+    def test_mean_age_zero_before_first_eviction(self):
+        # 0.0 rather than NaN: summaries must stay strict-JSON
+        # serialisable and diff-stable (NaN != NaN).
         tracer = CacheTracer()
-        assert math.isnan(tracer.mean_eviction_age())
+        assert tracer.mean_eviction_age() == 0.0
+        assert tracer.mean_eviction_age(zero_hit_only=True) == 0.0
+
+    def test_summary_json_safe_on_fresh_tracer(self):
+        summary = CacheTracer().summary()
+        for value in summary.values():
+            assert not math.isnan(value)
+            assert not math.isinf(value)
+        # Round-trips through strict JSON (allow_nan=False would raise).
+        json.loads(json.dumps(summary, allow_nan=False))
 
     def test_summary_keys(self, zipf_keys):
         tracer = CacheTracer()

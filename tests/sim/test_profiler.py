@@ -1,8 +1,5 @@
 """Unit tests for the resource-consumption profiler."""
 
-import math
-
-
 from repro.policies.fifo import FIFO
 from repro.policies.lru import LRU
 from repro.core.clock import FIFOReinsertion
@@ -49,9 +46,11 @@ class TestProfile:
         ages = result.zero_hit_eviction_ages()
         assert len(ages) == 2
 
-    def test_mean_zero_hit_age_nan_when_none(self):
+    def test_mean_zero_hit_age_zero_when_none(self):
+        # 0.0 rather than NaN: the value flows into strict-JSON
+        # snapshot rows where NaN would poison export and diff.
         result = profile(FIFO(2), ["a", "a"])
-        assert math.isnan(result.mean_zero_hit_age())
+        assert result.mean_zero_hit_age() == 0.0
 
     def test_fig2e_demotion_speed(self, rng):
         """The Fig. 2(e) claim: FIFO-Reinsertion demotes never-hit
@@ -70,3 +69,60 @@ class TestProfile:
         result = profile(LRU(capacity), small_trace)
         total = sum(result.residency_by_key().values())
         assert total <= capacity * small_trace.num_requests
+
+
+class TestSnapshotRows:
+    """Lifetime results exported through the repro.obs wire format."""
+
+    def build_rows(self, labels=None):
+        result = profile(FIFO(2), ["a", "a", "b", "c", "d"])
+        return result, result.snapshot_rows(labels)
+
+    def test_counters_match_profile(self):
+        result, rows = self.build_rows()
+        values = {(row["name"],
+                   row["labels"].get("tenure")): row.get("value")
+                  for row in rows if row["type"] == "counter"}
+        assert values[("profile_requests_total", None)] == result.requests
+        assert values[("profile_misses_total", None)] == result.misses
+        tenures = {"hit": 0, "zero-hit": 0}
+        for event in result.events:
+            tenures["zero-hit" if event.hits == 0 else "hit"] += 1
+        assert values[("profile_tenures_total", "hit")] == tenures["hit"]
+        assert values[("profile_tenures_total", "zero-hit")] == \
+            tenures["zero-hit"]
+
+    def test_space_time_aggregates_residency(self):
+        result, rows = self.build_rows()
+        total = sum(row["value"] for row in rows
+                    if row["name"] == "profile_space_time_requests_total")
+        assert total == sum(event.residency for event in result.events)
+
+    def test_rows_carry_policy_and_extra_labels(self):
+        _result, rows = self.build_rows(labels={"figure": "2e"})
+        assert rows
+        for row in rows:
+            assert row["labels"]["policy"] == "FIFO"
+            assert row["labels"]["figure"] == "2e"
+
+    def test_rows_flow_through_shared_exporters(self):
+        import json
+
+        from repro.obs import (parse_prometheus_values,
+                               render_metrics_table, to_jsonl,
+                               to_prometheus)
+
+        result, rows = self.build_rows()
+        for line in to_jsonl(rows).strip().splitlines():
+            json.loads(line)
+        prom = parse_prometheus_values(to_prometheus(rows))
+        assert prom['profile_requests_total{policy="FIFO"}'] == \
+            result.requests
+        table = render_metrics_table(rows)
+        assert "profile_eviction_age_requests" in table
+
+    def test_age_histogram_counts_every_tenure(self):
+        result, rows = self.build_rows()
+        observed = sum(row["count"] for row in rows
+                       if row["name"] == "profile_eviction_age_requests")
+        assert observed == len(result.events)

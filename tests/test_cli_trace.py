@@ -1,0 +1,132 @@
+"""The `repro trace` subcommand and loadgen's --trace-sample plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exec.clock import VirtualClock
+from repro.obs import validate_chrome_trace
+from repro.obs.reqtrace import RequestTracer, TailRules
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    clock = VirtualClock()
+    tracer = RequestTracer(sample=1.0, seed=5, clock=clock,
+                           tail=TailRules(keep_fraction=1.0))
+    outcomes = ("hit", "error", "dropped")
+    for index, outcome in enumerate(outcomes):
+        root = tracer.start("request", key=f"'k{index}'")
+        child = root.child("service.get")
+        clock.advance(0.01 * (index + 1))
+        child.end(outcome=outcome)
+        root.end(outcome=outcome)
+    return tracer.write_jsonl(tmp_path / "reqtrace.jsonl"), tracer
+
+
+class TestTraceList:
+    def test_lists_kept_traces(self, trace_file, capsys):
+        path, tracer = trace_file
+        assert main(["trace", "list", str(path)]) == 0
+        out = capsys.readouterr().out
+        for trace in tracer.kept:
+            assert trace.trace_id in out
+
+    def test_outcome_filter(self, trace_file, capsys):
+        path, _tracer = trace_file
+        assert main(["trace", "list", str(path),
+                     "--outcome", "dropped"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped" in out
+        assert "error" not in out
+
+    def test_slowest_sorts_and_limits(self, trace_file, capsys):
+        path, _tracer = trace_file
+        assert main(["trace", "list", str(path), "--slowest", "1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2                     # header + 1 trace
+        assert "dropped" in lines[1]               # slowest: 0.03s
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["trace", "list", str(tmp_path / "nope.jsonl")]) == 2
+
+
+class TestTraceShow:
+    def test_full_id_renders_span_tree(self, trace_file, capsys):
+        path, tracer = trace_file
+        target = list(tracer.kept)[0]
+        assert main(["trace", "show", str(path), target.trace_id]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {target.trace_id}" in out
+        assert "service.get" in out
+
+    def test_unique_prefix_resolves(self, trace_file, capsys):
+        path, tracer = trace_file
+        ids = [t.trace_id for t in tracer.kept]
+        target = ids[0]
+        prefix_len = next(
+            n for n in range(1, 13)
+            if sum(1 for i in ids if i.startswith(target[:n])) == 1)
+        assert main(["trace", "show", str(path),
+                     target[:prefix_len]]) == 0
+        assert f"trace {target}" in capsys.readouterr().out
+
+    def test_unknown_id_is_runtime_error(self, trace_file, capsys):
+        path, _tracer = trace_file
+        assert main(["trace", "show", str(path), "zzzzzz"]) == 1
+
+    def test_empty_id_is_usage_error(self, trace_file, capsys):
+        path, _tracer = trace_file
+        assert main(["trace", "show", str(path), ""]) == 2
+
+
+class TestTraceExport:
+    def test_exports_valid_chrome_trace(self, trace_file, tmp_path,
+                                        capsys):
+        path, _tracer = trace_file
+        out = tmp_path / "chrome.json"
+        assert main(["trace", "export", str(path),
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        validate_chrome_trace(doc)
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+class TestLoadgenTraceSample:
+    def test_open_loop_writes_trace_artifacts(self, tmp_path,
+                                              monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["loadgen", "--open-loop", "--policy", "LRU",
+                     "--requests", "2000", "--rate", "150",
+                     "--peak-rate", "600", "--duration", "6",
+                     "--trace-sample", "0.5", "--seed", "7"]) == 0
+        trace_path = tmp_path / "loadgen_open_reqtrace.jsonl"
+        chrome_path = tmp_path / "loadgen_open_reqtrace.chrome.json"
+        assert trace_path.exists() and chrome_path.exists()
+        validate_chrome_trace(json.loads(chrome_path.read_text()))
+        rows = [json.loads(line)
+                for line in trace_path.read_text().splitlines()]
+        assert rows
+        assert all(row["type"] == "reqtrace" for row in rows)
+        # Engine-owned roots only; kept traces show the overload shape.
+        assert {row["name"] for row in rows} == {"request"}
+        err = capsys.readouterr().err
+        assert "request traces" in err
+
+    def test_trace_out_overrides_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        custom = tmp_path / "custom" / "mytraces.jsonl"
+        assert main(["loadgen", "--open-loop", "--policy", "FIFO",
+                     "--requests", "500", "--rate", "100",
+                     "--duration", "4", "--trace-sample", "1.0",
+                     "--trace-out", str(custom), "--seed", "3"]) == 0
+        assert custom.exists()
+        assert custom.with_suffix(".chrome.json").exists()
+
+    def test_without_flag_no_trace_files(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["loadgen", "--open-loop", "--policy", "FIFO",
+                     "--requests", "500", "--rate", "100",
+                     "--duration", "4", "--seed", "3"]) == 0
+        assert not (tmp_path / "loadgen_open_reqtrace.jsonl").exists()
